@@ -1,0 +1,131 @@
+//! Criterion benches over the core primitives: one-sided writes (LITE vs
+//! raw verbs, the Fig 4/6 axis), the write-imm RPC path (Fig 10), and
+//! the §7.2 synchronization primitives.
+//!
+//! These measure *host* execution cost of the simulation per simulated
+//! operation; the virtual-time results live in the `fig*` binaries.
+//! Keeping both matters: the criterion numbers catch accidental
+//! slowdowns in the simulator itself.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lite::{LiteCluster, Perm, USER_FUNC_MIN};
+use simnet::Ctx;
+
+fn bench_lt_write(c: &mut Criterion) {
+    let cluster = LiteCluster::start(2).unwrap();
+    let mut h = cluster.attach(0).unwrap();
+    let mut ctx = Ctx::new();
+    let lh = h
+        .lt_malloc(&mut ctx, 1, 1 << 20, "bench", Perm::RW)
+        .unwrap();
+    let buf = [7u8; 64];
+    c.bench_function("lt_write_64B", |b| {
+        b.iter(|| h.lt_write(&mut ctx, lh, 0, &buf).unwrap())
+    });
+    let big = vec![7u8; 4096];
+    c.bench_function("lt_write_4KB", |b| {
+        b.iter(|| h.lt_write(&mut ctx, lh, 0, &big).unwrap())
+    });
+    let mut rbuf = vec![0u8; 4096];
+    c.bench_function("lt_read_4KB", |b| {
+        b.iter(|| h.lt_read(&mut ctx, lh, 0, &mut rbuf).unwrap())
+    });
+}
+
+fn bench_verbs_write(c: &mut Criterion) {
+    use rnic::{Access, RemoteAddr, Sge};
+    let env = bench::VerbsEnv::new(2);
+    let mut ctx = Ctx::new();
+    let dst_va = env.spaces[1].mmap(1 << 20).unwrap();
+    let dst = env
+        .fabric
+        .nic(1)
+        .register_mr(&mut ctx, &env.spaces[1], dst_va, 1 << 20, Access::RW)
+        .unwrap();
+    let src_va = env.spaces[0].mmap(4096).unwrap();
+    let src = env
+        .fabric
+        .nic(0)
+        .register_mr(&mut ctx, &env.spaces[0], src_va, 4096, Access::LOCAL)
+        .unwrap();
+    let (qp, _) = env.fabric.rc_pair(0, 1);
+    let sge = Sge::Virt {
+        lkey: src.lkey(),
+        addr: src_va,
+        len: 64,
+    };
+    let remote = RemoteAddr {
+        rkey: dst.rkey(),
+        addr: dst_va,
+    };
+    c.bench_function("verbs_write_64B", |b| {
+        b.iter(|| {
+            let comp = env
+                .fabric
+                .nic(0)
+                .post_write(&mut ctx, &qp, 0, &sge, remote, None, false)
+                .unwrap();
+            ctx.wait_until(comp);
+        })
+    });
+}
+
+fn bench_rpc(c: &mut Criterion) {
+    const ECHO: u8 = USER_FUNC_MIN + 9;
+    let cluster = LiteCluster::start(2).unwrap();
+    cluster.attach(1).unwrap().register_rpc(ECHO).unwrap();
+    let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let c2 = Arc::clone(&cluster);
+    let d2 = Arc::clone(&done);
+    let srv = std::thread::spawn(move || {
+        let mut h = c2.attach(1).unwrap();
+        let mut ctx = Ctx::new();
+        loop {
+            match h.lt_try_recv_rpc(&mut ctx, ECHO) {
+                Ok(Some(call)) => {
+                    h.lt_reply_rpc(&mut ctx, &call, &call.input.clone())
+                        .unwrap();
+                }
+                _ => {
+                    if d2.load(std::sync::atomic::Ordering::Acquire) {
+                        return;
+                    }
+                    std::thread::yield_now();
+                }
+            }
+        }
+    });
+    let mut h = cluster.attach(0).unwrap();
+    let mut ctx = Ctx::new();
+    c.bench_function("lt_rpc_echo_64B", |b| {
+        b.iter(|| h.lt_rpc(&mut ctx, 1, ECHO, &[1u8; 64], 4096).unwrap())
+    });
+    done.store(true, std::sync::atomic::Ordering::Release);
+    srv.join().unwrap();
+}
+
+fn bench_sync(c: &mut Criterion) {
+    let cluster = LiteCluster::start(2).unwrap();
+    let mut h = cluster.attach(0).unwrap();
+    let mut ctx = Ctx::new();
+    let lock = h.lt_create_lock(&mut ctx).unwrap();
+    let lh = h.lt_malloc(&mut ctx, 1, 4096, "sync", Perm::RW).unwrap();
+    c.bench_function("lt_lock_unlock_uncontended", |b| {
+        b.iter(|| {
+            h.lt_lock(&mut ctx, lock).unwrap();
+            h.lt_unlock(&mut ctx, lock).unwrap();
+        })
+    });
+    c.bench_function("lt_fetch_add_remote", |b| {
+        b.iter(|| h.lt_fetch_add(&mut ctx, lh, 0, 1).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_lt_write, bench_verbs_write, bench_rpc, bench_sync
+}
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Regenerates Ablation: chunked LMR allocation.
+fn main() {
+    let full = bench::full_mode();
+    let rows = bench::figs::ablation::ablation_chunking(full);
+    bench::print_table("Ablation: chunked LMR allocation", "policy", &rows);
+}

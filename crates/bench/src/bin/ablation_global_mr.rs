@@ -1,0 +1,10 @@
+//! Regenerates Ablation: global physical MR vs virtual MR.
+fn main() {
+    let full = bench::full_mode();
+    let rows = bench::figs::ablation::ablation_global_mr(full);
+    bench::print_table(
+        "Ablation: global physical MR vs virtual MR",
+        "workload",
+        &rows,
+    );
+}

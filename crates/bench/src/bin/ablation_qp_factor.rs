@@ -1,0 +1,6 @@
+//! Regenerates Ablation: QP sharing factor K.
+fn main() {
+    let full = bench::full_mode();
+    let rows = bench::figs::ablation::ablation_qp_factor(full);
+    bench::print_table("Ablation: QP sharing factor K", "K", &rows);
+}

@@ -1,0 +1,10 @@
+//! Regenerates Ablation: syscall crossing + polling optimizations.
+fn main() {
+    let full = bench::full_mode();
+    let rows = bench::figs::ablation::ablation_syscalls(full);
+    bench::print_table(
+        "Ablation: syscall crossing + polling optimizations",
+        "variant",
+        &rows,
+    );
+}

@@ -1,0 +1,6 @@
+//! Regenerates Section 8.4: LITE-DSM microbenchmarks (us).
+fn main() {
+    let full = bench::full_mode();
+    let rows = bench::figs::apps::app_dsm(full);
+    bench::print_table("Section 8.4: LITE-DSM microbenchmarks (us)", "op", &rows);
+}

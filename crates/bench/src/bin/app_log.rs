@@ -1,0 +1,6 @@
+//! Regenerates Section 8.1: LITE-Log commit throughput.
+fn main() {
+    let full = bench::full_mode();
+    let rows = bench::figs::apps::app_log(full);
+    bench::print_table("Section 8.1: LITE-Log commit throughput", "writers", &rows);
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 4: 64B write latency vs number of (L)MRs (us).
+fn main() {
+    let full = bench::full_mode();
+    let rows = bench::figs::micro::fig04(full);
+    bench::print_table(
+        "Figure 4: 64B write latency vs number of (L)MRs (us)",
+        "num_mrs",
+        &rows,
+    );
+}

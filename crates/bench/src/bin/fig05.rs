@@ -1,0 +1,10 @@
+//! Regenerates Figure 5: write throughput vs (L)MR size (requests/us).
+fn main() {
+    let full = bench::full_mode();
+    let rows = bench::figs::micro::fig05(full);
+    bench::print_table(
+        "Figure 5: write throughput vs (L)MR size (requests/us)",
+        "mr_size",
+        &rows,
+    );
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 6: write latency vs request size (us).
+fn main() {
+    let full = bench::full_mode();
+    let rows = bench::figs::micro::fig06(full);
+    bench::print_table(
+        "Figure 6: write latency vs request size (us)",
+        "size_bytes",
+        &rows,
+    );
+}

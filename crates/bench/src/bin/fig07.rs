@@ -1,0 +1,10 @@
+//! Regenerates Figure 7: throughput vs write size, 1 and 8 ways (GB/s).
+fn main() {
+    let full = bench::full_mode();
+    let rows = bench::figs::micro::fig07(full);
+    bench::print_table(
+        "Figure 7: throughput vs write size, 1 and 8 ways (GB/s)",
+        "size",
+        &rows,
+    );
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 8: (de)register and (un)map latency vs size (us).
+fn main() {
+    let full = bench::full_mode();
+    let rows = bench::figs::micro::fig08(full);
+    bench::print_table(
+        "Figure 8: (de)register and (un)map latency vs size (us)",
+        "size",
+        &rows,
+    );
+}

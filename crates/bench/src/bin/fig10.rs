@@ -1,0 +1,10 @@
+//! Regenerates Figure 10: RPC latency vs return size (us).
+fn main() {
+    let full = bench::full_mode();
+    let rows = bench::figs::rpc::fig10(full);
+    bench::print_table(
+        "Figure 10: RPC latency vs return size (us)",
+        "ret_bytes",
+        &rows,
+    );
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 11: RPC throughput, 1 and 16 pairs (GB/s).
+fn main() {
+    let full = bench::full_mode();
+    let rows = bench::figs::rpc::fig11(full);
+    bench::print_table(
+        "Figure 11: RPC throughput, 1 and 16 pairs (GB/s)",
+        "ret_bytes",
+        &rows,
+    );
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 12: RPC memory utilization (fraction).
+fn main() {
+    let full = bench::full_mode();
+    let rows = bench::figs::rpc::fig12(full);
+    bench::print_table(
+        "Figure 12: RPC memory utilization (fraction)",
+        "scheme",
+        &rows,
+    );
+}

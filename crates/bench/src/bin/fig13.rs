@@ -1,0 +1,10 @@
+//! Regenerates Figure 13: CPU time per request, Facebook arrivals (us).
+fn main() {
+    let full = bench::full_mode();
+    let rows = bench::figs::rpc::fig13(full);
+    bench::print_table(
+        "Figure 13: CPU time per request, Facebook arrivals (us)",
+        "amplification",
+        &rows,
+    );
+}

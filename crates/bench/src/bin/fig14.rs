@@ -1,0 +1,10 @@
+//! Regenerates Figure 14: scalability with cluster size (requests/us).
+fn main() {
+    let full = bench::full_mode();
+    let rows = bench::figs::scale_qos::fig14(full);
+    bench::print_table(
+        "Figure 14: scalability with cluster size (requests/us)",
+        "nodes",
+        &rows,
+    );
+}

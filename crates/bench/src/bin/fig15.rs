@@ -1,0 +1,10 @@
+//! Regenerates Figure 15: QoS with real applications (normalized).
+fn main() {
+    let full = bench::full_mode();
+    let rows = bench::figs::scale_qos::fig15(full);
+    bench::print_table(
+        "Figure 15: QoS with real applications (normalized)",
+        "mode",
+        &rows,
+    );
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 16: QoS timeline, synthetic mix (GB/s per 100ms).
+fn main() {
+    let full = bench::full_mode();
+    let rows = bench::figs::scale_qos::fig16(full);
+    bench::print_table(
+        "Figure 16: QoS timeline, synthetic mix (GB/s per 100ms)",
+        "time",
+        &rows,
+    );
+}

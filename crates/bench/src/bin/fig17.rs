@@ -1,0 +1,10 @@
+//! Regenerates Figure 17: LITE memory-op latency vs size (us).
+fn main() {
+    let full = bench::full_mode();
+    let rows = bench::figs::micro::fig17(full);
+    bench::print_table(
+        "Figure 17: LITE memory-op latency vs size (us)",
+        "size",
+        &rows,
+    );
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 18: MapReduce WordCount run time (s).
+fn main() {
+    let full = bench::full_mode();
+    let rows = bench::figs::apps::fig18(full);
+    bench::print_table(
+        "Figure 18: MapReduce WordCount run time (s)",
+        "system",
+        &rows,
+    );
+}

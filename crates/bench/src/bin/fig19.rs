@@ -1,0 +1,6 @@
+//! Regenerates Figure 19: PageRank run time (s).
+fn main() {
+    let full = bench::full_mode();
+    let rows = bench::figs::apps::fig19(full);
+    bench::print_table("Figure 19: PageRank run time (s)", "cluster", &rows);
+}

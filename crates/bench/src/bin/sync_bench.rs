@@ -1,0 +1,6 @@
+//! Regenerates Section 7.2: lock and barrier latency (us).
+fn main() {
+    let full = bench::full_mode();
+    let rows = bench::figs::apps::sync_bench(full);
+    bench::print_table("Section 7.2: lock and barrier latency (us)", "case", &rows);
+}

@@ -1,0 +1,84 @@
+//! Piecewise approximations of the Facebook memcached "ETC" pool
+//! distributions (Atikoglu et al., SIGMETRICS '12), used by the paper for
+//! Figures 12 and 13.
+//!
+//! Key sizes cluster between 20 and 40 bytes; value sizes are dominated
+//! by a few hundred bytes with a heavy tail to tens of KB; inter-arrival
+//! times center near 16 µs with a long tail.
+
+use simnet::{DiscreteSampler, Nanos};
+
+/// Key-size sampler (bytes).
+pub fn key_sizes() -> DiscreteSampler {
+    DiscreteSampler::new(&[
+        (16, 8.0),
+        (21, 20.0),
+        (26, 24.0),
+        (31, 22.0),
+        (36, 12.0),
+        (45, 8.0),
+        (60, 4.0),
+        (90, 2.0),
+    ])
+}
+
+/// Value-size sampler (bytes).
+pub fn value_sizes() -> DiscreteSampler {
+    DiscreteSampler::new(&[
+        (2, 4.0),
+        (11, 6.0),
+        (50, 9.0),
+        (130, 14.0),
+        (300, 24.0),
+        (700, 22.0),
+        (1_500, 12.0),
+        (4_000, 6.0),
+        (10_000, 2.0),
+        (40_000, 1.0),
+    ])
+}
+
+/// Inter-arrival sampler (nanoseconds), before amplification.
+pub fn inter_arrivals() -> DiscreteSampler {
+    DiscreteSampler::new(&[
+        (2_000, 6.0),
+        (6_000, 14.0),
+        (12_000, 24.0),
+        (16_000, 22.0),
+        (24_000, 16.0),
+        (40_000, 10.0),
+        (80_000, 5.0),
+        (200_000, 2.0),
+        (1_000_000, 1.0),
+    ])
+}
+
+/// Mean inter-arrival (ns) at amplification 1 — handy for load math.
+pub fn mean_inter_arrival() -> Nanos {
+    inter_arrivals().mean() as Nanos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes_are_plausible() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let ks = key_sizes();
+        let vs = value_sizes();
+        let mut kmax = 0;
+        let mut vbig = 0;
+        for _ in 0..10_000 {
+            kmax = kmax.max(ks.sample(&mut rng));
+            if vs.sample(&mut rng) >= 4_000 {
+                vbig += 1;
+            }
+        }
+        assert!(kmax <= 250, "memcached keys are ≤ 250 B");
+        let frac = vbig as f64 / 10_000.0;
+        assert!((0.02..0.2).contains(&frac), "heavy tail ~{frac}");
+        assert!(mean_inter_arrival() > 10_000);
+    }
+}

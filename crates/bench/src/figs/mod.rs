@@ -1,0 +1,7 @@
+//! One module per reproduced figure (see DESIGN.md §4 for the index).
+
+pub mod ablation;
+pub mod apps;
+pub mod micro;
+pub mod rpc;
+pub mod scale_qos;

@@ -1,0 +1,90 @@
+//! Virtual-clock skew control for concurrent open-loop workloads.
+//!
+//! Worker threads advance their virtual clocks at wildly different *real*
+//! speeds. A conservative FCFS resource then lets a real-time-fast thread
+//! reserve capacity far in the virtual future, inflating the waiting of
+//! slower threads (a classic conservative-PDES artifact). A [`SkewGate`]
+//! keeps a group of workers within a bounded virtual window of each
+//! other: each worker publishes its clock and (really) yields while ahead
+//! of the slowest by more than the window.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use simnet::Nanos;
+
+/// A clock-skew gate for `n` workers.
+pub struct SkewGate {
+    clocks: Vec<AtomicU64>,
+    window: Nanos,
+}
+
+impl SkewGate {
+    /// Creates a gate for `n` workers with the given max skew window.
+    pub fn new(n: usize, window: Nanos) -> Self {
+        SkewGate {
+            clocks: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            window,
+        }
+    }
+
+    /// Marks worker `i` finished (it no longer holds others back).
+    pub fn finish(&self, i: usize) {
+        self.clocks[i].store(u64::MAX, Ordering::Release);
+    }
+
+    /// Publishes worker `i`'s clock and blocks (really) while it is more
+    /// than `window` ahead of the slowest live worker.
+    pub fn pace(&self, i: usize, now: Nanos) {
+        self.clocks[i].store(now, Ordering::Release);
+        loop {
+            let min = self
+                .clocks
+                .iter()
+                .map(|c| c.load(Ordering::Acquire))
+                .min()
+                .unwrap_or(0);
+            if min == u64::MAX || now <= min.saturating_add(self.window) {
+                return;
+            }
+            std::thread::yield_now();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn gate_bounds_skew() {
+        let gate = Arc::new(SkewGate::new(2, 1_000));
+        let g = Arc::clone(&gate);
+        let fast = std::thread::spawn(move || {
+            let mut now = 0;
+            for _ in 0..1_000 {
+                now += 100;
+                g.pace(0, now);
+                // At every pace point, we are within the window of the
+                // slow thread (or it has finished).
+                let other = g.clocks[1].load(Ordering::Acquire);
+                if other != u64::MAX {
+                    assert!(now <= other + 1_000 + 100);
+                }
+            }
+            g.finish(0);
+        });
+        let g = Arc::clone(&gate);
+        let slow = std::thread::spawn(move || {
+            let mut now = 0;
+            for _ in 0..1_000 {
+                now += 100;
+                std::thread::yield_now();
+                g.pace(1, now);
+            }
+            g.finish(1);
+        });
+        fast.join().unwrap();
+        slow.join().unwrap();
+    }
+}

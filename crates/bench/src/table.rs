@@ -1,0 +1,77 @@
+//! Minimal tabular report printing.
+
+/// One output row: a label plus (column, value) pairs.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Row label (x-axis value, usually).
+    pub label: String,
+    /// Column name/value pairs, in display order.
+    pub cells: Vec<(String, f64)>,
+}
+
+impl Row {
+    /// Builds a row.
+    pub fn new(label: impl Into<String>) -> Row {
+        Row {
+            label: label.into(),
+            cells: Vec::new(),
+        }
+    }
+
+    /// Adds a cell.
+    pub fn cell(mut self, name: impl Into<String>, value: f64) -> Row {
+        self.cells.push((name.into(), value));
+        self
+    }
+
+    /// Reads a cell back by name (for assertions in tests/binaries).
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.cells.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+}
+
+/// Prints rows as an aligned table with a title.
+pub fn print_table(title: &str, xlabel: &str, rows: &[Row]) {
+    println!("\n== {title} ==");
+    if rows.is_empty() {
+        println!("(no data)");
+        return;
+    }
+    let mut cols: Vec<String> = Vec::new();
+    for row in rows {
+        for (n, _) in &row.cells {
+            if !cols.contains(n) {
+                cols.push(n.clone());
+            }
+        }
+    }
+    print!("{xlabel:>14}");
+    for c in &cols {
+        print!(" {c:>14}");
+    }
+    println!();
+    for row in rows {
+        print!("{:>14}", row.label);
+        for c in &cols {
+            match row.get(c) {
+                Some(v) if v.abs() >= 1000.0 => print!(" {v:>14.0}"),
+                Some(v) => print!(" {v:>14.3}"),
+                None => print!(" {:>14}", "-"),
+            }
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_roundtrip() {
+        let r = Row::new("64").cell("lite", 1.5).cell("verbs", 1.4);
+        assert_eq!(r.get("lite"), Some(1.5));
+        assert_eq!(r.get("nope"), None);
+        print_table("t", "size", &[r]);
+    }
+}

@@ -1,0 +1,705 @@
+#![warn(missing_docs)]
+
+//! LITE-DSM: a kernel-level distributed shared memory system on LITE
+//! (paper §8.4).
+//!
+//! Semantics: multiple-reader / single-writer (MRSW) with release
+//! consistency, home-based like HLRC. Every 4 KB page has a *home node*
+//! (round-robin); the authoritative copy lives in an LMR on the home.
+//!
+//! * **Reads** are one-sided `LT_read`s from the home — no home CPU on
+//!   the data path. Pages are cached locally; the first caching of a page
+//!   registers this node as a sharer with the home (so invalidations can
+//!   find it later).
+//! * **Writes** require `acquire(pages)` — a LITE distributed lock per
+//!   page (the MRSW write token) plus a fresh fetch. `release()` pushes
+//!   dirty pages to their homes with `LT_write`, then asks each home (via
+//!   `LT_RPC`) to multicast invalidations to the other sharers, then
+//!   unlocks.
+//!
+//! The DSM protocol is exactly the paper's showcase of LITE's API mix:
+//! one-sided ops for data, RPC for protocol metadata, locks for mutual
+//! exclusion, and multicast RPC for invalidation (§8.4 motivated LITE's
+//! multicast extension).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use lite::{Lh, LiteCluster, LiteError, LiteHandle, LiteResult, LockId, Perm, USER_FUNC_MIN};
+use parking_lot::Mutex;
+use simnet::{Ctx, Nanos};
+
+/// DSM page size.
+pub const PAGE: usize = 4096;
+
+/// RPC function ids (kept near the top of the user range so applications
+/// built *on* the DSM can use lower ids).
+const DSM_INV: u8 = 250;
+const DSM_CTL: u8 = 251;
+
+/// Control ops.
+const OP_REG: u8 = 1;
+const OP_REL: u8 = 2;
+const OP_STOP: u8 = 3;
+const OP_INV: u8 = 4;
+
+/// Cost of taking the (simulated) page-fault path on a cache miss —
+/// LITE-DSM intercepts the kernel fault handler (§8.4).
+const FAULT_NS: Nanos = 3_000;
+/// Cost of a local cache hit (mapped-page access + bookkeeping).
+const HIT_NS: Nanos = 150;
+
+static _ASSERT_RANGE: () = assert!(DSM_INV >= USER_FUNC_MIN);
+
+struct NodeState {
+    /// This node's cached pages.
+    cache: Mutex<HashMap<u32, Vec<u8>>>,
+    /// Home-side sharer lists for pages homed here.
+    sharers: Mutex<HashMap<u32, HashSet<usize>>>,
+}
+
+/// The cluster-wide DSM instance: per-node caches, service threads, and
+/// the page→home/lock directory.
+pub struct DsmCluster {
+    cluster: Arc<LiteCluster>,
+    nodes: usize,
+    pages: u32,
+    states: Vec<Arc<NodeState>>,
+    page_locks: Vec<LockId>,
+    stopped: AtomicBool,
+    services: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl DsmCluster {
+    /// Home node of a page.
+    pub fn home_of(&self, page: u32) -> usize {
+        page as usize % self.nodes
+    }
+
+    /// Extent offset of `page` inside its home LMR.
+    fn home_offset(&self, page: u32) -> u64 {
+        (page as u64 / self.nodes as u64) * PAGE as u64
+    }
+
+    /// Creates a DSM of `total_bytes` (rounded up to pages) over every
+    /// node of `cluster`, allocating home LMRs and per-page locks and
+    /// starting the two service threads per node.
+    pub fn create(cluster: &Arc<LiteCluster>, total_bytes: u64) -> LiteResult<Arc<DsmCluster>> {
+        let nodes = cluster.num_nodes();
+        let pages = total_bytes.div_ceil(PAGE as u64) as u32;
+        // Home LMRs, named per home node, created by a handle on node 0.
+        let mut ctx = Ctx::new();
+        let mut h0 = cluster.attach_kernel(0)?;
+        for n in 0..nodes {
+            let count = (pages as u64 + nodes as u64 - 1 - n as u64) / nodes as u64;
+            let bytes = (count.max(1)) * PAGE as u64;
+            h0.lt_malloc(&mut ctx, n, bytes, &format!("dsm.home.{n}"), Perm::RW)?;
+        }
+        // Per-page write-token locks, owned by each page's home node.
+        let mut lock_handles: Vec<LiteHandle> = (0..nodes)
+            .map(|n| cluster.attach_kernel(n))
+            .collect::<LiteResult<_>>()?;
+        let mut page_locks = Vec::with_capacity(pages as usize);
+        for p in 0..pages {
+            let home = p as usize % nodes;
+            page_locks.push(lock_handles[home].lt_create_lock(&mut ctx)?);
+        }
+        let states: Vec<Arc<NodeState>> = (0..nodes)
+            .map(|_| {
+                Arc::new(NodeState {
+                    cache: Mutex::new(HashMap::new()),
+                    sharers: Mutex::new(HashMap::new()),
+                })
+            })
+            .collect();
+        let dsm = Arc::new(DsmCluster {
+            cluster: Arc::clone(cluster),
+            nodes,
+            pages,
+            states,
+            page_locks,
+            stopped: AtomicBool::new(false),
+            services: Mutex::new(Vec::new()),
+        });
+        // Register both service functions everywhere *before* any thread
+        // (or client) can race ahead.
+        for n in 0..nodes {
+            let h = cluster.attach_kernel(n)?;
+            h.register_rpc(DSM_INV)?;
+            h.register_rpc(DSM_CTL)?;
+        }
+        let mut services = dsm.services.lock();
+        for n in 0..nodes {
+            let d = Arc::clone(&dsm);
+            services.push(
+                std::thread::Builder::new()
+                    .name(format!("dsm-inv-{n}"))
+                    .spawn(move || d.inv_loop(n))
+                    .expect("spawn"),
+            );
+            let d = Arc::clone(&dsm);
+            services.push(
+                std::thread::Builder::new()
+                    .name(format!("dsm-ctl-{n}"))
+                    .spawn(move || d.ctl_loop(n))
+                    .expect("spawn"),
+            );
+        }
+        drop(services);
+        Ok(dsm)
+    }
+
+    /// Total DSM size in bytes.
+    pub fn len(&self) -> u64 {
+        self.pages as u64 * PAGE as u64
+    }
+
+    /// Whether the space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pages == 0
+    }
+
+    /// Opens a per-thread handle on `node`.
+    pub fn handle(self: &Arc<Self>, node: usize) -> LiteResult<DsmHandle> {
+        let mut lite = self.cluster.attach_kernel(node)?;
+        let mut ctx = Ctx::new();
+        let mut homes = Vec::with_capacity(self.nodes);
+        for n in 0..self.nodes {
+            homes.push(lite.lt_map(&mut ctx, &format!("dsm.home.{n}"))?);
+        }
+        Ok(DsmHandle {
+            dsm: Arc::clone(self),
+            node,
+            lite,
+            homes,
+            held: Vec::new(),
+            dirty: HashMap::new(),
+        })
+    }
+
+    /// Invalidation service: drops cached pages named by the payload.
+    fn inv_loop(self: Arc<Self>, node: usize) {
+        let mut h = self.cluster.attach_kernel(node).expect("attach");
+        let mut ctx = Ctx::new();
+        loop {
+            let call = match h.lt_recv_rpc(&mut ctx, DSM_INV) {
+                Ok(c) => c,
+                Err(_e) => {
+                    if self.stopped.load(Ordering::Acquire) {
+                        return;
+                    }
+                    continue;
+                }
+            };
+            match call.input.first().copied() {
+                Some(OP_STOP) => {
+                    let _ = h.lt_reply_rpc(&mut ctx, &call, &[0]);
+                    return;
+                }
+                Some(OP_INV) => {
+                    let mut cache = self.states[node].cache.lock();
+                    for chunk in call.input[1..].chunks_exact(4) {
+                        let page = u32::from_le_bytes(chunk.try_into().expect("4"));
+                        cache.remove(&page);
+                    }
+                    drop(cache);
+                    let _ = h.lt_reply_rpc(&mut ctx, &call, &[0]);
+                }
+                _ => {
+                    let _ = h.lt_reply_rpc(&mut ctx, &call, &[0xFF]);
+                }
+            }
+        }
+    }
+
+    /// Control service (home side): sharer registration and release
+    /// processing. May block on multicast invalidation — which only ever
+    /// targets `inv_loop`s, so there is no wait cycle.
+    fn ctl_loop(self: Arc<Self>, node: usize) {
+        let mut h = self.cluster.attach_kernel(node).expect("attach");
+        let mut ctx = Ctx::new();
+        loop {
+            let call = match h.lt_recv_rpc(&mut ctx, DSM_CTL) {
+                Ok(c) => c,
+                Err(_) => {
+                    if self.stopped.load(Ordering::Acquire) {
+                        return;
+                    }
+                    continue;
+                }
+            };
+            match call.input.first().copied() {
+                Some(OP_STOP) => {
+                    let _ = h.lt_reply_rpc(&mut ctx, &call, &[0]);
+                    return;
+                }
+                Some(OP_REG) => {
+                    // Batched: [OP_REG, sharer, page u32 ...].
+                    let sharer = call.input[1] as usize;
+                    let mut sharers = self.states[node].sharers.lock();
+                    for chunk in call.input[2..].chunks_exact(4) {
+                        let page = u32::from_le_bytes(chunk.try_into().expect("4"));
+                        sharers.entry(page).or_default().insert(sharer);
+                    }
+                    drop(sharers);
+                    let _ = h.lt_reply_rpc(&mut ctx, &call, &[0]);
+                }
+                Some(OP_REL) => {
+                    let from = call.input[1] as usize;
+                    let mut victims: HashMap<usize, Vec<u32>> = HashMap::new();
+                    {
+                        let mut sharers = self.states[node].sharers.lock();
+                        for chunk in call.input[2..].chunks_exact(4) {
+                            let page = u32::from_le_bytes(chunk.try_into().expect("4"));
+                            let set = sharers.entry(page).or_default();
+                            for &s in set.iter() {
+                                if s != from {
+                                    victims.entry(s).or_default().push(page);
+                                }
+                            }
+                            // Only the writer keeps a (fresh) copy — and it
+                            // must be on record so a *later* writer's
+                            // release invalidates it too.
+                            set.clear();
+                            set.insert(from);
+                        }
+                    }
+                    // Multicast invalidations (§8.4's extension).
+                    let targets: Vec<usize> = victims.keys().copied().collect();
+                    if !targets.is_empty() {
+                        // Group pages per target; send one INV each, all
+                        // outstanding concurrently when lists are equal.
+                        for (t, pages) in &victims {
+                            let mut payload = Vec::with_capacity(1 + pages.len() * 4);
+                            payload.push(OP_INV);
+                            for p in pages {
+                                payload.extend_from_slice(&p.to_le_bytes());
+                            }
+                            let _ = h.lt_multicast_rpc(&mut ctx, &[*t], DSM_INV, &payload, 16);
+                        }
+                    }
+                    let _ = h.lt_reply_rpc(&mut ctx, &call, &[0]);
+                }
+                _ => {
+                    let _ = h.lt_reply_rpc(&mut ctx, &call, &[0xFF]);
+                }
+            }
+        }
+    }
+
+    /// Stops service threads (poison RPCs) and joins them.
+    pub fn shutdown(&self) {
+        if self.stopped.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let mut h = self.cluster.attach_kernel(0).expect("attach");
+        let mut ctx = Ctx::new();
+        for n in 0..self.nodes {
+            let _ = h.lt_rpc(&mut ctx, n, DSM_INV, &[OP_STOP], 16);
+            let _ = h.lt_rpc(&mut ctx, n, DSM_CTL, &[OP_STOP], 16);
+        }
+        for j in self.services.lock().drain(..) {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for DsmCluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One thread's DSM endpoint on one node.
+pub struct DsmHandle {
+    dsm: Arc<DsmCluster>,
+    node: usize,
+    lite: LiteHandle,
+    /// lh of each home LMR, indexed by home node.
+    homes: Vec<Lh>,
+    /// Pages whose write token we hold, sorted.
+    held: Vec<u32>,
+    /// Local dirty copies of held pages.
+    dirty: HashMap<u32, Vec<u8>>,
+}
+
+impl DsmHandle {
+    fn page_range(addr: u64, len: usize) -> std::ops::RangeInclusive<u32> {
+        let first = (addr / PAGE as u64) as u32;
+        let last = ((addr + len.max(1) as u64 - 1) / PAGE as u64) as u32;
+        first..=last
+    }
+
+    fn check_bounds(&self, addr: u64, len: usize) -> LiteResult<()> {
+        if addr + len as u64 > self.dsm.len() {
+            return Err(LiteError::OutOfBounds { offset: addr, len });
+        }
+        Ok(())
+    }
+
+    /// Fetches a batch of pages into the local cache with as few
+    /// one-sided reads as possible: pages with the same home node sit at
+    /// stride-1 offsets in that home's LMR, so each home contributes one
+    /// `LT_read` per contiguous run. Sharer registration is batched too
+    /// (one RPC per home). This is the "exchange as much as possible in a
+    /// single round trip" engineering of §8.4.
+    fn fault_in_batch(&mut self, ctx: &mut Ctx, pages: &[u32]) -> LiteResult<()> {
+        if pages.is_empty() {
+            return Ok(());
+        }
+        ctx.work(FAULT_NS + (pages.len() as u64 - 1) * FAULT_NS / 8);
+        let mut by_home: HashMap<usize, Vec<u32>> = HashMap::new();
+        for &p in pages {
+            by_home.entry(self.dsm.home_of(p)).or_default().push(p);
+        }
+        for (home, mut plist) in by_home {
+            plist.sort_unstable();
+            // Contiguous runs in the home LMR: global stride = nodes.
+            let stride = self.dsm.nodes as u32;
+            let mut run_start = 0usize;
+            while run_start < plist.len() {
+                let mut run_end = run_start + 1;
+                while run_end < plist.len() && plist[run_end] == plist[run_end - 1] + stride {
+                    run_end += 1;
+                }
+                let count = run_end - run_start;
+                let mut buf = vec![0u8; count * PAGE];
+                self.lite.lt_read(
+                    ctx,
+                    self.homes[home],
+                    self.dsm.home_offset(plist[run_start]),
+                    &mut buf,
+                )?;
+                let mut cache = self.dsm.states[self.node].cache.lock();
+                for (i, chunk) in buf.chunks_exact(PAGE).enumerate() {
+                    cache.insert(plist[run_start + i], chunk.to_vec());
+                }
+                drop(cache);
+                run_start = run_end;
+            }
+            if home != self.node {
+                let mut reg = vec![OP_REG, self.node as u8];
+                for p in &plist {
+                    reg.extend_from_slice(&p.to_le_bytes());
+                }
+                self.lite.lt_rpc(ctx, home, DSM_CTL, &reg, 16)?;
+            } else {
+                // Pages homed here can still be *owned* by a remote
+                // writer (homes are striped): record ourselves directly
+                // so its releases invalidate our cached copy.
+                let mut sharers = self.dsm.states[self.node].sharers.lock();
+                for p in &plist {
+                    sharers.entry(*p).or_default().insert(self.node);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads `buf.len()` bytes at global address `addr`. Never involves
+    /// the home CPU when the pages are cached; misses are fetched in
+    /// batched one-sided reads.
+    pub fn read(&mut self, ctx: &mut Ctx, addr: u64, buf: &mut [u8]) -> LiteResult<()> {
+        self.check_bounds(addr, buf.len())?;
+        // Fault in every uncached page of the range up front.
+        let missing: Vec<u32> = {
+            let cache = self.dsm.states[self.node].cache.lock();
+            Self::page_range(addr, buf.len())
+                .filter(|p| !self.dirty.contains_key(p) && !cache.contains_key(p))
+                .collect()
+        };
+        self.fault_in_batch(ctx, &missing)?;
+        let mut pos = 0usize;
+        let mut cur = addr;
+        while pos < buf.len() {
+            let page = (cur / PAGE as u64) as u32;
+            let in_page = (cur % PAGE as u64) as usize;
+            let n = (PAGE - in_page).min(buf.len() - pos);
+            // Dirty (our own in-flight writes) wins, then cache.
+            if let Some(d) = self.dirty.get(&page) {
+                buf[pos..pos + n].copy_from_slice(&d[in_page..in_page + n]);
+            } else {
+                let cache = self.dsm.states[self.node].cache.lock();
+                let p = cache.get(&page).expect("faulted in above");
+                buf[pos..pos + n].copy_from_slice(&p[in_page..in_page + n]);
+            }
+            ctx.work(HIT_NS);
+            pos += n;
+            cur += n as u64;
+        }
+        Ok(())
+    }
+
+    /// Acquires the write tokens for every page overlapping
+    /// `[addr, addr+len)` and fetches fresh copies (release-consistency
+    /// acquire).
+    pub fn acquire(&mut self, ctx: &mut Ctx, addr: u64, len: usize) -> LiteResult<()> {
+        self.acquire_inner(ctx, addr, len, true)
+    }
+
+    /// Like [`DsmHandle::acquire`], but skips the fresh fetch — the
+    /// standard whole-page-overwrite optimization. The caller must
+    /// overwrite every acquired byte before the next flush/release, or
+    /// stale zeroes land at the home.
+    pub fn acquire_for_overwrite(
+        &mut self,
+        ctx: &mut Ctx,
+        addr: u64,
+        len: usize,
+    ) -> LiteResult<()> {
+        self.acquire_inner(ctx, addr, len, false)
+    }
+
+    fn acquire_inner(
+        &mut self,
+        ctx: &mut Ctx,
+        addr: u64,
+        len: usize,
+        fetch: bool,
+    ) -> LiteResult<()> {
+        self.check_bounds(addr, len)?;
+        let mut pages: Vec<u32> = Self::page_range(addr, len).collect();
+        pages.retain(|p| !self.held.contains(p));
+        pages.sort_unstable(); // deadlock-free global order
+        for &p in &pages {
+            self.lite.lt_lock(ctx, self.dsm.page_locks[p as usize])?;
+            self.held.push(p);
+        }
+        if fetch {
+            // Fresh copies under the tokens, batched.
+            let missing = pages.clone();
+            // Drop any stale cached copies first so the batch refetches.
+            {
+                let mut cache = self.dsm.states[self.node].cache.lock();
+                for p in &missing {
+                    cache.remove(p);
+                }
+            }
+            self.fault_in_batch(ctx, &missing)?;
+            let cache = self.dsm.states[self.node].cache.lock();
+            for p in &pages {
+                self.dirty
+                    .insert(*p, cache.get(p).expect("faulted").clone());
+            }
+        } else {
+            for p in &pages {
+                self.dirty.insert(*p, vec![0u8; PAGE]);
+            }
+        }
+        self.held.sort_unstable();
+        Ok(())
+    }
+
+    /// Writes under held tokens; buffered locally until `release`.
+    pub fn write(&mut self, ctx: &mut Ctx, addr: u64, data: &[u8]) -> LiteResult<()> {
+        self.check_bounds(addr, data.len())?;
+        for p in Self::page_range(addr, data.len()) {
+            if !self.held.contains(&p) {
+                return Err(LiteError::PermissionDenied);
+            }
+        }
+        let mut pos = 0usize;
+        let mut cur = addr;
+        while pos < data.len() {
+            let page = (cur / PAGE as u64) as u32;
+            let in_page = (cur % PAGE as u64) as usize;
+            let n = (PAGE - in_page).min(data.len() - pos);
+            let buf = self.dirty.get_mut(&page).expect("held implies buffered");
+            buf[in_page..in_page + n].copy_from_slice(&data[pos..pos + n]);
+            ctx.work(HIT_NS);
+            pos += n;
+            cur += n as u64;
+        }
+        Ok(())
+    }
+
+    /// Flush: pushes dirty pages home (batched one-sided writes, one per
+    /// contiguous run per home) and triggers invalidation of other
+    /// sharers — but *keeps* the write tokens and dirty buffers, so a
+    /// steady-state writer (e.g. the graph engine publishing its segment
+    /// every superstep) pays the lock cost once.
+    pub fn flush(&mut self, ctx: &mut Ctx) -> LiteResult<()> {
+        let mut by_home: HashMap<usize, Vec<u32>> = HashMap::new();
+        for &p in &self.held {
+            if self.dirty.contains_key(&p) {
+                by_home.entry(self.dsm.home_of(p)).or_default().push(p);
+            }
+        }
+        let stride = self.dsm.nodes as u32;
+        for (home, mut plist) in by_home.clone() {
+            plist.sort_unstable();
+            let mut run_start = 0usize;
+            while run_start < plist.len() {
+                let mut run_end = run_start + 1;
+                while run_end < plist.len() && plist[run_end] == plist[run_end - 1] + stride {
+                    run_end += 1;
+                }
+                let mut buf = Vec::with_capacity((run_end - run_start) * PAGE);
+                for &p in &plist[run_start..run_end] {
+                    let d = self.dirty.get(&p).expect("dirty");
+                    buf.extend_from_slice(d);
+                    self.dsm.states[self.node].cache.lock().insert(p, d.clone());
+                }
+                self.lite.lt_write(
+                    ctx,
+                    self.homes[home],
+                    self.dsm.home_offset(plist[run_start]),
+                    &buf,
+                )?;
+                run_start = run_end;
+            }
+        }
+        // Tell each home to invalidate other sharers.
+        for (home, pages) in by_home {
+            let mut msg = vec![OP_REL, self.node as u8];
+            for p in pages {
+                msg.extend_from_slice(&p.to_le_bytes());
+            }
+            self.lite.lt_rpc(ctx, home, DSM_CTL, &msg, 16)?;
+        }
+        Ok(())
+    }
+
+    /// Releases: flush, then drop tokens and dirty buffers.
+    pub fn release(&mut self, ctx: &mut Ctx) -> LiteResult<()> {
+        self.flush(ctx)?;
+        self.dirty.clear();
+        for p in std::mem::take(&mut self.held) {
+            self.lite.lt_unlock(ctx, self.dsm.page_locks[p as usize])?;
+        }
+        Ok(())
+    }
+
+    /// Number of pages currently cached on this handle's node.
+    pub fn cached_pages(&self) -> usize {
+        self.dsm.states[self.node].cache.lock().len()
+    }
+
+    /// The node this handle runs on.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(nodes: usize, bytes: u64) -> (Arc<LiteCluster>, Arc<DsmCluster>) {
+        let cluster = LiteCluster::start(nodes).unwrap();
+        let dsm = DsmCluster::create(&cluster, bytes).unwrap();
+        (cluster, dsm)
+    }
+
+    #[test]
+    fn write_then_read_across_nodes() {
+        let (_c, dsm) = setup(3, 64 * 1024);
+        let mut w = dsm.handle(0).unwrap();
+        let mut r = dsm.handle(1).unwrap();
+        let mut ctx = Ctx::new();
+        w.acquire(&mut ctx, 5000, 100).unwrap();
+        w.write(&mut ctx, 5000, b"hello dsm").unwrap();
+        w.release(&mut ctx).unwrap();
+        let mut buf = [0u8; 9];
+        let mut rctx = Ctx::new();
+        r.read(&mut rctx, 5000, &mut buf).unwrap();
+        assert_eq!(&buf, b"hello dsm");
+    }
+
+    #[test]
+    fn release_invalidates_stale_readers() {
+        let (_c, dsm) = setup(2, 64 * 1024);
+        let mut a = dsm.handle(0).unwrap();
+        let mut b = dsm.handle(1).unwrap();
+        let mut actx = Ctx::new();
+        let mut bctx = Ctx::new();
+        // b caches the page with the old value.
+        a.acquire(&mut actx, 0, 8).unwrap();
+        a.write(&mut actx, 0, &1u64.to_le_bytes()).unwrap();
+        a.release(&mut actx).unwrap();
+        let mut buf = [0u8; 8];
+        b.read(&mut bctx, 0, &mut buf).unwrap();
+        assert_eq!(u64::from_le_bytes(buf), 1);
+        assert_eq!(b.cached_pages(), 1);
+        // a writes again: b's cached copy must be invalidated.
+        a.acquire(&mut actx, 0, 8).unwrap();
+        a.write(&mut actx, 0, &2u64.to_le_bytes()).unwrap();
+        a.release(&mut actx).unwrap();
+        // Give the (asynchronously arriving) invalidation a moment of
+        // host time; it is ordered before the release RPC reply, but b's
+        // read runs on another thread.
+        for _ in 0..100 {
+            if b.cached_pages() == 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        b.read(&mut bctx, 0, &mut buf).unwrap();
+        assert_eq!(
+            u64::from_le_bytes(buf),
+            2,
+            "stale copy served after release"
+        );
+    }
+
+    #[test]
+    fn writes_without_token_rejected() {
+        let (_c, dsm) = setup(2, 16 * 1024);
+        let mut h = dsm.handle(0).unwrap();
+        let mut ctx = Ctx::new();
+        assert_eq!(
+            h.write(&mut ctx, 0, b"nope"),
+            Err(LiteError::PermissionDenied)
+        );
+        assert!(matches!(
+            h.read(&mut ctx, 16 * 1024 - 2, &mut [0u8; 8]),
+            Err(LiteError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn mrsw_single_writer_counter() {
+        let (_c, dsm) = setup(3, 16 * 1024);
+        let mut joins = Vec::new();
+        for node in 0..3 {
+            let dsm = Arc::clone(&dsm);
+            joins.push(std::thread::spawn(move || {
+                let mut h = dsm.handle(node).unwrap();
+                let mut ctx = Ctx::new();
+                for _ in 0..10 {
+                    h.acquire(&mut ctx, 0, 8).unwrap();
+                    let mut buf = [0u8; 8];
+                    h.read(&mut ctx, 0, &mut buf).unwrap();
+                    let v = u64::from_le_bytes(buf);
+                    h.write(&mut ctx, 0, &(v + 1).to_le_bytes()).unwrap();
+                    h.release(&mut ctx).unwrap();
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let mut h = dsm.handle(1).unwrap();
+        let mut ctx = Ctx::new();
+        let mut buf = [0u8; 8];
+        h.read(&mut ctx, 0, &mut buf).unwrap();
+        assert_eq!(u64::from_le_bytes(buf), 30, "increments must not be lost");
+    }
+
+    #[test]
+    fn cross_page_ops() {
+        let (_c, dsm) = setup(2, 64 * 1024);
+        let mut h = dsm.handle(1).unwrap();
+        let mut ctx = Ctx::new();
+        let data: Vec<u8> = (0..10_000).map(|i| (i % 251) as u8).collect();
+        h.acquire(&mut ctx, 1000, data.len()).unwrap();
+        h.write(&mut ctx, 1000, &data).unwrap();
+        h.release(&mut ctx).unwrap();
+        let mut buf = vec![0u8; data.len()];
+        let mut h2 = dsm.handle(0).unwrap();
+        let mut ctx2 = Ctx::new();
+        h2.read(&mut ctx2, 1000, &mut buf).unwrap();
+        assert_eq!(buf, data);
+    }
+}

@@ -1,0 +1,137 @@
+//! Power-law graph generation (the stand-in for the Twitter graph; see
+//! DESIGN.md substitutions).
+
+use rand::{Rng, SeedableRng};
+use simnet::Zipf;
+
+/// A directed graph in edge-list + per-partition CSR form.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    /// Vertex count.
+    pub n: usize,
+    /// Directed edges `(src, dst)`.
+    pub edges: Vec<(u32, u32)>,
+    /// Out-degree per vertex (for PageRank normalization).
+    pub out_degree: Vec<u32>,
+}
+
+impl Graph {
+    /// Generates `m` directed edges over `n` vertices with Zipf(θ)
+    /// attachment on destinations *and* sources (natural graphs are
+    /// skewed on both sides; PowerGraph's motivation).
+    pub fn power_law(n: usize, m: usize, theta: f64, seed: u64) -> Graph {
+        let zipf = Zipf::new(n, theta);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut edges = Vec::with_capacity(m);
+        let mut out_degree = vec![0u32; n];
+        for _ in 0..m {
+            let src = if rng.gen_bool(0.5) {
+                zipf.sample(&mut rng) as u32
+            } else {
+                rng.gen_range(0..n) as u32
+            };
+            let dst = zipf.sample(&mut rng) as u32;
+            edges.push((src, dst));
+            out_degree[src as usize] += 1;
+        }
+        Graph {
+            n,
+            edges,
+            out_degree,
+        }
+    }
+
+    /// Vertex ownership: contiguous ranges, one per node.
+    pub fn partition_range(&self, node: usize, nodes: usize) -> std::ops::Range<usize> {
+        let per = self.n.div_ceil(nodes);
+        let s = (node * per).min(self.n);
+        let e = ((node + 1) * per).min(self.n);
+        s..e
+    }
+
+    /// In-edge CSR restricted to the vertices a node owns: for each owned
+    /// vertex, the list of global source vertices.
+    pub fn in_edges_for(&self, node: usize, nodes: usize) -> Vec<Vec<u32>> {
+        let range = self.partition_range(node, nodes);
+        let mut csr = vec![Vec::new(); range.len()];
+        for &(src, dst) in &self.edges {
+            let d = dst as usize;
+            if range.contains(&d) {
+                csr[d - range.start].push(src);
+            }
+        }
+        csr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_skewed() {
+        let a = Graph::power_law(100, 2000, 1.0, 9);
+        let b = Graph::power_law(100, 2000, 1.0, 9);
+        assert_eq!(a.edges, b.edges);
+        // In-degree of vertex 0 far exceeds a tail vertex.
+        let deg0 = a.edges.iter().filter(|&&(_, d)| d == 0).count();
+        let deg90 = a.edges.iter().filter(|&&(_, d)| d == 90).count();
+        assert!(deg0 > deg90 * 3 + 3, "deg0={deg0} deg90={deg90}");
+        assert_eq!(a.out_degree.iter().sum::<u32>() as usize, 2000);
+    }
+
+    #[test]
+    fn partitions_cover_all_vertices() {
+        let g = Graph::power_law(103, 500, 1.0, 2);
+        let mut covered = 0;
+        for node in 0..4 {
+            covered += g.partition_range(node, 4).len();
+        }
+        assert_eq!(covered, 103);
+        // Every edge appears in exactly one partition's CSR.
+        let total: usize = (0..4)
+            .map(|n| g.in_edges_for(n, 4).iter().map(Vec::len).sum::<usize>())
+            .sum();
+        assert_eq!(total, 500);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Partitions tile the vertex set for any (n, nodes) combination,
+        /// and per-partition in-edge CSRs account for every edge once.
+        #[test]
+        fn partitions_always_tile(n in 1usize..500, m in 1usize..2000, nodes in 1usize..9) {
+            let g = Graph::power_law(n, m, 0.9, 3);
+            let mut covered = vec![false; n];
+            for node in 0..nodes {
+                for v in g.partition_range(node, nodes) {
+                    prop_assert!(!covered[v], "vertex {v} in two partitions");
+                    covered[v] = true;
+                }
+            }
+            prop_assert!(covered.iter().all(|&c| c));
+            let total: usize = (0..nodes)
+                .map(|node| g.in_edges_for(node, nodes).iter().map(Vec::len).sum::<usize>())
+                .sum();
+            prop_assert_eq!(total, m);
+        }
+
+        /// Out-degrees always sum to the edge count, and every endpoint is
+        /// a valid vertex.
+        #[test]
+        fn degrees_and_bounds(n in 1usize..300, m in 1usize..3000) {
+            let g = Graph::power_law(n, m, 1.0, 11);
+            prop_assert_eq!(g.out_degree.iter().map(|&d| d as usize).sum::<usize>(), m);
+            for &(s, d) in &g.edges {
+                prop_assert!((s as usize) < n && (d as usize) < n);
+            }
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! A Hadoop-like MapReduce baseline: the same WordCount phases over
+//! TCP/IPoIB with per-task launch overhead and disk-spill shuffle.
+//!
+//! The paper runs stock Hadoop on IPoIB (Fig 18); mechanism-wise the gap
+//! to LITE-MR comes from (a) the kernel TCP stack instead of one-sided
+//! RDMA, (b) map outputs spilled through local disk and shuffled as
+//! files, and (c) per-task JVM scheduling/launch overhead. All three are
+//! modeled explicitly; the counting work itself is identical.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use simnet::Ctx;
+use transport::{TcpCostModel, TcpNet, TcpSock};
+
+use crate::model::{disk_time, HADOOP_RECORD_NS, MAP_WORD_NS, MERGE_RECORD_NS, TASK_LAUNCH_NS};
+use crate::text::Text;
+use crate::{decode_pairs, encode_pairs, merge_sorted, WordCountResult};
+
+/// Runs Hadoop-like WordCount on `nodes` nodes with `threads` task slots
+/// per node.
+pub fn run_hadoop(text: &Text, nodes: usize, threads: usize) -> WordCountResult {
+    let net = TcpNet::new(nodes, TcpCostModel::default());
+    // Full-mesh sockets (shared by the per-node actors).
+    let mut mesh: Vec<Vec<Option<Arc<Mutex<TcpSock>>>>> = (0..nodes)
+        .map(|_| (0..nodes).map(|_| None).collect())
+        .collect();
+    for a in 0..nodes {
+        for b in (a + 1)..nodes {
+            let (sa, sb) = net.connect(a, b);
+            mesh[a][b] = Some(Arc::new(Mutex::new(sa)));
+            mesh[b][a] = Some(Arc::new(Mutex::new(sb)));
+        }
+    }
+
+    // One map task per split; `threads` task slots per node run in waves.
+    let tasks_per_node = threads; // one wave of map tasks per node
+    let total_tasks = nodes * tasks_per_node;
+    let splits: Vec<Vec<u32>> = text
+        .splits(total_tasks)
+        .iter()
+        .map(|s| s.to_vec())
+        .collect();
+    let bytes_per_word = text.bytes_per_word;
+
+    let mut handles = Vec::new();
+    for node in 0..nodes {
+        let my_splits: Vec<Vec<u32>> =
+            splits[node * tasks_per_node..(node + 1) * tasks_per_node].to_vec();
+        let row: Vec<Option<Arc<Mutex<TcpSock>>>> = mesh[node].clone();
+        handles.push(std::thread::spawn(move || {
+            let mut ctx = Ctx::new();
+
+            // ---- Map: waves of tasks on this node's slots. ----
+            // All slots run one task concurrently; the node's clock
+            // advances by the slowest slot (launch + tokenize + spill).
+            let mut parts: Vec<HashMap<u32, u64>> = vec![HashMap::new(); nodes];
+            let mut wave_span = 0u64;
+            for split in &my_splits {
+                let work = TASK_LAUNCH_NS
+                    + split.len() as u64 * (MAP_WORD_NS + HADOOP_RECORD_NS)
+                    + disk_time(split.len() as u64 * bytes_per_word);
+                wave_span = wave_span.max(work);
+                for &w in split {
+                    *parts[w as usize % nodes].entry(w).or_insert(0) += 1;
+                }
+            }
+            ctx.clock.advance(wave_span);
+            let map_t = ctx.now();
+
+            // ---- Shuffle: ship each partition to its reducer node. ----
+            let mut own_runs: Vec<Vec<(u32, u64)>> = Vec::new();
+            for (dst, part) in parts.into_iter().enumerate() {
+                let mut run: Vec<(u32, u64)> = part.into_iter().collect();
+                run.sort_unstable();
+                let bytes = encode_pairs(&run);
+                // Read the spill back from disk before sending.
+                ctx.clock.advance(disk_time(bytes.len() as u64));
+                if dst == node {
+                    own_runs.push(run);
+                } else {
+                    let sock = row[dst].as_ref().expect("mesh");
+                    sock.lock().send(&mut ctx, &bytes);
+                }
+            }
+            // ---- Reduce: receive nodes-1 runs, merge everything. ----
+            let mut merged = own_runs.pop().unwrap_or_default();
+            for run in own_runs {
+                ctx.clock
+                    .advance(MERGE_RECORD_NS * (run.len() + merged.len()) as u64);
+                merged = merge_sorted(&merged, &run);
+            }
+            for src in 0..nodes {
+                if src == node {
+                    continue;
+                }
+                let sock = row[src].as_ref().expect("mesh");
+                let bytes = {
+                    let s = sock.lock();
+                    s.recv(&mut ctx).expect("shuffle data")
+                };
+                let run = decode_pairs(&bytes);
+                ctx.clock.advance(
+                    TASK_LAUNCH_NS / nodes as u64
+                        + (MERGE_RECORD_NS + HADOOP_RECORD_NS) * (run.len() + merged.len()) as u64,
+                );
+                merged = merge_sorted(&merged, &run);
+            }
+            // Reduce output goes back to "HDFS" (disk).
+            ctx.clock.advance(disk_time(merged.len() as u64 * 12));
+            let reduce_t = ctx.now();
+
+            // ---- Final gather at node 0. ----
+            if node != 0 {
+                let bytes = encode_pairs(&merged);
+                row[0].as_ref().expect("mesh").lock().send(&mut ctx, &bytes);
+                (ctx, map_t, reduce_t, Vec::new(), row)
+            } else {
+                (ctx, map_t, reduce_t, merged, row)
+            }
+        }));
+    }
+
+    let mut final_counts: Vec<(u32, u64)> = Vec::new();
+    let (mut map_t, mut reduce_t) = (0u64, 0u64);
+    let mut gather: Option<(Ctx, Vec<Option<Arc<Mutex<TcpSock>>>>)> = None;
+    for (node, h) in handles.into_iter().enumerate() {
+        let (ctx, m, r, counts, row) = h.join().expect("node actor");
+        map_t = map_t.max(m);
+        reduce_t = reduce_t.max(r);
+        if node == 0 {
+            final_counts = counts;
+            gather = Some((ctx, row));
+        }
+    }
+    // Node 0 collects the per-node reduce outputs.
+    let (mut ctx0, row) = gather.expect("node 0");
+    for src in 1..nodes {
+        let bytes = row[src]
+            .as_ref()
+            .expect("mesh")
+            .lock()
+            .recv(&mut ctx0)
+            .expect("gather data");
+        let run = decode_pairs(&bytes);
+        ctx0.clock
+            .advance(MERGE_RECORD_NS * (run.len() + final_counts.len()) as u64);
+        final_counts = merge_sorted(&final_counts, &run);
+    }
+    let runtime_ns = ctx0.now().max(reduce_t);
+
+    WordCountResult {
+        counts: final_counts,
+        runtime_ns,
+        phases: [map_t, reduce_t - map_t, runtime_ns - reduce_t],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference_counts;
+
+    #[test]
+    fn hadoop_counts_match_reference() {
+        let text = Text::generate(25_000, 300, 1.0, 17);
+        let r = run_hadoop(&text, 3, 2);
+        assert_eq!(r.counts, reference_counts(&text));
+        // Task launches alone put the runtime in the tens of ms.
+        assert!(r.runtime_ns > TASK_LAUNCH_NS);
+    }
+}

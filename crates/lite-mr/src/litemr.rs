@@ -1,0 +1,207 @@
+//! LITE-MR: Phoenix's phases spread over LITE nodes (paper §8.2).
+//!
+//! Structure follows the paper: a master node plus worker nodes; mappers
+//! publish finalized buffers as named LMRs and report identifiers;
+//! reducers (and then mergers) pull them with one-sided `LT_read`;
+//! `LT_barrier` separates phases. The port's one structural change —
+//! Phoenix's global tree index split into a *per-node* index — is what
+//! makes the map phase scale (§8.2's surprising result).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use lite::{LiteCluster, LiteHandle, LiteResult, Perm};
+use simnet::Ctx;
+
+use crate::model::{copy_time, map_word_cost, MERGE_RECORD_NS};
+use crate::text::Text;
+use crate::{decode_pairs, encode_pairs, merge_sorted, WordCountResult};
+
+static RUN_NONCE: AtomicU64 = AtomicU64::new(1);
+
+/// Reads a whole encoded-pairs LMR by name.
+fn read_pairs_lmr(h: &mut LiteHandle, ctx: &mut Ctx, name: &str) -> LiteResult<Vec<(u32, u64)>> {
+    let lh = h.lt_map(ctx, name)?;
+    let mut head = [0u8; 4];
+    h.lt_read(ctx, lh, 0, &mut head)?;
+    let n = u32::from_le_bytes(head) as usize;
+    let mut body = vec![0u8; 4 + n * 12];
+    h.lt_read(ctx, lh, 0, &mut body)?;
+    h.lt_unmap(ctx, lh)?;
+    Ok(decode_pairs(&body))
+}
+
+/// Writes encoded pairs into a fresh named LMR on `node`.
+fn write_pairs_lmr(
+    h: &mut LiteHandle,
+    ctx: &mut Ctx,
+    node: usize,
+    name: &str,
+    pairs: &[(u32, u64)],
+) -> LiteResult<()> {
+    let bytes = encode_pairs(pairs);
+    ctx.work(copy_time(bytes.len() as u64));
+    let lh = h.lt_malloc(ctx, node, bytes.len().max(64) as u64, name, Perm::RW)?;
+    h.lt_write(ctx, lh, 0, &bytes)?;
+    Ok(())
+}
+
+/// Runs WordCount on `cluster`: node 0 is the master, nodes
+/// `1..=worker_nodes` run `threads_per_node` worker threads each.
+pub fn run_litemr(
+    cluster: &Arc<LiteCluster>,
+    text: &Text,
+    worker_nodes: usize,
+    threads_per_node: usize,
+) -> LiteResult<WordCountResult> {
+    assert!(cluster.num_nodes() > worker_nodes, "need a master node");
+    let nonce = RUN_NONCE.fetch_add(1, Ordering::Relaxed);
+    let w_total = worker_nodes * threads_per_node;
+    let participants = (w_total + 1) as u32; // workers + master
+    let splits: Vec<Vec<u32>> = text.splits(w_total).iter().map(|s| s.to_vec()).collect();
+    // Merge-round plan (known to everyone up front).
+    let mut level_sizes = vec![w_total];
+    while *level_sizes.last().expect("nonempty") > 1 {
+        let last = *level_sizes.last().expect("nonempty");
+        level_sizes.push(last.div_ceil(2));
+    }
+    let rounds = level_sizes.len() - 1;
+    let bar = move |phase: u64| nonce * 1000 + phase;
+
+    // The split per-node index: only this node's threads contend.
+    let per_word = map_word_cost(threads_per_node);
+
+    let mut handles = Vec::new();
+    for w in 0..w_total {
+        let node = 1 + w / threads_per_node;
+        let split = splits[w].clone();
+        let cluster = Arc::clone(cluster);
+        let level_sizes = level_sizes.clone();
+        handles.push(std::thread::spawn(move || -> LiteResult<[u64; 3]> {
+            let mut h = cluster.attach(node)?;
+            let mut ctx = Ctx::new();
+
+            // ---- Map: count into the per-node index. ----
+            let mut counts: HashMap<u32, u64> = HashMap::new();
+            for word in split {
+                ctx.work(per_word);
+                *counts.entry(word).or_insert(0) += 1;
+            }
+            // Finalized buffers: one per reduce partition, published as
+            // named LMRs (the identifiers reported to the master).
+            let mut parts: Vec<Vec<(u32, u64)>> = vec![Vec::new(); w_total];
+            let mut sorted: Vec<(u32, u64)> = counts.into_iter().collect();
+            sorted.sort_unstable();
+            for (word, c) in sorted {
+                parts[word as usize % w_total].push((word, c));
+            }
+            for (p, pairs) in parts.iter().enumerate() {
+                write_pairs_lmr(
+                    &mut h,
+                    &mut ctx,
+                    node,
+                    &format!("mr{nonce}.map.{w}.{p}"),
+                    pairs,
+                )?;
+            }
+            let map_t = ctx.now();
+            h.lt_barrier(&mut ctx, bar(1), participants)?;
+
+            // ---- Reduce: pull partition `w` from every mapper. ----
+            let mut run: Vec<(u32, u64)> = Vec::new();
+            for src in 0..w_total {
+                let pairs = read_pairs_lmr(&mut h, &mut ctx, &format!("mr{nonce}.map.{src}.{w}"))?;
+                ctx.work(MERGE_RECORD_NS * (pairs.len() + run.len()) as u64);
+                run = merge_sorted(&run, &pairs);
+            }
+            write_pairs_lmr(&mut h, &mut ctx, node, &format!("mr{nonce}.m0.{w}"), &run)?;
+            let reduce_t = ctx.now();
+            h.lt_barrier(&mut ctx, bar(2), participants)?;
+
+            // ---- Merge: 2-way rounds over the cluster. ----
+            for r in 0..rounds {
+                let in_count = level_sizes[r];
+                let out_count = level_sizes[r + 1];
+                if w < out_count {
+                    let a = read_pairs_lmr(&mut h, &mut ctx, &format!("mr{nonce}.m{r}.{}", 2 * w))?;
+                    let b = if 2 * w + 1 < in_count {
+                        read_pairs_lmr(&mut h, &mut ctx, &format!("mr{nonce}.m{r}.{}", 2 * w + 1))?
+                    } else {
+                        Vec::new()
+                    };
+                    ctx.work(MERGE_RECORD_NS * (a.len() + b.len()) as u64);
+                    let merged = merge_sorted(&a, &b);
+                    write_pairs_lmr(
+                        &mut h,
+                        &mut ctx,
+                        node,
+                        &format!("mr{nonce}.m{}.{w}", r + 1),
+                        &merged,
+                    )?;
+                }
+                h.lt_barrier(&mut ctx, bar(3 + r as u64), participants)?;
+            }
+            Ok([map_t, reduce_t, ctx.now()])
+        }));
+    }
+
+    // ---- Master: joins barriers, then reads the final result. ----
+    let mut master = cluster.attach(0)?;
+    let mut mctx = Ctx::new();
+    master.lt_barrier(&mut mctx, bar(1), participants)?;
+    master.lt_barrier(&mut mctx, bar(2), participants)?;
+    for r in 0..rounds {
+        master.lt_barrier(&mut mctx, bar(3 + r as u64), participants)?;
+    }
+    let counts = read_pairs_lmr(&mut master, &mut mctx, &format!("mr{nonce}.m{rounds}.0"))?;
+    let runtime_ns = mctx.now();
+
+    let mut phases = [0u64; 3];
+    for h in handles {
+        let p = h.join().expect("worker thread")?;
+        phases[0] = phases[0].max(p[0]);
+        phases[1] = phases[1].max(p[1]);
+        phases[2] = phases[2].max(p[2]);
+    }
+    // Convert cumulative clocks to per-phase spans.
+    let spans = [phases[0], phases[1] - phases[0], phases[2] - phases[1]];
+
+    Ok(WordCountResult {
+        counts,
+        runtime_ns,
+        phases: spans,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference_counts;
+
+    #[test]
+    fn litemr_counts_match_and_runtime_sane() {
+        let text = Text::generate(40_000, 400, 1.0, 11);
+        let cluster = LiteCluster::start(3).unwrap();
+        let r = run_litemr(&cluster, &text, 2, 2).unwrap();
+        assert_eq!(r.counts, reference_counts(&text));
+        assert!(r.runtime_ns > 0);
+        assert!(r.phases.iter().all(|&p| p > 0));
+    }
+
+    #[test]
+    fn more_nodes_speed_up_map_phase() {
+        let text = Text::generate(200_000, 1000, 1.0, 13);
+        let c2 = LiteCluster::start(3).unwrap();
+        let r2 = run_litemr(&c2, &text, 2, 4).unwrap();
+        let c4 = LiteCluster::start(5).unwrap();
+        let r4 = run_litemr(&c4, &text, 4, 2).unwrap();
+        // Same total threads; more nodes = less index contention (§8.2).
+        assert!(
+            r4.phases[0] < r2.phases[0],
+            "4-node map {} !< 2-node map {}",
+            r4.phases[0],
+            r2.phases[0]
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! Compute-cost model for the MapReduce implementations.
+//!
+//! Real counting work happens in Rust (results are verified against a
+//! sequential reference); *time* is charged to virtual clocks from these
+//! constants, so the three implementations differ only in the structural
+//! costs the paper attributes to them: index contention, network
+//! transport, disk spill, and task-launch overhead.
+
+use simnet::Nanos;
+
+/// Per-word tokenize + hash cost (parallel across threads).
+pub const MAP_WORD_NS: Nanos = 90;
+/// Per-insert cost on a word-count index. For Phoenix this serializes on
+/// the single *global* tree index; LITE-MR's split per-node index
+/// serializes only within a node (§8.2's observed gain).
+pub const INDEX_INSERT_NS: Nanos = 22;
+/// Per-record cost when merging sorted count runs.
+pub const MERGE_RECORD_NS: Nanos = 18;
+/// Local memory bandwidth for buffer copies (bytes/s).
+pub const MEM_BW: u64 = 10_000_000_000;
+
+// ---- Hadoop-specific ----
+
+/// Per-task JVM launch + scheduling overhead.
+pub const TASK_LAUNCH_NS: Nanos = 40_000_000; // 40 ms
+/// Local disk bandwidth for spill files (bytes/s).
+pub const DISK_BW: u64 = 300_000_000;
+/// Disk access latency per spill file.
+pub const DISK_SEEK_NS: Nanos = 4_000_000; // 4 ms
+/// Per-record overhead of Hadoop's serialization/sort pipeline.
+pub const HADOOP_RECORD_NS: Nanos = 120;
+
+/// Effective per-word map cost when `clients` threads share one
+/// word-count index. Inserts serialize on the index: below saturation a
+/// thread pipelines tokenize+insert (`MAP_WORD + INSERT`); past
+/// saturation the index's service rate bounds everyone
+/// (`clients * INSERT` per word per thread). Deterministic and
+/// independent of thread scheduling, unlike a live queue.
+#[inline]
+pub fn map_word_cost(clients: usize) -> Nanos {
+    (MAP_WORD_NS + INDEX_INSERT_NS).max(clients as u64 * INDEX_INSERT_NS)
+}
+
+/// Copy time helper.
+#[inline]
+pub fn copy_time(bytes: u64) -> Nanos {
+    simnet::transfer_time(bytes, MEM_BW)
+}
+
+/// Disk time helper (seek + transfer).
+#[inline]
+pub fn disk_time(bytes: u64) -> Nanos {
+    DISK_SEEK_NS + simnet::transfer_time(bytes, DISK_BW)
+}

@@ -1,0 +1,125 @@
+//! Phoenix: single-node shared-memory MapReduce (Ranger et al., HPCA '07)
+//! — the code base the paper ported LITE-MR from.
+//!
+//! The structurally important detail (§8.2): Phoenix keeps one *global*
+//! tree-structured index that every mapper thread inserts into, so index
+//! inserts serialize across all threads (modeled deterministically by
+//! [`crate::model::map_word_cost`]); everything else runs embarrassingly
+//! parallel.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use simnet::Ctx;
+
+use crate::model::{copy_time, map_word_cost, MERGE_RECORD_NS};
+use crate::text::Text;
+use crate::{merge_sorted, WordCountResult};
+
+/// Runs WordCount with `threads` mapper/reducer threads on one node.
+pub fn run_phoenix(text: &Text, threads: usize) -> WordCountResult {
+    let splits: Vec<Vec<u32>> = text.splits(threads).iter().map(|s| s.to_vec()).collect();
+    // All threads insert into one global tree.
+    let per_word = map_word_cost(threads);
+
+    // ---- Map phase: count into the shared global index. ----
+    let mut handles = Vec::new();
+    for split in splits {
+        handles.push(std::thread::spawn(move || {
+            let mut ctx = Ctx::new();
+            let mut local: HashMap<u32, u64> = HashMap::new();
+            for w in split {
+                ctx.work(per_word);
+                *local.entry(w).or_insert(0) += 1;
+            }
+            let mut sorted: Vec<(u32, u64)> = local.into_iter().collect();
+            sorted.sort_unstable();
+            (ctx, sorted)
+        }));
+    }
+    let mut map_outputs = Vec::new();
+    let mut map_end = 0u64;
+    for h in handles {
+        let (ctx, out) = h.join().expect("mapper");
+        map_end = map_end.max(ctx.now());
+        map_outputs.push(out);
+    }
+
+    // ---- Reduce phase: per-thread partial aggregation (local). ----
+    let mut handles = Vec::new();
+    for out in map_outputs {
+        handles.push(std::thread::spawn(move || {
+            let mut ctx = Ctx::at(0, Arc::new(simnet::CpuMeter::new()));
+            ctx.wait_until(0);
+            ctx.work(MERGE_RECORD_NS * out.len() as u64);
+            ctx.work(copy_time(out.len() as u64 * 12));
+            (ctx.now(), out)
+        }));
+    }
+    let mut runs = Vec::new();
+    let mut reduce_span = 0u64;
+    for h in handles {
+        let (t, out) = h.join().expect("reducer");
+        reduce_span = reduce_span.max(t);
+        runs.push(out);
+    }
+    let reduce_end = map_end + reduce_span;
+
+    // ---- Merge phase: 2-way merge rounds, all in shared memory. ----
+    let mut merge_span = 0u64;
+    while runs.len() > 1 {
+        let mut next = Vec::new();
+        let mut round_span = 0u64;
+        let mut iter = runs.into_iter();
+        while let Some(a) = iter.next() {
+            match iter.next() {
+                Some(b) => {
+                    let cost = MERGE_RECORD_NS * (a.len() + b.len()) as u64
+                        + copy_time((a.len() + b.len()) as u64 * 12);
+                    round_span = round_span.max(cost);
+                    next.push(merge_sorted(&a, &b));
+                }
+                None => next.push(a),
+            }
+        }
+        merge_span += round_span;
+        runs = next;
+    }
+    let counts = runs.pop().unwrap_or_default();
+    let merge_end = reduce_end + merge_span;
+
+    WordCountResult {
+        counts,
+        runtime_ns: merge_end,
+        phases: [map_end, reduce_span, merge_span],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference_counts;
+
+    #[test]
+    fn phoenix_counts_match_reference() {
+        let text = Text::generate(30_000, 300, 1.0, 3);
+        let r = run_phoenix(&text, 8);
+        assert_eq!(r.counts, reference_counts(&text));
+        assert!(r.runtime_ns > 0);
+    }
+
+    #[test]
+    fn global_index_limits_scaling() {
+        // Past a few threads the serialized index dominates: 16 threads
+        // give much less than 4x the 4-thread speedup.
+        let text = Text::generate(120_000, 1000, 1.0, 5);
+        let t4 = run_phoenix(&text, 4).runtime_ns;
+        let t16 = run_phoenix(&text, 16).runtime_ns;
+        let speedup = t4 as f64 / t16 as f64;
+        assert!(
+            speedup < 3.0,
+            "contended index should cap speedup, got {speedup:.2}"
+        );
+        assert!(speedup > 1.0, "more threads still help a little");
+    }
+}

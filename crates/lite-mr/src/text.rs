@@ -1,0 +1,77 @@
+//! Synthetic corpus generator.
+//!
+//! The paper runs WordCount on Wikimedia dumps; WordCount behaviour
+//! depends only on volume and word-frequency skew, so we generate
+//! Zipf-distributed word-id streams (see DESIGN.md substitutions).
+
+use rand::SeedableRng;
+use simnet::Zipf;
+
+/// A corpus of word ids.
+#[derive(Debug, Clone)]
+pub struct Text {
+    /// The word stream (ids in `0..vocab`).
+    pub words: Vec<u32>,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Mean bytes per word on disk/wire (token + separator), used to
+    /// convert word counts into I/O volume.
+    pub bytes_per_word: u64,
+}
+
+impl Text {
+    /// Generates `n` words over a `vocab`-word vocabulary with Zipf
+    /// exponent `theta` (word frequencies are famously near-Zipf(1)).
+    pub fn generate(n: usize, vocab: usize, theta: f64, seed: u64) -> Text {
+        let zipf = Zipf::new(vocab, theta);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let words = (0..n).map(|_| zipf.sample(&mut rng) as u32).collect();
+        Text {
+            words,
+            vocab,
+            bytes_per_word: 6,
+        }
+    }
+
+    /// Total corpus size in (modeled) bytes.
+    pub fn bytes(&self) -> u64 {
+        self.words.len() as u64 * self.bytes_per_word
+    }
+
+    /// Splits the stream into `n` near-equal slices.
+    pub fn splits(&self, n: usize) -> Vec<&[u32]> {
+        let len = self.words.len();
+        let per = len.div_ceil(n.max(1));
+        (0..n)
+            .map(|i| {
+                let s = (i * per).min(len);
+                let e = ((i + 1) * per).min(len);
+                &self.words[s..e]
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_skewed() {
+        let a = Text::generate(10_000, 100, 1.0, 7);
+        let b = Text::generate(10_000, 100, 1.0, 7);
+        assert_eq!(a.words, b.words);
+        // Zipf: rank 0 much more common than rank 50.
+        let c0 = a.words.iter().filter(|&&w| w == 0).count();
+        let c50 = a.words.iter().filter(|&&w| w == 50).count();
+        assert!(c0 > c50 * 5, "c0={c0} c50={c50}");
+    }
+
+    #[test]
+    fn splits_cover_everything() {
+        let t = Text::generate(1003, 10, 1.0, 1);
+        let splits = t.splits(4);
+        assert_eq!(splits.iter().map(|s| s.len()).sum::<usize>(), 1003);
+        assert_eq!(splits.len(), 4);
+    }
+}

@@ -1,0 +1,1168 @@
+//! The LITE API (paper Table 1).
+//!
+//! A [`LiteHandle`] is one process's view of LITE on one node. Handles
+//! come in two flavors: *user-level* (charges syscall-crossing costs,
+//! §5.2) and *kernel-level* (no crossings — what LITE-DSM uses). A handle
+//! is intended to be used by a single thread; spawn one per worker.
+//!
+//! | Paper API        | Here                                     |
+//! |------------------|------------------------------------------|
+//! | `LT_join`        | [`crate::LiteCluster::attach`]           |
+//! | `LT_malloc`      | [`LiteHandle::lt_malloc`]                |
+//! | `LT_free`        | [`LiteHandle::lt_free`]                  |
+//! | `LT_map/unmap`   | [`LiteHandle::lt_map`] / [`LiteHandle::lt_unmap`] |
+//! | `LT_read/write`  | [`LiteHandle::lt_read`] / [`LiteHandle::lt_write`] |
+//! | `LT_memset`      | [`LiteHandle::lt_memset`]                |
+//! | `LT_memcpy/move` | [`LiteHandle::lt_memcpy`] / [`LiteHandle::lt_memmove`] |
+//! | `LT_regRPC`      | [`LiteHandle::register_rpc`]             |
+//! | `LT_RPC`         | [`LiteHandle::lt_rpc`]                   |
+//! | `LT_recvRPC`     | [`LiteHandle::lt_recv_rpc`]              |
+//! | `LT_replyRPC`    | [`LiteHandle::lt_reply_rpc`] (+ combined [`LiteHandle::lt_reply_recv`]) |
+//! | `LT_send`        | [`LiteHandle::lt_send`] / [`LiteHandle::lt_recv_msg`] |
+//! | `LT_(un)lock`    | [`LiteHandle::lt_lock`] / [`LiteHandle::lt_unlock`] |
+//! | `LT_barrier`     | [`LiteHandle::lt_barrier`]               |
+//! | `LT_fetch-add`   | [`LiteHandle::lt_fetch_add`]             |
+//! | `LT_test-set`    | [`LiteHandle::lt_test_set`]              |
+
+use std::sync::Arc;
+
+use rnic::NodeId;
+use simnet::{Ctx, Nanos};
+use smem::Chunk;
+
+use crate::error::{LiteError, LiteResult};
+use crate::kernel::{
+    codec::{Dec, Enc},
+    perm_to_byte, LiteKernel, ReplyRoute, FN_BARRIER, FN_FREE_CHUNKS, FN_GRANT, FN_INVALIDATE,
+    FN_LOCK, FN_MALLOC, FN_MAP, FN_MEMCPY, FN_MEMSET, FN_MSG, FN_QUERYNAME, FN_REGNAME,
+    FN_TAKE_RECORD, FN_UNMAP, FN_UNREGNAME, MANAGER_NODE, USER_FUNC_MIN,
+};
+use crate::lmr::{LhEntry, LmrId, Location, Perm};
+use crate::qos::Priority;
+use crate::wire::{Imm, MsgHeader, HEADER_BYTES};
+
+/// A cluster-wide lock identity (§7.2: a 64-bit integer in an internal
+/// LMR with an owner node). `Copy` — distribute it to other nodes through
+/// an LMR, a message, or any other channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockId {
+    /// Owner node (maintains the FIFO wait queue).
+    pub node: NodeId,
+    /// Physical address of the lock word on the owner node.
+    pub addr: u64,
+}
+
+/// An opaque LITE handle to an LMR (the paper's `lh`).
+pub type Lh = u64;
+
+/// An incoming RPC held by a server thread; reply through
+/// [`LiteHandle::lt_reply_rpc`].
+pub struct RpcCall {
+    /// The request payload.
+    pub input: Vec<u8>,
+    /// Calling node.
+    pub src_node: NodeId,
+    /// Calling process.
+    pub src_pid: u32,
+    pub(crate) route: ReplyRoute,
+}
+
+/// A physical scratch region owned by a handle.
+struct Scratch {
+    addr: u64,
+    cap: usize,
+}
+
+/// One process's LITE endpoint.
+pub struct LiteHandle {
+    kernel: Arc<LiteKernel>,
+    pid: u32,
+    user_level: bool,
+    prio: Priority,
+    staging: Scratch,
+    reply: Scratch,
+}
+
+const INIT_SCRATCH: usize = 64 * 1024;
+
+impl LiteHandle {
+    pub(crate) fn new(kernel: Arc<LiteKernel>, user_level: bool) -> LiteResult<Self> {
+        let pid = kernel.alloc_pid();
+        let staging = Scratch {
+            addr: kernel.alloc.lock().alloc(INIT_SCRATCH as u64)?,
+            cap: INIT_SCRATCH,
+        };
+        let reply = Scratch {
+            addr: kernel.alloc.lock().alloc(INIT_SCRATCH as u64)?,
+            cap: INIT_SCRATCH,
+        };
+        Ok(LiteHandle {
+            kernel,
+            pid,
+            user_level,
+            prio: Priority::High,
+            staging,
+            reply,
+        })
+    }
+
+    /// The node this handle lives on.
+    pub fn node(&self) -> NodeId {
+        self.kernel.node()
+    }
+
+    /// Process id on this node.
+    pub fn pid(&self) -> u32 {
+        self.pid
+    }
+
+    /// Sets the priority for subsequent operations (QoS, §6.2).
+    pub fn set_priority(&mut self, prio: Priority) {
+        self.prio = prio;
+    }
+
+    /// Current priority.
+    pub fn priority(&self) -> Priority {
+        self.prio
+    }
+
+    /// The kernel under this handle (stats, QoS control).
+    pub fn kernel(&self) -> &Arc<LiteKernel> {
+        &self.kernel
+    }
+
+    // ------------------------------------------------------------------
+    // syscall model
+    // ------------------------------------------------------------------
+
+    fn enter(&self, ctx: &mut Ctx) {
+        if self.user_level {
+            ctx.work(self.kernel.config.syscall_crossing_ns);
+        }
+    }
+
+    fn exit(&self, ctx: &mut Ctx) {
+        // With the §5.2 optimizations the return path is observed through
+        // the shared page — no further crossing. The ablation restores
+        // the full syscall return plus a re-entry to fetch results.
+        if self.user_level && !self.kernel.config.fast_syscalls {
+            ctx.work(2 * self.kernel.config.syscall_crossing_ns);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // scratch management (simulation plumbing: user buffers live in Rust
+    // memory; LITE addresses them physically with zero copies, so moving
+    // bytes into the scratch region carries no virtual-time cost)
+    // ------------------------------------------------------------------
+
+    fn ensure(kernel: &LiteKernel, s: &mut Scratch, need: usize) -> LiteResult<()> {
+        if need <= s.cap {
+            return Ok(());
+        }
+        let new_cap = need.next_power_of_two();
+        let mut a = kernel.alloc.lock();
+        let new_addr = a.alloc(new_cap as u64)?;
+        a.free(s.addr)?;
+        s.addr = new_addr;
+        s.cap = new_cap;
+        Ok(())
+    }
+
+    fn stage(&mut self, data: &[u8]) -> LiteResult<u64> {
+        Self::ensure(&self.kernel, &mut self.staging, data.len())?;
+        self.kernel
+            .fabric()
+            .mem(self.kernel.node())
+            .write(self.staging.addr, data)?;
+        Ok(self.staging.addr)
+    }
+
+    fn unstage(&self, addr: u64, buf: &mut [u8]) -> LiteResult<()> {
+        self.kernel
+            .fabric()
+            .mem(self.kernel.node())
+            .read(addr, buf)?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // kernel-call plumbing
+    // ------------------------------------------------------------------
+
+    /// Sends one LITE RPC (request write-imm → slot wait) and returns the
+    /// reply bytes. `func` may be a kernel service or a user function.
+    fn call_raw(
+        &mut self,
+        ctx: &mut Ctx,
+        server: NodeId,
+        func: u8,
+        payload: &[u8],
+        max_reply: usize,
+        oneway: bool,
+    ) -> LiteResult<Vec<u8>> {
+        let cfg = self.kernel.config.clone();
+        if payload.len() > cfg.max_rpc_payload {
+            return Err(LiteError::TooLarge {
+                len: payload.len(),
+                max: cfg.max_rpc_payload,
+            });
+        }
+        ctx.work(cfg.rpc_meta_ns);
+        let total = HEADER_BYTES as u64 + payload.len() as u64;
+        let r = self.kernel.reserve_ring(ctx, server, total)?;
+        let (slot_id, slot) = if oneway {
+            (0, None)
+        } else {
+            Self::ensure(&self.kernel, &mut self.reply, max_reply.max(1))?;
+            let (id, s) = self.kernel.alloc_slot();
+            (id, Some(s))
+        };
+        let hdr = MsgHeader {
+            func,
+            slot: slot_id,
+            len: payload.len() as u32,
+            reply_addr: self.reply.addr,
+            reply_max: max_reply as u32,
+            src_node: self.kernel.node() as u32,
+            src_pid: self.pid,
+            skip: r.skip as u32,
+        };
+        // One write-imm carries header + input (§5.1 step 2).
+        let mut msg = Vec::with_capacity(total as usize);
+        msg.extend_from_slice(&hdr.encode());
+        msg.extend_from_slice(payload);
+        let staged = self.stage(&msg)?;
+        let chunks = [Chunk {
+            addr: staged,
+            len: msg.len() as u64,
+        }];
+        let dst = self.kernel.ring_remote_addr(server, r.offset);
+        let imm = Imm::Request {
+            granule: (r.offset / crate::wire::RING_GRANULE) as u32,
+        };
+        let post = self
+            .kernel
+            .post_write_imm(ctx, self.prio, server, dst, &chunks, msg.len(), imm);
+        let Some(slot) = slot else {
+            post?;
+            return Ok(Vec::new());
+        };
+        let result = post.and_then(|_| slot.wait(ctx, &cfg, cfg.op_timeout));
+        self.kernel.free_slot(slot_id);
+        let res = result?;
+        if !res.ok {
+            return Err(LiteError::UnknownRpc { func });
+        }
+        if res.len as usize > max_reply {
+            return Err(LiteError::TooLarge {
+                len: res.len as usize,
+                max: max_reply,
+            });
+        }
+        // The reply was RDMA-written straight into our reply buffer —
+        // zero-copy at the client.
+        let mut out = vec![0u8; res.len as usize];
+        self.unstage(self.reply.addr, &mut out)?;
+        Ok(out)
+    }
+
+    /// Kernel-service call; checks the leading status byte.
+    fn kcall(
+        &mut self,
+        ctx: &mut Ctx,
+        server: NodeId,
+        func: u8,
+        payload: Vec<u8>,
+    ) -> LiteResult<Vec<u8>> {
+        let resp = self.call_raw(ctx, server, func, &payload, 64 * 1024, false)?;
+        match resp.first() {
+            Some(0) => Ok(resp[1..].to_vec()),
+            Some(&code) => Err(map_status(code)),
+            None => Err(LiteError::Remote(0xFB)),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Memory API
+    // ------------------------------------------------------------------
+
+    /// LT_malloc: allocates a `size`-byte LMR on `target` (any node,
+    /// including this one), names it, and returns a master lh.
+    pub fn lt_malloc(
+        &mut self,
+        ctx: &mut Ctx,
+        target: NodeId,
+        size: u64,
+        name: &str,
+        default_perm: Perm,
+    ) -> LiteResult<Lh> {
+        self.enter(ctx);
+        let max_chunk = self.kernel.config.max_lmr_chunk;
+        let resp = self.kcall(
+            ctx,
+            target,
+            FN_MALLOC,
+            Enc::new().u64(size).u64(max_chunk).done(),
+        )?;
+        let mut d = Dec::new(&resp);
+        let n = d.u32()?;
+        let mut extents = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let addr = d.u64()?;
+            let len = d.u64()?;
+            extents.push((target, Chunk { addr, len }));
+        }
+        let location = Location { extents };
+        let id = self.kernel.create_master_record(
+            location.clone(),
+            Some(name.to_string()),
+            default_perm,
+        );
+        // Register the name with the cluster manager; roll back on clash.
+        let reg = self.kcall(
+            ctx,
+            MANAGER_NODE,
+            FN_REGNAME,
+            Enc::new()
+                .bytes(name.as_bytes())
+                .u32(self.kernel.node() as u32)
+                .done(),
+        );
+        if let Err(e) = reg {
+            self.kernel.remove_master_record(id.idx);
+            let mut free = Enc::new().u32(location.extents.len() as u32);
+            for (_, c) in &location.extents {
+                free = free.u64(c.addr);
+            }
+            let _ = self.kcall(ctx, target, FN_FREE_CHUNKS, free.done());
+            let mapped = matches!(e, LiteError::Remote(1));
+            self.exit(ctx);
+            return Err(if mapped {
+                LiteError::NameExists {
+                    name: name.to_string(),
+                }
+            } else {
+                e
+            });
+        }
+        let lh = self.kernel.install_lh(
+            self.pid,
+            LhEntry {
+                id,
+                name: name.to_string(),
+                location,
+                perm: Perm::MASTER,
+                stale: false,
+            },
+        );
+        self.exit(ctx);
+        Ok(lh)
+    }
+
+    /// LT_map: acquires an lh for a named LMR (manager lookup + master
+    /// map, §4.1).
+    pub fn lt_map(&mut self, ctx: &mut Ctx, name: &str) -> LiteResult<Lh> {
+        self.enter(ctx);
+        let resp = self
+            .kcall(
+                ctx,
+                MANAGER_NODE,
+                FN_QUERYNAME,
+                Enc::new().bytes(name.as_bytes()).done(),
+            )
+            .map_err(|e| named_err(e, name))?;
+        let mut d = Dec::new(&resp);
+        let master = d.u32()? as NodeId;
+        let lh = self.map_at(ctx, name, master)?;
+        self.exit(ctx);
+        Ok(lh)
+    }
+
+    /// LT_map with a known master node (the paper's
+    /// `LT_map(name, master)` form) — skips the manager lookup.
+    pub fn lt_map_at(&mut self, ctx: &mut Ctx, name: &str, master: NodeId) -> LiteResult<Lh> {
+        self.enter(ctx);
+        let lh = self.map_at(ctx, name, master)?;
+        self.exit(ctx);
+        Ok(lh)
+    }
+
+    fn map_at(&mut self, ctx: &mut Ctx, name: &str, master: NodeId) -> LiteResult<Lh> {
+        let resp = self
+            .kcall(
+                ctx,
+                master,
+                FN_MAP,
+                Enc::new().bytes(name.as_bytes()).done(),
+            )
+            .map_err(|e| named_err(e, name))?;
+        let mut d = Dec::new(&resp);
+        let id = LmrId {
+            node: d.u32()?,
+            idx: d.u32()?,
+        };
+        let perm = crate::kernel::byte_to_perm(d.u8()?);
+        let n = d.u32()?;
+        let mut extents = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let node = d.u32()? as NodeId;
+            let addr = d.u64()?;
+            let len = d.u64()?;
+            extents.push((node, Chunk { addr, len }));
+        }
+        Ok(self.kernel.install_lh(
+            self.pid,
+            LhEntry {
+                id,
+                name: name.to_string(),
+                location: Location { extents },
+                perm,
+                stale: false,
+            },
+        ))
+    }
+
+    /// LT_unmap: drops the lh and tells the master.
+    pub fn lt_unmap(&mut self, ctx: &mut Ctx, lh: Lh) -> LiteResult<()> {
+        self.enter(ctx);
+        let entry = self.kernel.remove_lh(self.pid, lh)?;
+        let _ = self.kcall(
+            ctx,
+            entry.id.node as NodeId,
+            FN_UNMAP,
+            Enc::new()
+                .u32(entry.id.idx)
+                .u32(self.kernel.node() as u32)
+                .done(),
+        );
+        self.exit(ctx);
+        Ok(())
+    }
+
+    /// LT_free: frees the LMR everywhere and invalidates every mapper.
+    /// Requires a master lh.
+    pub fn lt_free(&mut self, ctx: &mut Ctx, lh: Lh) -> LiteResult<()> {
+        self.enter(ctx);
+        let entry = self.kernel.lookup_lh(self.pid, lh)?;
+        if !entry.perm.master {
+            self.exit(ctx);
+            return Err(LiteError::NotMaster);
+        }
+        let resp = self.kcall(
+            ctx,
+            entry.id.node as NodeId,
+            FN_TAKE_RECORD,
+            Enc::new().bytes(entry.name.as_bytes()).done(),
+        )?;
+        let mut d = Dec::new(&resp);
+        let id = LmrId {
+            node: d.u32()?,
+            idx: d.u32()?,
+        };
+        let n = d.u32()?;
+        let mut extents: Vec<(NodeId, Chunk)> = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let node = d.u32()? as NodeId;
+            let addr = d.u64()?;
+            let len = d.u64()?;
+            extents.push((node, Chunk { addr, len }));
+        }
+        let m = d.u32()?;
+        let mut mapped = Vec::with_capacity(m as usize);
+        for _ in 0..m {
+            mapped.push(d.u32()? as NodeId);
+        }
+        // Free storage per node.
+        let mut by_node: std::collections::HashMap<NodeId, Vec<u64>> = Default::default();
+        for (node, c) in &extents {
+            by_node.entry(*node).or_default().push(c.addr);
+        }
+        for (node, addrs) in by_node {
+            let mut e = Enc::new().u32(addrs.len() as u32);
+            for a in addrs {
+                e = e.u64(a);
+            }
+            self.kcall(ctx, node, FN_FREE_CHUNKS, e.done())?;
+        }
+        // Invalidate every mapper (including ourselves, via loop-back).
+        for node in mapped {
+            let _ = self.kcall(
+                ctx,
+                node,
+                FN_INVALIDATE,
+                Enc::new().u32(id.node).u32(id.idx).done(),
+            );
+        }
+        let _ = self.kcall(
+            ctx,
+            MANAGER_NODE,
+            FN_UNREGNAME,
+            Enc::new().bytes(entry.name.as_bytes()).done(),
+        );
+        let _ = self.kernel.remove_lh(self.pid, lh);
+        self.exit(ctx);
+        Ok(())
+    }
+
+    /// LT_move (§4.1 master role): migrates the LMR's bytes to `target`
+    /// and updates the master record; every other mapper's lh is
+    /// invalidated so their next access fails fast and they re-map.
+    /// Requires a master lh, and (in this implementation) must run on the
+    /// LMR's record-holder node.
+    pub fn lt_move(&mut self, ctx: &mut Ctx, lh: Lh, target: NodeId) -> LiteResult<()> {
+        self.enter(ctx);
+        let entry = self.kernel.lookup_lh(self.pid, lh)?;
+        if !entry.perm.master {
+            self.exit(ctx);
+            return Err(LiteError::NotMaster);
+        }
+        if entry.id.node as NodeId != self.kernel.node() {
+            self.exit(ctx);
+            return Err(LiteError::NotMaster);
+        }
+        let len = entry.location.len();
+        // Allocate at the target.
+        let resp = self.kcall(
+            ctx,
+            target,
+            FN_MALLOC,
+            Enc::new()
+                .u64(len)
+                .u64(self.kernel.config.max_lmr_chunk)
+                .done(),
+        )?;
+        let mut d = Dec::new(&resp);
+        let n = d.u32()?;
+        let mut new_extents = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let addr = d.u64()?;
+            let clen = d.u64()?;
+            new_extents.push((target, Chunk { addr, len: clen }));
+        }
+        let new_loc = Location {
+            extents: new_extents,
+        };
+        // Copy the bytes: each source piece pushed by its storage node.
+        let src_pieces = entry.location.slice(0, len)?;
+        let dst_pieces = new_loc.slice(0, len)?;
+        let (mut si, mut di) = (0usize, 0usize);
+        let (mut s_used, mut d_used) = (0u64, 0u64);
+        let mut remaining = len;
+        while remaining > 0 {
+            let (s_node, s_c) = &src_pieces[si];
+            let (d_node, d_c) = &dst_pieces[di];
+            let nbytes = (s_c.len - s_used).min(d_c.len - d_used).min(remaining);
+            let op = if s_node == d_node { 0u8 } else { 1u8 };
+            self.kcall(
+                ctx,
+                *s_node,
+                FN_MEMCPY,
+                Enc::new()
+                    .u8(op)
+                    .u64(s_c.addr + s_used)
+                    .u64(nbytes)
+                    .u32(*d_node as u32)
+                    .u64(d_c.addr + d_used)
+                    .done(),
+            )?;
+            s_used += nbytes;
+            d_used += nbytes;
+            remaining -= nbytes;
+            if s_used == s_c.len {
+                si += 1;
+                s_used = 0;
+            }
+            if d_used == d_c.len {
+                di += 1;
+                d_used = 0;
+            }
+        }
+        // Swap the record, free the old storage, invalidate mappers.
+        let Some((id, old_loc, mapped)) =
+            self.kernel
+                .swap_master_location(&entry.name, self.kernel.node(), new_loc.clone())
+        else {
+            self.exit(ctx);
+            return Err(LiteError::NotMaster);
+        };
+        let mut by_node: std::collections::HashMap<NodeId, Vec<u64>> = Default::default();
+        for (node, c) in &old_loc.extents {
+            by_node.entry(*node).or_default().push(c.addr);
+        }
+        for (node, addrs) in by_node {
+            let mut e = Enc::new().u32(addrs.len() as u32);
+            for a in addrs {
+                e = e.u64(a);
+            }
+            self.kcall(ctx, node, FN_FREE_CHUNKS, e.done())?;
+        }
+        for node in mapped {
+            let _ = self.kcall(
+                ctx,
+                node,
+                FN_INVALIDATE,
+                Enc::new().u32(id.node).u32(id.idx).done(),
+            );
+        }
+        // Re-install our own (fresh) lh in place.
+        self.kernel.remove_lh(self.pid, lh).ok();
+        let new_lh = self.kernel.install_lh(
+            self.pid,
+            LhEntry {
+                id,
+                name: entry.name.clone(),
+                location: new_loc,
+                perm: Perm::MASTER,
+                stale: false,
+            },
+        );
+        // Keep the caller's lh number stable by aliasing: re-register the
+        // fresh entry under the original lh id as well.
+        let fresh = self.kernel.lookup_lh(self.pid, new_lh)?;
+        self.kernel.reinstall_lh(self.pid, lh, fresh);
+        self.kernel.remove_lh(self.pid, new_lh).ok();
+        self.exit(ctx);
+        Ok(())
+    }
+
+    /// Grants `perm` on a named LMR to `node` (master only).
+    pub fn lt_grant(&mut self, ctx: &mut Ctx, lh: Lh, node: NodeId, perm: Perm) -> LiteResult<()> {
+        self.enter(ctx);
+        let entry = self.kernel.lookup_lh(self.pid, lh)?;
+        if !entry.perm.master {
+            self.exit(ctx);
+            return Err(LiteError::NotMaster);
+        }
+        self.kcall(
+            ctx,
+            entry.id.node as NodeId,
+            FN_GRANT,
+            Enc::new()
+                .bytes(entry.name.as_bytes())
+                .u32(node as u32)
+                .u8(perm_to_byte(perm))
+                .done(),
+        )?;
+        self.exit(ctx);
+        Ok(())
+    }
+
+    /// LT_write: blocking one-sided write of `data` at `offset` in the
+    /// LMR. Returns when the data is remotely visible (§4.2).
+    pub fn lt_write(&mut self, ctx: &mut Ctx, lh: Lh, offset: u64, data: &[u8]) -> LiteResult<()> {
+        self.enter(ctx);
+        let entry = self.kernel.lookup_lh(self.pid, lh)?;
+        let pieces = entry.check(offset, data.len(), Perm::RW)?;
+        let staged = self.stage(data)?;
+        let mut off = 0u64;
+        let mut last = ctx.now();
+        for (node, c) in pieces {
+            let src = [Chunk {
+                addr: staged + off,
+                len: c.len,
+            }];
+            let comp =
+                self.kernel
+                    .rdma_write(ctx, self.prio, node, c.addr, &src, c.len as usize)?;
+            last = last.max(comp);
+            off += c.len;
+        }
+        self.finish_blocking(ctx, last);
+        self.exit(ctx);
+        Ok(())
+    }
+
+    /// LT_read: blocking one-sided read into `buf` from `offset`.
+    pub fn lt_read(
+        &mut self,
+        ctx: &mut Ctx,
+        lh: Lh,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> LiteResult<()> {
+        self.enter(ctx);
+        let entry = self.kernel.lookup_lh(self.pid, lh)?;
+        let pieces = entry.check(offset, buf.len(), Perm::RO)?;
+        Self::ensure(&self.kernel, &mut self.staging, buf.len())?;
+        let staged = self.staging.addr;
+        let mut off = 0u64;
+        let mut last = ctx.now();
+        for (node, c) in pieces {
+            let dst = [Chunk {
+                addr: staged + off,
+                len: c.len,
+            }];
+            let comp = self
+                .kernel
+                .rdma_read(ctx, self.prio, node, c.addr, &dst, c.len as usize)?;
+            last = last.max(comp);
+            off += c.len;
+        }
+        self.finish_blocking(ctx, last);
+        self.unstage(staged, buf)?;
+        self.exit(ctx);
+        Ok(())
+    }
+
+    fn finish_blocking(&self, ctx: &mut Ctx, comp: Nanos) {
+        ctx.wait_until(comp);
+        ctx.work(self.kernel.fabric().cost().cq_poll_ns);
+    }
+
+    /// LT_memset: sets `len` bytes at `offset` to `byte`, executed at the
+    /// node(s) storing the LMR (§7.1).
+    pub fn lt_memset(
+        &mut self,
+        ctx: &mut Ctx,
+        lh: Lh,
+        offset: u64,
+        len: usize,
+        byte: u8,
+    ) -> LiteResult<()> {
+        self.enter(ctx);
+        let entry = self.kernel.lookup_lh(self.pid, lh)?;
+        let pieces = entry.check(offset, len, Perm::RW)?;
+        for (node, c) in pieces {
+            self.kcall(
+                ctx,
+                node,
+                FN_MEMSET,
+                Enc::new().u64(c.addr).u64(c.len).u8(byte).done(),
+            )?;
+        }
+        self.exit(ctx);
+        Ok(())
+    }
+
+    /// LT_memcpy: copies between LMRs. Each source piece is pushed by the
+    /// node that stores it — locally if source and destination are
+    /// co-located, with a one-sided write otherwise (§7.1).
+    pub fn lt_memcpy(
+        &mut self,
+        ctx: &mut Ctx,
+        src_lh: Lh,
+        src_off: u64,
+        dst_lh: Lh,
+        dst_off: u64,
+        len: usize,
+    ) -> LiteResult<()> {
+        self.enter(ctx);
+        let src_entry = self.kernel.lookup_lh(self.pid, src_lh)?;
+        let dst_entry = self.kernel.lookup_lh(self.pid, dst_lh)?;
+        let src_pieces = src_entry.check(src_off, len, Perm::RO)?;
+        let dst_pieces = dst_entry.check(dst_off, len, Perm::RW)?;
+        // Walk both piece lists in lockstep.
+        let (mut si, mut di) = (0usize, 0usize);
+        let (mut s_used, mut d_used) = (0u64, 0u64);
+        let mut remaining = len as u64;
+        while remaining > 0 {
+            let (s_node, s_c) = &src_pieces[si];
+            let (d_node, d_c) = &dst_pieces[di];
+            let n = (s_c.len - s_used).min(d_c.len - d_used).min(remaining);
+            let op = if s_node == d_node { 0u8 } else { 1u8 };
+            self.kcall(
+                ctx,
+                *s_node,
+                FN_MEMCPY,
+                Enc::new()
+                    .u8(op)
+                    .u64(s_c.addr + s_used)
+                    .u64(n)
+                    .u32(*d_node as u32)
+                    .u64(d_c.addr + d_used)
+                    .done(),
+            )?;
+            s_used += n;
+            d_used += n;
+            remaining -= n;
+            if s_used == s_c.len {
+                si += 1;
+                s_used = 0;
+            }
+            if d_used == d_c.len {
+                di += 1;
+                d_used = 0;
+            }
+        }
+        self.exit(ctx);
+        Ok(())
+    }
+
+    /// LT_memmove: same as memcpy (pieces never alias across LMRs; within
+    /// one LMR the remote memmove handler copies through a bounce buffer).
+    pub fn lt_memmove(
+        &mut self,
+        ctx: &mut Ctx,
+        src_lh: Lh,
+        src_off: u64,
+        dst_lh: Lh,
+        dst_off: u64,
+        len: usize,
+    ) -> LiteResult<()> {
+        self.lt_memcpy(ctx, src_lh, src_off, dst_lh, dst_off, len)
+    }
+
+    // ------------------------------------------------------------------
+    // RPC / messaging
+    // ------------------------------------------------------------------
+
+    /// LT_regRPC: binds `func` (≥ [`USER_FUNC_MIN`]) on this node.
+    pub fn register_rpc(&self, func: u8) -> LiteResult<()> {
+        self.kernel.register_rpc(func)
+    }
+
+    /// LT_RPC: calls `func` on `server`; returns the reply.
+    pub fn lt_rpc(
+        &mut self,
+        ctx: &mut Ctx,
+        server: NodeId,
+        func: u8,
+        input: &[u8],
+        max_reply: usize,
+    ) -> LiteResult<Vec<u8>> {
+        if func < USER_FUNC_MIN {
+            return Err(LiteError::ReservedFunc { func });
+        }
+        self.enter(ctx);
+        let out = self.call_raw(ctx, server, func, input, max_reply, false)?;
+        self.exit(ctx);
+        Ok(out)
+    }
+
+    /// LT_recvRPC: receives the next call for `func`. The payload move
+    /// out of the ring is the single memory move of §5.2.
+    pub fn lt_recv_rpc(&mut self, ctx: &mut Ctx, func: u8) -> LiteResult<RpcCall> {
+        self.enter(ctx);
+        let timeout = self.kernel.config.op_timeout;
+        let inc = self.kernel.pop_rpc(ctx, func, timeout)?;
+        let call = self.finish_recv(ctx, inc)?;
+        self.exit(ctx);
+        Ok(call)
+    }
+
+    fn finish_recv(&mut self, ctx: &mut Ctx, inc: crate::kernel::Incoming) -> LiteResult<RpcCall> {
+        let client = inc.hdr.src_node as NodeId;
+        let input = self.kernel.read_ring_payload(client, &inc)?;
+        ctx.work(self.kernel.fabric().cost().memcpy_time(input.len() as u64));
+        ctx.work(self.kernel.config.rpc_meta_ns);
+        self.kernel.release_ring(ctx, client, &inc)?;
+        Ok(RpcCall {
+            input,
+            src_node: client,
+            src_pid: inc.hdr.src_pid,
+            route: ReplyRoute::of_hdr(&inc.hdr),
+        })
+    }
+
+    /// Non-blocking LT_recvRPC: returns `Ok(None)` when no call is
+    /// queued. Lets servers interleave RPC service with other work.
+    pub fn lt_try_recv_rpc(&mut self, ctx: &mut Ctx, func: u8) -> LiteResult<Option<RpcCall>> {
+        self.enter(ctx);
+        let inc = self.kernel.try_pop_rpc(ctx, func)?;
+        let out = match inc {
+            Some(inc) => Some(self.finish_recv(ctx, inc)?),
+            None => None,
+        };
+        self.exit(ctx);
+        Ok(out)
+    }
+
+    /// LT_replyRPC: sends the return value for `call`.
+    pub fn lt_reply_rpc(&mut self, ctx: &mut Ctx, call: &RpcCall, output: &[u8]) -> LiteResult<()> {
+        self.enter(ctx);
+        ctx.work(self.kernel.config.rpc_meta_ns);
+        let staged = self.stage(output)?;
+        let chunks = [Chunk {
+            addr: staged,
+            len: output.len() as u64,
+        }];
+        self.kernel
+            .send_reply(ctx, self.prio, call.route, &chunks, output.len())?;
+        self.exit(ctx);
+        Ok(())
+    }
+
+    /// The combined reply-and-receive of §5.2 (one crossing for both).
+    pub fn lt_reply_recv(
+        &mut self,
+        ctx: &mut Ctx,
+        call: &RpcCall,
+        output: &[u8],
+        func: u8,
+    ) -> LiteResult<RpcCall> {
+        self.enter(ctx);
+        ctx.work(self.kernel.config.rpc_meta_ns);
+        let staged = self.stage(output)?;
+        let chunks = [Chunk {
+            addr: staged,
+            len: output.len() as u64,
+        }];
+        self.kernel
+            .send_reply(ctx, self.prio, call.route, &chunks, output.len())?;
+        let timeout = self.kernel.config.op_timeout;
+        let inc = self.kernel.pop_rpc(ctx, func, timeout)?;
+        let next = self.finish_recv(ctx, inc)?;
+        self.exit(ctx);
+        Ok(next)
+    }
+
+    /// LT_send: one-way message to `node` (received via
+    /// [`LiteHandle::lt_recv_msg`]).
+    pub fn lt_send(&mut self, ctx: &mut Ctx, node: NodeId, data: &[u8]) -> LiteResult<()> {
+        self.enter(ctx);
+        self.call_raw(ctx, node, FN_MSG, data, 0, true)?;
+        self.exit(ctx);
+        Ok(())
+    }
+
+    /// Receives the next message sent to this node with LT_send.
+    pub fn lt_recv_msg(&mut self, ctx: &mut Ctx) -> LiteResult<(NodeId, Vec<u8>)> {
+        self.enter(ctx);
+        let timeout = self.kernel.config.op_timeout;
+        let inc = self.kernel.pop_rpc(ctx, FN_MSG, timeout)?;
+        let call = self.finish_recv(ctx, inc)?;
+        self.exit(ctx);
+        Ok((call.src_node, call.input))
+    }
+
+    /// Multicast RPC (§8.4): issues the same call to several servers
+    /// concurrently and gathers every reply.
+    pub fn lt_multicast_rpc(
+        &mut self,
+        ctx: &mut Ctx,
+        servers: &[NodeId],
+        func: u8,
+        input: &[u8],
+        max_reply: usize,
+    ) -> LiteResult<Vec<Vec<u8>>> {
+        if func < USER_FUNC_MIN {
+            return Err(LiteError::ReservedFunc { func });
+        }
+        self.enter(ctx);
+        let cfg = self.kernel.config.clone();
+        ctx.work(cfg.rpc_meta_ns);
+        // Stage input once; give each destination its own reply buffer.
+        let staged = self.stage(input)?;
+        let mut pending = Vec::new();
+        let mut reply_bufs = Vec::new();
+        for &server in servers {
+            let raddr = self.kernel.alloc.lock().alloc(max_reply.max(1) as u64)?;
+            reply_bufs.push(raddr);
+            let total = HEADER_BYTES as u64 + input.len() as u64;
+            let r = self.kernel.reserve_ring(ctx, server, total)?;
+            let (slot_id, slot) = self.kernel.alloc_slot();
+            let hdr = MsgHeader {
+                func,
+                slot: slot_id,
+                len: input.len() as u32,
+                reply_addr: raddr,
+                reply_max: max_reply as u32,
+                src_node: self.kernel.node() as u32,
+                src_pid: self.pid,
+                skip: r.skip as u32,
+            };
+            // Header goes through a tiny transient staging cell so the
+            // shared input staging stays untouched.
+            let mut msg = Vec::with_capacity(total as usize);
+            msg.extend_from_slice(&hdr.encode());
+            let hdr_addr = self.kernel.alloc.lock().alloc(HEADER_BYTES as u64)?;
+            self.kernel
+                .fabric()
+                .mem(self.kernel.node())
+                .write(hdr_addr, &msg)?;
+            let chunks = vec![
+                Chunk {
+                    addr: hdr_addr,
+                    len: HEADER_BYTES as u64,
+                },
+                Chunk {
+                    addr: staged,
+                    len: input.len() as u64,
+                },
+            ];
+            let dst = self.kernel.ring_remote_addr(server, r.offset);
+            let imm = Imm::Request {
+                granule: (r.offset / crate::wire::RING_GRANULE) as u32,
+            };
+            let res = self.kernel.post_write_imm(
+                ctx,
+                self.prio,
+                server,
+                dst,
+                &chunks,
+                total as usize,
+                imm,
+            );
+            self.kernel.alloc.lock().free(hdr_addr)?;
+            pending.push((slot_id, slot, res));
+        }
+        // Gather replies.
+        let mut outs = Vec::with_capacity(servers.len());
+        let mut first_err = None;
+        for (i, (slot_id, slot, post)) in pending.into_iter().enumerate() {
+            let result = post.and_then(|_| slot.wait(ctx, &cfg, cfg.op_timeout));
+            self.kernel.free_slot(slot_id);
+            match result {
+                Ok(r) if r.ok => {
+                    let mut buf = vec![0u8; r.len as usize];
+                    self.unstage(reply_bufs[i], &mut buf)?;
+                    outs.push(buf);
+                }
+                Ok(_) => first_err = first_err.or(Some(LiteError::UnknownRpc { func })),
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        for addr in reply_bufs {
+            self.kernel.alloc.lock().free(addr)?;
+        }
+        self.exit(ctx);
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(outs),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Synchronization (§7.2)
+    // ------------------------------------------------------------------
+
+    /// Creates a distributed lock owned by this node.
+    pub fn lt_create_lock(&mut self, ctx: &mut Ctx) -> LiteResult<LockId> {
+        self.enter(ctx);
+        let (addr, _idx) = self.kernel.alloc_lock_cell()?;
+        self.exit(ctx);
+        Ok(LockId {
+            node: self.kernel.node(),
+            addr,
+        })
+    }
+
+    /// LT_lock: fetch-add fast path; FIFO enqueue at the owner otherwise.
+    pub fn lt_lock(&mut self, ctx: &mut Ctx, lock: LockId) -> LiteResult<()> {
+        self.enter(ctx);
+        let old = self
+            .kernel
+            .fetch_add(ctx, self.prio, lock.node, lock.addr, 1)?;
+        if old != 0 {
+            // Contended: wait in the owner's FIFO queue (reply == grant).
+            self.kcall(
+                ctx,
+                lock.node,
+                FN_LOCK,
+                Enc::new().u8(1).u64(lock.addr).done(),
+            )?;
+        }
+        self.exit(ctx);
+        Ok(())
+    }
+
+    /// LT_unlock: fetch-sub; hands the lock to the next waiter if any.
+    pub fn lt_unlock(&mut self, ctx: &mut Ctx, lock: LockId) -> LiteResult<()> {
+        self.enter(ctx);
+        let old = self
+            .kernel
+            .fetch_add(ctx, self.prio, lock.node, lock.addr, u64::MAX)?; // -1
+        if old > 1 {
+            // Waiters exist: tell the owner to grant the next (one-way).
+            self.call_raw(
+                ctx,
+                lock.node,
+                FN_LOCK,
+                &Enc::new().u8(2).u64(lock.addr).done(),
+                0,
+                true,
+            )?;
+        }
+        self.exit(ctx);
+        Ok(())
+    }
+
+    /// LT_barrier: blocks until `count` participants arrive at barrier
+    /// `id` (coordinated by the manager node).
+    pub fn lt_barrier(&mut self, ctx: &mut Ctx, id: u64, count: u32) -> LiteResult<()> {
+        self.enter(ctx);
+        self.kcall(
+            ctx,
+            MANAGER_NODE,
+            FN_BARRIER,
+            Enc::new().u64(id).u32(count).done(),
+        )?;
+        self.exit(ctx);
+        Ok(())
+    }
+
+    /// LT_fetch-add on a u64 inside an LMR; returns the previous value.
+    pub fn lt_fetch_add(
+        &mut self,
+        ctx: &mut Ctx,
+        lh: Lh,
+        offset: u64,
+        delta: u64,
+    ) -> LiteResult<u64> {
+        self.enter(ctx);
+        let entry = self.kernel.lookup_lh(self.pid, lh)?;
+        let pieces = entry.check(offset, 8, Perm::RW)?;
+        let (node, c) = single_piece(&pieces)?;
+        let old = self.kernel.fetch_add(ctx, self.prio, node, c.addr, delta)?;
+        self.exit(ctx);
+        Ok(old)
+    }
+
+    /// LT_test-set on a u64 inside an LMR: compare-and-swap
+    /// `expect -> new`; returns the previous value (acquired iff it
+    /// equals `expect`).
+    pub fn lt_test_set(
+        &mut self,
+        ctx: &mut Ctx,
+        lh: Lh,
+        offset: u64,
+        expect: u64,
+        new: u64,
+    ) -> LiteResult<u64> {
+        self.enter(ctx);
+        let entry = self.kernel.lookup_lh(self.pid, lh)?;
+        let pieces = entry.check(offset, 8, Perm::RW)?;
+        let (node, c) = single_piece(&pieces)?;
+        let old = self
+            .kernel
+            .cmp_swap(ctx, self.prio, node, c.addr, expect, new)?;
+        self.exit(ctx);
+        Ok(old)
+    }
+}
+
+impl Drop for LiteHandle {
+    fn drop(&mut self) {
+        let mut a = self.kernel.alloc.lock();
+        let _ = a.free(self.staging.addr);
+        let _ = a.free(self.reply.addr);
+    }
+}
+
+fn single_piece<'a>(pieces: &'a [(NodeId, Chunk)]) -> LiteResult<(NodeId, &'a Chunk)> {
+    if pieces.len() != 1 {
+        return Err(LiteError::OutOfBounds { offset: 0, len: 8 });
+    }
+    Ok((pieces[0].0, &pieces[0].1))
+}
+
+fn map_status(code: u8) -> LiteError {
+    match code {
+        1 => LiteError::Remote(1),
+        2 => LiteError::NameNotFound {
+            name: String::new(),
+        },
+        3 => LiteError::NotMaster,
+        other => LiteError::Remote(other),
+    }
+}
+
+fn named_err(e: LiteError, name: &str) -> LiteError {
+    match e {
+        LiteError::NameNotFound { .. } => LiteError::NameNotFound {
+            name: name.to_string(),
+        },
+        other => other,
+    }
+}

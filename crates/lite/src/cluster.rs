@@ -1,0 +1,136 @@
+//! Cluster construction: fabric, kernels, shared QP mesh, RPC rings.
+
+use std::sync::Arc;
+
+use rnic::{IbConfig, IbFabric, NodeId, QpType};
+
+use crate::api::LiteHandle;
+use crate::config::LiteConfig;
+use crate::error::LiteResult;
+use crate::kernel::LiteKernel;
+use crate::qos::{QosConfig, QosMode};
+use crate::ring::{ClientRing, ServerRing};
+
+/// A running LITE cluster: one fabric, one kernel per node.
+pub struct LiteCluster {
+    fabric: Arc<IbFabric>,
+    kernels: Vec<Arc<LiteKernel>>,
+}
+
+impl LiteCluster {
+    /// Starts a cluster of `nodes` nodes with default configuration.
+    pub fn start(nodes: usize) -> LiteResult<Arc<Self>> {
+        Self::start_with(
+            IbConfig::with_nodes(nodes),
+            LiteConfig::default(),
+            QosConfig::default(),
+        )
+    }
+
+    /// Starts a cluster with explicit fabric / LITE / QoS configuration.
+    pub fn start_with(ib: IbConfig, config: LiteConfig, qos: QosConfig) -> LiteResult<Arc<Self>> {
+        let fabric = IbFabric::new(ib);
+        let n = fabric.num_nodes();
+        let kernels: Vec<Arc<LiteKernel>> = (0..n)
+            .map(|node| {
+                LiteKernel::new(node, config.clone(), qos.clone(), Arc::clone(&fabric))
+                    .map(Arc::new)
+            })
+            .collect::<LiteResult<_>>()?;
+
+        // Exchange global rkeys and head sinks.
+        let rkeys: Vec<u32> = kernels.iter().map(|k| k.global_rkey()).collect();
+        let sinks: Vec<u64> = kernels.iter().map(|k| k.head_sink_addr()).collect();
+
+        // Build the shared QP mesh: K RC QPs per unordered pair, attached
+        // to each node's shared CQs and shared receive queue (§6.1).
+        let mut pools: Vec<Vec<Vec<Arc<rnic::Qp>>>> = (0..n)
+            .map(|_| (0..n).map(|_| Vec::new()).collect())
+            .collect();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                for _ in 0..config.qp_factor {
+                    let (sa, ra, rqa) = kernels[a].shared_queues();
+                    let (sb, rb, rqb) = kernels[b].shared_queues();
+                    let qa = fabric.nic(a).create_qp_with(QpType::Rc, sa, ra, rqa);
+                    let qb = fabric.nic(b).create_qp_with(QpType::Rc, sb, rb, rqb);
+                    fabric.connect(&qa, &qb);
+                    pools[a][b].push(qa);
+                    pools[b][a].push(qb);
+                }
+            }
+        }
+
+        // RPC rings for every ordered pair, including self (loop-back).
+        let mut client_rings: Vec<Vec<Option<ClientRing>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        let mut server_rings: Vec<Vec<Option<ServerRing>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        for client in 0..n {
+            for server in 0..n {
+                let base = kernels[server].alloc_ring(client)?;
+                let size = config.rpc_ring_bytes;
+                server_rings[server][client] = Some(ServerRing::new(base, size));
+                client_rings[client][server] = Some(ClientRing::new(base, size));
+            }
+        }
+
+        // Hand each kernel its wiring and start its poller. Kernels also
+        // learn every peer's QoS state (receiver-side SW-Pri policies).
+        let all_qos: Vec<_> = kernels.iter().map(|k| k.qos_arc()).collect();
+        for (node, kernel) in kernels.iter().enumerate() {
+            kernel.finish_setup(
+                std::mem::take(&mut pools[node]),
+                std::mem::take(&mut client_rings[node]),
+                std::mem::take(&mut server_rings[node]),
+                rkeys.clone(),
+                sinks.clone(),
+                all_qos.clone(),
+            );
+        }
+
+        Ok(Arc::new(LiteCluster { fabric, kernels }))
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// The underlying fabric (for baselines sharing the cluster).
+    pub fn fabric(&self) -> &Arc<IbFabric> {
+        &self.fabric
+    }
+
+    /// The kernel on `node`.
+    pub fn kernel(&self, node: NodeId) -> &Arc<LiteKernel> {
+        &self.kernels[node]
+    }
+
+    /// Attaches a user-level process on `node` (LT_join).
+    pub fn attach(&self, node: NodeId) -> LiteResult<LiteHandle> {
+        LiteHandle::new(Arc::clone(&self.kernels[node]), true)
+    }
+
+    /// Attaches a kernel-level user on `node` (LITE serves kernel
+    /// applications too, without syscall crossings — LITE-DSM uses this).
+    pub fn attach_kernel(&self, node: NodeId) -> LiteResult<LiteHandle> {
+        LiteHandle::new(Arc::clone(&self.kernels[node]), false)
+    }
+
+    /// Switches the QoS mode on every node.
+    pub fn set_qos_mode(&self, mode: QosMode) {
+        for k in &self.kernels {
+            k.qos().set_mode(mode);
+        }
+    }
+}
+
+impl Drop for LiteCluster {
+    fn drop(&mut self) {
+        for k in &self.kernels {
+            k.stop();
+        }
+        self.fabric.shutdown();
+    }
+}

@@ -1,0 +1,96 @@
+//! LITE configuration, including the ablation switches called out in
+//! DESIGN.md §5.
+
+use simnet::Nanos;
+
+/// Tunables of the LITE kernel module.
+#[derive(Debug, Clone)]
+pub struct LiteConfig {
+    /// K, the number of shared RC QPs per peer node (§6.1: LITE uses K×N
+    /// QPs per node; 1..=4 measured best).
+    pub qp_factor: usize,
+    /// Size of each per-client RPC ring LMR at a server node (§5.1 uses
+    /// 16 MB).
+    pub rpc_ring_bytes: u64,
+    /// Receive-credit pool pre-posted per QP (write-imm consumes one; the
+    /// polling thread reposts in the background).
+    pub recv_credits: usize,
+    /// Maximum physically-consecutive chunk of an LMR (§4.1 splits large
+    /// LMRs to avoid external fragmentation).
+    pub max_lmr_chunk: u64,
+    /// One user/kernel crossing (§5.2 measures ~0.17 µs for the two
+    /// crossings left on the RPC fast path).
+    pub syscall_crossing_ns: Nanos,
+    /// Kernel-side mapping + permission check for a one-sided op (§4.2:
+    /// "less than 0.3 µs" for RPC metadata; one-sided is cheaper).
+    pub map_check_ns: Nanos,
+    /// RPC metadata handling (mapping + protection for an RPC).
+    pub rpc_meta_ns: Nanos,
+    /// Poller cost to parse an IMM and dispatch to a queue.
+    pub imm_dispatch_ns: Nanos,
+    /// How long a user thread busy-checks the shared completion page
+    /// before sleeping (the "adaptive" thread model of §5.2).
+    pub adaptive_spin_ns: Nanos,
+    /// Maximum RPC payload (input or reply).
+    pub max_rpc_payload: usize,
+    /// Liveness bound on any blocking LITE call, in host wall time.
+    pub op_timeout: std::time::Duration,
+
+    // ---- ablation switches ----
+    /// `false` reverts §5.2's crossing optimizations: every RPC pays
+    /// 3 syscalls / 6 crossings instead of 2 crossings.
+    pub fast_syscalls: bool,
+    /// `false` makes the shared polling thread and user waiters burn CPU
+    /// for their whole wait (no adaptive sleep) — the Fig 13 ablation.
+    pub adaptive_poll: bool,
+    /// `false` disables the global physical MR: LITE falls back to
+    /// registering each LMR as a native virtual MR, resurrecting the
+    /// Fig 4/5 cliffs (DESIGN.md ablation `global_mr`).
+    pub use_global_mr: bool,
+}
+
+impl Default for LiteConfig {
+    fn default() -> Self {
+        LiteConfig {
+            qp_factor: 2,
+            rpc_ring_bytes: 16 << 20,
+            recv_credits: 4_096,
+            max_lmr_chunk: 4 << 20,
+            syscall_crossing_ns: 85,
+            map_check_ns: 100,
+            rpc_meta_ns: 300,
+            imm_dispatch_ns: 300,
+            adaptive_spin_ns: 2_000,
+            max_rpc_payload: 4 << 20,
+            op_timeout: std::time::Duration::from_secs(5),
+            fast_syscalls: true,
+            adaptive_poll: true,
+            use_global_mr: true,
+        }
+    }
+}
+
+impl LiteConfig {
+    /// Config with a given QP sharing factor.
+    pub fn with_qp_factor(k: usize) -> Self {
+        LiteConfig {
+            qp_factor: k,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = LiteConfig::default();
+        assert_eq!(c.rpc_ring_bytes, 16 << 20);
+        assert_eq!(c.max_lmr_chunk, 4 << 20);
+        assert!((1..=4).contains(&c.qp_factor));
+        // Two crossings ≈ 0.17 µs.
+        assert_eq!(2 * c.syscall_crossing_ns, 170);
+    }
+}

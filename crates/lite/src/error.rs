@@ -1,0 +1,114 @@
+//! LITE-level errors.
+
+use std::fmt;
+
+use rnic::VerbsError;
+use smem::MemError;
+
+/// Result alias for LITE operations.
+pub type LiteResult<T> = Result<T, LiteError>;
+
+/// Errors surfaced by the LITE API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LiteError {
+    /// The lh is not valid for this process (never mapped, unmapped, or
+    /// invalidated by a free).
+    BadLh {
+        /// The invalid handle (0 when unknown at the failure site).
+        lh: u64,
+    },
+    /// Access past the end of the LMR.
+    OutOfBounds {
+        /// Offset of the access within the LMR.
+        offset: u64,
+        /// Access length in bytes.
+        len: usize,
+    },
+    /// The lh's permission does not allow this operation.
+    PermissionDenied,
+    /// The caller is not a master of the LMR.
+    NotMaster,
+    /// No LMR with this name is registered.
+    NameNotFound {
+        /// The name looked up.
+        name: String,
+    },
+    /// The name is already taken.
+    NameExists {
+        /// The conflicting name.
+        name: String,
+    },
+    /// RPC did not complete within the liveness bound.
+    Timeout,
+    /// The RPC ring to the target is full and did not drain in time.
+    RingFull,
+    /// No handler thread is bound to the RPC function id.
+    UnknownRpc {
+        /// The unbound function id.
+        func: u8,
+    },
+    /// RPC input/reply larger than the supported maximum.
+    TooLarge {
+        /// Payload length.
+        len: usize,
+        /// The configured maximum.
+        max: usize,
+    },
+    /// Kernel-internal function ids (< 16) are reserved.
+    ReservedFunc {
+        /// The rejected function id.
+        func: u8,
+    },
+    /// The target node is down or unreachable.
+    NodeDown {
+        /// The unreachable node.
+        node: usize,
+    },
+    /// Underlying verbs failure.
+    Verbs(VerbsError),
+    /// Underlying memory failure.
+    Mem(MemError),
+    /// A remote handler reported a failure (encoded status byte).
+    Remote(u8),
+}
+
+impl fmt::Display for LiteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LiteError::BadLh { lh } => write!(f, "invalid lh {lh:#x}"),
+            LiteError::OutOfBounds { offset, len } => {
+                write!(f, "access out of LMR bounds: offset {offset}+{len}")
+            }
+            LiteError::PermissionDenied => write!(f, "permission denied"),
+            LiteError::NotMaster => write!(f, "caller is not a master of the LMR"),
+            LiteError::NameNotFound { name } => write!(f, "no LMR named {name:?}"),
+            LiteError::NameExists { name } => write!(f, "LMR name {name:?} already exists"),
+            LiteError::Timeout => write!(f, "operation timed out"),
+            LiteError::RingFull => write!(f, "RPC ring full"),
+            LiteError::UnknownRpc { func } => write!(f, "no such RPC function {func}"),
+            LiteError::TooLarge { len, max } => write!(f, "payload {len} exceeds max {max}"),
+            LiteError::ReservedFunc { func } => write!(f, "function id {func} is reserved"),
+            LiteError::NodeDown { node } => write!(f, "node {node} is down"),
+            LiteError::Verbs(e) => write!(f, "verbs: {e}"),
+            LiteError::Mem(e) => write!(f, "memory: {e}"),
+            LiteError::Remote(code) => write!(f, "remote handler failed with status {code}"),
+        }
+    }
+}
+
+impl std::error::Error for LiteError {}
+
+impl From<VerbsError> for LiteError {
+    fn from(e: VerbsError) -> Self {
+        match e {
+            VerbsError::Timeout => LiteError::Timeout,
+            other => LiteError::Verbs(other),
+        }
+    }
+}
+
+impl From<MemError> for LiteError {
+    fn from(e: MemError) -> Self {
+        LiteError::Mem(e)
+    }
+}

@@ -1,0 +1,311 @@
+//! RPC ring buffers (§5.1).
+//!
+//! For each (client node → server node) direction LITE keeps one internal
+//! ring LMR at the *server*. The client writes requests at its cached tail
+//! with RDMA write-imm; the server consumes them and returns head updates
+//! so the client can reuse space. The client manages the tail, the server
+//! manages the head — exactly the split the paper describes.
+//!
+//! Because several client threads share the ring and several server
+//! threads consume out of order, the server tracks freed spans in a small
+//! map and advances the head over the contiguous freed prefix.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+use simnet::Nanos;
+use smem::PhysAddr;
+
+use crate::error::{LiteError, LiteResult};
+use crate::wire::round_granule;
+
+/// Client-side view of a ring that lives at a server node.
+pub struct ClientRing {
+    /// Physical base of the ring at the server (global-MR address).
+    pub remote_base: PhysAddr,
+    /// Ring size in bytes.
+    pub size: u64,
+    inner: Mutex<ClientInner>,
+}
+
+struct ClientInner {
+    /// Next free byte (monotonic, wrapped by `% size` at use).
+    tail: u64,
+    /// Last head value received from the server (monotonic).
+    head: u64,
+    /// Virtual stamp of the last head update.
+    head_stamp: Nanos,
+}
+
+/// A reserved span of ring space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reservation {
+    /// Byte offset within the ring where the message starts.
+    pub offset: u64,
+    /// Rounded length reserved.
+    pub len: u64,
+    /// Monotonic position (for debugging).
+    pub pos: u64,
+    /// Bytes skipped at the wrap point just before this message. Carried
+    /// in the message header so the server can reclaim the skipped span.
+    pub skip: u64,
+}
+
+impl ClientRing {
+    /// Creates a client view of a `size`-byte ring at `remote_base`.
+    pub fn new(remote_base: PhysAddr, size: u64) -> Self {
+        assert!(size.is_power_of_two(), "ring size must be a power of two");
+        ClientRing {
+            remote_base,
+            size,
+            inner: Mutex::new(ClientInner {
+                tail: 0,
+                head: 0,
+                head_stamp: 0,
+            }),
+        }
+    }
+
+    /// Tries to reserve `len` payload bytes (rounded to the granule). The
+    /// reservation never straddles the wrap point: if the message does not
+    /// fit before the end, the remainder of the ring is skipped (the
+    /// skipped span is reclaimed when the head passes it, because monotonic
+    /// positions keep accounting exact).
+    pub fn try_reserve(&self, len: u64) -> LiteResult<Reservation> {
+        let want = round_granule(len);
+        if want > self.size / 2 {
+            return Err(LiteError::TooLarge {
+                len: len as usize,
+                max: (self.size / 2) as usize,
+            });
+        }
+        let mut inner = self.inner.lock();
+        let mut start = inner.tail;
+        let in_ring = start % self.size;
+        let mut skip = 0;
+        if in_ring + want > self.size {
+            // Skip the tail fragment; message starts at the wrap.
+            skip = self.size - in_ring;
+            start += skip;
+        }
+        let need_through = start + want;
+        if need_through - inner.head > self.size {
+            return Err(LiteError::RingFull);
+        }
+        inner.tail = need_through;
+        Ok(Reservation {
+            offset: start % self.size,
+            len: want,
+            pos: start,
+            skip,
+        })
+    }
+
+    /// Applies a head update from the server. Head values are granule
+    /// counts of the *monotonic* head position.
+    pub fn update_head(&self, head_pos: u64, stamp: Nanos) {
+        let mut inner = self.inner.lock();
+        if head_pos > inner.head {
+            inner.head = head_pos;
+        }
+        if stamp > inner.head_stamp {
+            inner.head_stamp = stamp;
+        }
+    }
+
+    /// Current (head, stamp) for space-wait loops.
+    pub fn head(&self) -> (u64, Nanos) {
+        let inner = self.inner.lock();
+        (inner.head, inner.head_stamp)
+    }
+
+    /// Bytes currently reserved and not yet freed.
+    pub fn in_flight(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.tail - inner.head
+    }
+}
+
+/// Server-side state of one client's ring.
+pub struct ServerRing {
+    /// Physical base of the ring on this node.
+    pub base: PhysAddr,
+    /// Ring size in bytes.
+    pub size: u64,
+    inner: Mutex<ServerInner>,
+}
+
+struct ServerInner {
+    /// Monotonic head: everything below is free.
+    head: u64,
+    /// Out-of-order freed spans: start -> len (monotonic positions).
+    freed: BTreeMap<u64, u64>,
+}
+
+impl ServerRing {
+    /// Creates the server-side state for a ring at `base`.
+    pub fn new(base: PhysAddr, size: u64) -> Self {
+        assert!(size.is_power_of_two());
+        ServerRing {
+            base,
+            size,
+            inner: Mutex::new(ServerInner {
+                head: 0,
+                freed: BTreeMap::new(),
+            }),
+        }
+    }
+
+    /// Converts a ring byte-offset (from an IMM) plus the current head
+    /// epoch into the monotonic position. Offsets are unambiguous because
+    /// at most `size` bytes are in flight.
+    fn monotonic(&self, head: u64, offset: u64) -> u64 {
+        let head_off = head % self.size;
+        let epoch_base = head - head_off;
+        if offset >= head_off {
+            epoch_base + offset
+        } else {
+            epoch_base + self.size + offset
+        }
+    }
+
+    /// Marks `[offset, offset+len)` (ring coordinates) consumed, plus the
+    /// `skip` bytes the client discarded at the wrap just before this
+    /// message (from the header). Returns `Some(new_head_pos)` when the
+    /// contiguous freed prefix advanced and a head update should be sent
+    /// to the client.
+    pub fn consume(&self, offset: u64, len: u64, skip: u64) -> Option<u64> {
+        let len = round_granule(len);
+        let mut inner = self.inner.lock();
+        let pos = self.monotonic(inner.head, offset);
+        if skip > 0 {
+            debug_assert!(pos >= skip, "skip precedes the message");
+            inner.freed.insert(pos - skip, skip);
+        }
+        inner.freed.insert(pos, len);
+        // Advance the head over the contiguous prefix.
+        let mut advanced = false;
+        while let Some((&start, &flen)) = inner.freed.first_key_value() {
+            if start <= inner.head {
+                inner.freed.remove(&start);
+                let end = start + flen;
+                if end > inner.head {
+                    inner.head = end;
+                }
+                advanced = true;
+            } else {
+                break;
+            }
+        }
+        if advanced {
+            Some(inner.head)
+        } else {
+            None
+        }
+    }
+
+    /// Current monotonic head.
+    pub fn head(&self) -> u64 {
+        self.inner.lock().head
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_and_free_in_order() {
+        let cr = ClientRing::new(0x1000, 1024);
+        let sr = ServerRing::new(0x1000, 1024);
+        let r1 = cr.try_reserve(100).unwrap();
+        let r2 = cr.try_reserve(100).unwrap();
+        assert_eq!(r1.offset, 0);
+        assert_eq!(r2.offset, 128);
+        let h1 = sr.consume(r1.offset, 100, 0).unwrap();
+        assert_eq!(h1, 128);
+        let h2 = sr.consume(r2.offset, 100, 0).unwrap();
+        assert_eq!(h2, 256);
+        cr.update_head(h2, 10);
+        assert_eq!(cr.head(), (256, 10));
+        assert_eq!(cr.in_flight(), 0);
+    }
+
+    #[test]
+    fn out_of_order_free_waits_for_prefix() {
+        let cr = ClientRing::new(0, 1024);
+        let sr = ServerRing::new(0, 1024);
+        let r1 = cr.try_reserve(64).unwrap();
+        let r2 = cr.try_reserve(64).unwrap();
+        // Consuming the second first does not advance the head.
+        assert_eq!(sr.consume(r2.offset, 64, 0), None);
+        // Consuming the first advances over both.
+        assert_eq!(sr.consume(r1.offset, 64, 0), Some(128));
+    }
+
+    #[test]
+    fn ring_fills_and_reopens() {
+        let cr = ClientRing::new(0, 1024);
+        let sr = ServerRing::new(0, 1024);
+        let mut rs = Vec::new();
+        for _ in 0..8 {
+            rs.push(cr.try_reserve(128).unwrap());
+        }
+        assert!(matches!(cr.try_reserve(64), Err(LiteError::RingFull)));
+        let mut head = 0;
+        for r in &rs[..2] {
+            if let Some(h) = sr.consume(r.offset, 128, r.skip) {
+                head = h;
+            }
+        }
+        cr.update_head(head, 1);
+        assert!(cr.try_reserve(128).is_ok());
+    }
+
+    #[test]
+    fn wrap_skips_tail_fragment() {
+        let cr = ClientRing::new(0, 1024);
+        let sr = ServerRing::new(0, 1024);
+        // Fill 960 bytes (two reservations), free them, so tail is at 960
+        // with head 960.
+        let r1a = cr.try_reserve(512).unwrap();
+        let r1b = cr.try_reserve(448).unwrap();
+        sr.consume(r1a.offset, 512, 0).unwrap();
+        let h = sr.consume(r1b.offset, 448, 0).unwrap();
+        cr.update_head(h, 1);
+        // A 128-byte message cannot straddle the wrap: starts at 0.
+        let r2 = cr.try_reserve(128).unwrap();
+        assert_eq!(r2.offset, 0);
+        assert_eq!(r2.pos, 1024);
+        // Server consumes it; head passes the skipped fragment too.
+        let h2 = sr.consume(r2.offset, 128, r2.skip).unwrap();
+        assert_eq!(h2, 1024 + 128);
+        cr.update_head(h2, 2);
+        assert_eq!(cr.in_flight(), 0);
+    }
+
+    #[test]
+    fn oversized_reservation_rejected() {
+        let cr = ClientRing::new(0, 1024);
+        assert!(matches!(
+            cr.try_reserve(600),
+            Err(LiteError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn many_wraps_stay_consistent() {
+        let cr = ClientRing::new(0, 1024);
+        let sr = ServerRing::new(0, 1024);
+        for i in 0..200 {
+            let len = 64 + (i % 5) * 64;
+            let r = cr.try_reserve(len).unwrap();
+            let h = sr.consume(r.offset, len, r.skip);
+            if let Some(h) = h {
+                cr.update_head(h, i);
+            }
+            assert!(cr.in_flight() <= 1024);
+        }
+        assert_eq!(cr.in_flight(), 0, "all space reclaimed");
+    }
+}

@@ -1,0 +1,188 @@
+//! LITE's RPC wire format: the ring-message header and the 32-bit IMM
+//! encoding (§5.1: "LITE uses the IMM value to include the RPC function ID
+//! and the offset where the data starts in the LMR").
+
+use crate::error::{LiteError, LiteResult};
+
+/// Ring messages are rounded up to this granule; IMM offsets are in
+/// granules, so 30 bits of offset cover 64 GB of ring.
+pub const RING_GRANULE: u64 = 64;
+
+/// Serialized size of [`MsgHeader`].
+pub const HEADER_BYTES: usize = 40;
+
+/// Magic tag at the start of every ring message.
+pub const MAGIC: u32 = 0x4C49_5445; // "LITE"
+
+/// Kind of an immediate value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Imm {
+    /// A request landed in the server's ring at `granule * RING_GRANULE`.
+    Request {
+        /// Ring offset in granules.
+        granule: u32,
+    },
+    /// A reply landed in the buffer registered under `slot`.
+    Reply {
+        /// The completion slot id.
+        slot: u32,
+    },
+    /// Ring-head update: the peer freed our ring up to
+    /// `granule * RING_GRANULE`.
+    Head {
+        /// New head position in granules (truncated to 30 bits).
+        granule: u32,
+    },
+    /// The RPC failed remotely (no handler bound, bad function id, ...).
+    ReplyErr {
+        /// The completion slot id.
+        slot: u32,
+    },
+}
+
+const KIND_REQUEST: u32 = 0;
+const KIND_REPLY: u32 = 1;
+const KIND_HEAD: u32 = 2;
+const KIND_REPLY_ERR: u32 = 3;
+const PAYLOAD_MASK: u32 = (1 << 30) - 1;
+
+impl Imm {
+    /// Encodes into the 32-bit immediate.
+    pub fn encode(self) -> u32 {
+        match self {
+            Imm::Request { granule } => (KIND_REQUEST << 30) | (granule & PAYLOAD_MASK),
+            Imm::Reply { slot } => (KIND_REPLY << 30) | (slot & PAYLOAD_MASK),
+            Imm::Head { granule } => (KIND_HEAD << 30) | (granule & PAYLOAD_MASK),
+            Imm::ReplyErr { slot } => (KIND_REPLY_ERR << 30) | (slot & PAYLOAD_MASK),
+        }
+    }
+
+    /// Decodes from the 32-bit immediate (total: every value is valid).
+    pub fn decode(v: u32) -> Imm {
+        let payload = v & PAYLOAD_MASK;
+        match v >> 30 {
+            KIND_REQUEST => Imm::Request { granule: payload },
+            KIND_REPLY => Imm::Reply { slot: payload },
+            KIND_HEAD => Imm::Head { granule: payload },
+            _ => Imm::ReplyErr { slot: payload },
+        }
+    }
+}
+
+/// Header written at the front of every ring message.
+///
+/// Carries what the IMM cannot: payload length, the *reply route* (the
+/// physical address at the client where the server should RDMA-write the
+/// return value — §5.1 step 2), and the caller's identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsgHeader {
+    /// RPC function id (0..16 reserved for the kernel).
+    pub func: u8,
+    /// Completion slot at the client; 0 for one-way messages.
+    pub slot: u32,
+    /// Payload length in bytes.
+    pub len: u32,
+    /// Physical address of the client's reply buffer (global-MR address).
+    pub reply_addr: u64,
+    /// Capacity of the reply buffer.
+    pub reply_max: u32,
+    /// Client node id.
+    pub src_node: u32,
+    /// Client process id.
+    pub src_pid: u32,
+    /// Bytes the client skipped at the ring wrap just before this message
+    /// (lets the server reclaim the skipped span).
+    pub skip: u32,
+}
+
+impl MsgHeader {
+    /// Serializes to exactly [`HEADER_BYTES`] bytes.
+    pub fn encode(&self) -> [u8; HEADER_BYTES] {
+        let mut b = [0u8; HEADER_BYTES];
+        b[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+        b[4] = self.func;
+        b[8..12].copy_from_slice(&self.slot.to_le_bytes());
+        b[12..16].copy_from_slice(&self.len.to_le_bytes());
+        b[16..24].copy_from_slice(&self.reply_addr.to_le_bytes());
+        b[24..28].copy_from_slice(&self.reply_max.to_le_bytes());
+        b[28..32].copy_from_slice(&self.src_node.to_le_bytes());
+        b[32..36].copy_from_slice(&self.src_pid.to_le_bytes());
+        b[36..40].copy_from_slice(&self.skip.to_le_bytes());
+        b
+    }
+
+    /// Deserializes, verifying the magic.
+    pub fn decode(b: &[u8]) -> LiteResult<MsgHeader> {
+        if b.len() < HEADER_BYTES {
+            return Err(LiteError::Remote(0xFE));
+        }
+        let magic = u32::from_le_bytes(b[0..4].try_into().expect("4 bytes"));
+        if magic != MAGIC {
+            return Err(LiteError::Remote(0xFD));
+        }
+        Ok(MsgHeader {
+            func: b[4],
+            slot: u32::from_le_bytes(b[8..12].try_into().expect("4")),
+            len: u32::from_le_bytes(b[12..16].try_into().expect("4")),
+            reply_addr: u64::from_le_bytes(b[16..24].try_into().expect("8")),
+            reply_max: u32::from_le_bytes(b[24..28].try_into().expect("4")),
+            src_node: u32::from_le_bytes(b[28..32].try_into().expect("4")),
+            src_pid: u32::from_le_bytes(b[32..36].try_into().expect("4")),
+            skip: u32::from_le_bytes(b[36..40].try_into().expect("4")),
+        })
+    }
+}
+
+/// Rounds a ring message length up to the granule.
+pub fn round_granule(len: u64) -> u64 {
+    len.div_ceil(RING_GRANULE) * RING_GRANULE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imm_roundtrip() {
+        for imm in [
+            Imm::Request { granule: 0 },
+            Imm::Request { granule: 123_456 },
+            Imm::Reply {
+                slot: (1 << 30) - 1,
+            },
+            Imm::Head { granule: 42 },
+            Imm::ReplyErr { slot: 7 },
+        ] {
+            assert_eq!(Imm::decode(imm.encode()), imm);
+        }
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let h = MsgHeader {
+            func: 200,
+            slot: 0x3FFF_FFFF,
+            len: 4096,
+            reply_addr: 0xDEAD_BEEF_0000,
+            reply_max: 1 << 20,
+            src_node: 7,
+            src_pid: 99,
+            skip: 64,
+        };
+        let enc = h.encode();
+        assert_eq!(MsgHeader::decode(&enc).unwrap(), h);
+        // Corrupt magic is rejected.
+        let mut bad = enc;
+        bad[0] ^= 1;
+        assert!(MsgHeader::decode(&bad).is_err());
+        assert!(MsgHeader::decode(&enc[..10]).is_err());
+    }
+
+    #[test]
+    fn granule_rounding() {
+        assert_eq!(round_granule(1), 64);
+        assert_eq!(round_granule(64), 64);
+        assert_eq!(round_granule(65), 128);
+        assert_eq!(round_granule(0), 0);
+    }
+}

@@ -1,0 +1,249 @@
+//! Completion queues.
+//!
+//! A [`Cq`] is a thread-safe FIFO of [`Wc`] entries. Completions are pushed
+//! by whichever thread executed the work (for one-sided operations that is
+//! the requester; for receives it is the sender acting as the remote NIC's
+//! DMA engine) and popped by software polling.
+//!
+//! Virtual-time semantics: each entry carries `ready_at`. A poller that
+//! pops an entry *joins* its clock with that stamp. Polling cost is
+//! charged per poll; busy-polling between entries can additionally charge
+//! the idle gap as CPU time (`spin`), which is how we model HERD/FaSST's
+//! busy pollers versus LITE's adaptive poller (Fig 13).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+use simnet::Ctx;
+
+use crate::cost::CostModel;
+use crate::verbs::Wc;
+
+/// Heap entry ordering completions by virtual readiness (the hardware
+/// raises CQEs in completion-time order, which is stamp order here —
+/// real-thread push order is an artifact of the simulation).
+struct Entry(Reverse<(u64, u64)>, Wc);
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+/// A completion queue.
+pub struct Cq {
+    q: Mutex<(BinaryHeap<Entry>, u64)>,
+    cv: Condvar,
+    closed: AtomicBool,
+}
+
+impl Cq {
+    /// Creates an empty CQ.
+    pub fn new() -> Self {
+        Cq {
+            q: Mutex::new((BinaryHeap::new(), 0)),
+            cv: Condvar::new(),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// Hardware side: deposits a completion.
+    pub fn push(&self, wc: Wc) {
+        let mut q = self.q.lock();
+        let seq = q.1;
+        q.1 += 1;
+        q.0.push(Entry(Reverse((wc.ready_at, seq)), wc));
+        self.cv.notify_all();
+    }
+
+    /// Marks the CQ closed (fabric shutdown); wakes all pollers.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        self.cv.notify_all();
+    }
+
+    /// Whether the CQ has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    /// Entries currently queued.
+    pub fn depth(&self) -> usize {
+        self.q.lock().0.len()
+    }
+
+    /// Non-blocking poll of up to `max` completions. Charges one poll's
+    /// CPU cost and joins the caller's clock with each entry's stamp.
+    pub fn poll(&self, ctx: &mut Ctx, cost: &CostModel, max: usize) -> Vec<Wc> {
+        let mut q = self.q.lock();
+        if q.0.is_empty() {
+            drop(q);
+            ctx.work(cost.cq_poll_empty_ns);
+            return Vec::new();
+        }
+        let n = q.0.len().min(max);
+        let mut out: Vec<Wc> = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(q.0.pop().expect("checked len").1);
+        }
+        drop(q);
+        for wc in &out {
+            ctx.wait_until(wc.ready_at);
+        }
+        ctx.work(cost.cq_poll_ns * out.len() as u64);
+        out
+    }
+
+    /// Blocking poll of one completion.
+    ///
+    /// `spin` selects the CPU model: `true` charges the whole wait as busy
+    /// CPU (a dedicated busy-polling thread); `false` charges only the
+    /// final poll (an adaptive/sleeping poller).
+    ///
+    /// Returns `None` if the CQ is closed or `timeout` (host wall time,
+    /// a liveness bound for failure tests) expires.
+    pub fn poll_blocking(
+        &self,
+        ctx: &mut Ctx,
+        cost: &CostModel,
+        spin: bool,
+        timeout: Duration,
+    ) -> Option<Wc> {
+        let mut q = self.q.lock();
+        loop {
+            if let Some(Entry(_, wc)) = q.0.pop() {
+                drop(q);
+                if spin {
+                    ctx.spin_until(wc.ready_at);
+                } else {
+                    ctx.wait_until(wc.ready_at);
+                }
+                ctx.work(cost.cq_poll_ns);
+                return Some(wc);
+            }
+            if self.is_closed() {
+                return None;
+            }
+            if self.cv.wait_for(&mut q, timeout).timed_out() {
+                return None;
+            }
+        }
+    }
+}
+
+impl Default for Cq {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verbs::WcOpcode;
+    use std::sync::Arc;
+
+    fn wc(id: u64, at: u64) -> Wc {
+        Wc::new(id, WcOpcode::RdmaWrite, 0, at)
+    }
+
+    #[test]
+    fn poll_joins_clock() {
+        let cq = Cq::new();
+        let cost = CostModel::default();
+        let mut ctx = Ctx::new();
+        cq.push(wc(1, 5_000));
+        cq.push(wc(2, 6_000));
+        let out = cq.poll(&mut ctx, &cost, 16);
+        assert_eq!(out.len(), 2);
+        assert!(ctx.now() >= 6_000);
+        // Empty poll charges the empty cost only.
+        let before = ctx.now();
+        assert!(cq.poll(&mut ctx, &cost, 16).is_empty());
+        assert_eq!(ctx.now(), before + cost.cq_poll_empty_ns);
+    }
+
+    #[test]
+    fn blocking_poll_wakes_on_push() {
+        let cq = Arc::new(Cq::new());
+        let cost = CostModel::default();
+        let c2 = Arc::clone(&cq);
+        let h = std::thread::spawn(move || {
+            let mut ctx = Ctx::new();
+            c2.poll_blocking(
+                &mut ctx,
+                &CostModel::default(),
+                false,
+                Duration::from_secs(5),
+            )
+            .expect("completion arrives")
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        cq.push(wc(7, 1234));
+        let got = h.join().unwrap();
+        assert_eq!(got.wr_id, 7);
+        let _ = cost;
+    }
+
+    #[test]
+    fn blocking_poll_times_out() {
+        let cq = Cq::new();
+        let mut ctx = Ctx::new();
+        let got = cq.poll_blocking(
+            &mut ctx,
+            &CostModel::default(),
+            false,
+            Duration::from_millis(10),
+        );
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn close_wakes_pollers() {
+        let cq = Arc::new(Cq::new());
+        let c2 = Arc::clone(&cq);
+        let h = std::thread::spawn(move || {
+            let mut ctx = Ctx::new();
+            c2.poll_blocking(
+                &mut ctx,
+                &CostModel::default(),
+                false,
+                Duration::from_secs(30),
+            )
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        cq.close();
+        assert!(h.join().unwrap().is_none());
+    }
+
+    #[test]
+    fn spin_charges_idle_gap() {
+        let cq = Cq::new();
+        let cost = CostModel::default();
+        let mut ctx = Ctx::new();
+        cq.push(wc(1, 10_000));
+        let got = cq
+            .poll_blocking(&mut ctx, &cost, true, Duration::from_secs(1))
+            .unwrap();
+        assert_eq!(got.wr_id, 1);
+        assert!(
+            ctx.cpu.total() >= 10_000,
+            "spin charged {}",
+            ctx.cpu.total()
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Verbs-level errors.
+
+use std::fmt;
+
+use smem::MemError;
+
+/// Result alias for verbs operations.
+pub type VerbsResult<T> = Result<T, VerbsError>;
+
+/// Errors surfaced by the simulated Verbs layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerbsError {
+    /// The lkey/rkey does not name a registered MR on that NIC.
+    BadKey {
+        /// The unknown key.
+        key: u32,
+    },
+    /// Access outside the registered region.
+    OutOfBounds {
+        /// Offending address.
+        addr: u64,
+        /// Access length in bytes.
+        len: usize,
+    },
+    /// The MR's access flags forbid the operation.
+    AccessDenied {
+        /// Key of the MR whose permissions were violated.
+        key: u32,
+    },
+    /// The QP does not exist or is not connected.
+    BadQp {
+        /// The QP number.
+        qp: u64,
+    },
+    /// Operation not supported on this QP type (e.g. one-sided on UD).
+    BadOpForQpType,
+    /// Receiver not ready: no posted receive buffer / IMM credit.
+    ReceiverNotReady,
+    /// Posted receive buffer too small for the incoming message.
+    RecvBufferTooSmall {
+        /// Incoming payload length.
+        need: usize,
+        /// Posted buffer capacity.
+        have: usize,
+    },
+    /// UD payload exceeds one MTU.
+    PayloadTooLarge {
+        /// Payload length.
+        len: usize,
+        /// The MTU.
+        max: usize,
+    },
+    /// Target node id outside the fabric.
+    BadNode {
+        /// The offending node id.
+        node: usize,
+    },
+    /// Underlying (simulated) memory fault.
+    Mem(MemError),
+    /// The remote side closed / the fabric was shut down.
+    Disconnected,
+    /// Operation timed out (used by layers above for failure detection).
+    Timeout,
+}
+
+impl fmt::Display for VerbsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerbsError::BadKey { key } => write!(f, "unknown lkey/rkey {key:#x}"),
+            VerbsError::OutOfBounds { addr, len } => {
+                write!(f, "access out of MR bounds: {addr:#x}+{len}")
+            }
+            VerbsError::AccessDenied { key } => write!(f, "MR {key:#x} access denied"),
+            VerbsError::BadQp { qp } => write!(f, "bad or unconnected QP {qp}"),
+            VerbsError::BadOpForQpType => write!(f, "operation unsupported on this QP type"),
+            VerbsError::ReceiverNotReady => write!(f, "receiver not ready (RNR)"),
+            VerbsError::RecvBufferTooSmall { need, have } => {
+                write!(
+                    f,
+                    "posted receive buffer too small: need {need}, have {have}"
+                )
+            }
+            VerbsError::PayloadTooLarge { len, max } => {
+                write!(f, "UD payload {len} exceeds MTU {max}")
+            }
+            VerbsError::BadNode { node } => write!(f, "no such node {node}"),
+            VerbsError::Mem(e) => write!(f, "memory fault: {e}"),
+            VerbsError::Disconnected => write!(f, "peer disconnected"),
+            VerbsError::Timeout => write!(f, "operation timed out"),
+        }
+    }
+}
+
+impl std::error::Error for VerbsError {}
+
+impl From<MemError> for VerbsError {
+    fn from(e: MemError) -> Self {
+        VerbsError::Mem(e)
+    }
+}

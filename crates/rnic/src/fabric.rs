@@ -1,0 +1,183 @@
+//! The InfiniBand fabric: a set of nodes, each with physical memory and
+//! one RNIC, joined by a switch.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use smem::PhysMem;
+
+use crate::cost::CostModel;
+use crate::error::{VerbsError, VerbsResult};
+use crate::nic::Nic;
+use crate::qp::{Qp, QpType};
+
+/// Index of a node in the fabric.
+pub type NodeId = usize;
+
+/// Fabric construction parameters.
+#[derive(Debug, Clone)]
+pub struct IbConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Physical memory per node, bytes (sparse — only touched pages cost
+    /// host memory).
+    pub phys_mem_per_node: u64,
+    /// Cost model applied to every NIC and link.
+    pub cost: CostModel,
+}
+
+impl Default for IbConfig {
+    fn default() -> Self {
+        IbConfig {
+            nodes: 2,
+            phys_mem_per_node: 16 << 30,
+            cost: CostModel::default(),
+        }
+    }
+}
+
+impl IbConfig {
+    /// Config with `n` nodes and default everything else.
+    pub fn with_nodes(n: usize) -> Self {
+        IbConfig {
+            nodes: n,
+            ..Default::default()
+        }
+    }
+}
+
+pub(crate) struct NodeHw {
+    pub(crate) mem: Arc<PhysMem>,
+    pub(crate) nic: Nic,
+    pub(crate) down: AtomicBool,
+}
+
+/// The fabric. Everything in the simulation hangs off one of these.
+pub struct IbFabric {
+    cfg: IbConfig,
+    pub(crate) nodes: Vec<NodeHw>,
+    next_qp: AtomicU64,
+    next_key: AtomicU64,
+}
+
+impl IbFabric {
+    /// Builds a fabric of `cfg.nodes` nodes.
+    pub fn new(cfg: IbConfig) -> Arc<Self> {
+        assert!(cfg.nodes >= 1, "fabric needs at least one node");
+        Arc::new_cyclic(|weak| {
+            let nodes = (0..cfg.nodes)
+                .map(|id| NodeHw {
+                    mem: Arc::new(PhysMem::new(cfg.phys_mem_per_node)),
+                    nic: Nic::new(id, cfg.cost.clone(), weak.clone()),
+                    down: AtomicBool::new(false),
+                })
+                .collect();
+            IbFabric {
+                cfg,
+                nodes,
+                next_qp: AtomicU64::new(1),
+                next_key: AtomicU64::new(1),
+            }
+        })
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The fabric-wide cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.cfg.cost
+    }
+
+    /// The NIC of node `n`.
+    pub fn nic(&self, n: NodeId) -> &Nic {
+        &self.nodes[n].nic
+    }
+
+    /// Checked NIC access.
+    pub fn try_nic(&self, n: NodeId) -> VerbsResult<&Nic> {
+        self.nodes
+            .get(n)
+            .map(|hw| &hw.nic)
+            .ok_or(VerbsError::BadNode { node: n })
+    }
+
+    /// The physical memory of node `n`.
+    pub fn mem(&self, n: NodeId) -> &Arc<PhysMem> {
+        &self.nodes[n].mem
+    }
+
+    /// Marks a node up/down. Operations touching a down node fail with
+    /// [`VerbsError::Timeout`] (RC retry exhaustion) — the failure
+    /// injection hook used by the fault tests.
+    pub fn set_down(&self, n: NodeId, down: bool) {
+        self.nodes[n].down.store(down, Ordering::Release);
+    }
+
+    /// Whether node `n` is marked down.
+    pub fn is_down(&self, n: NodeId) -> bool {
+        self.nodes[n].down.load(Ordering::Acquire)
+    }
+
+    /// Allocates a fabric-unique QP number.
+    pub(crate) fn alloc_qp_id(&self) -> u64 {
+        self.next_qp.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Allocates a fabric-unique MR key.
+    pub(crate) fn alloc_key(&self) -> u32 {
+        let k = self.next_key.fetch_add(1, Ordering::Relaxed);
+        u32::try_from(k).expect("key space exhausted")
+    }
+
+    /// Creates a connected RC QP pair between nodes `a` and `b`, each with
+    /// its own fresh CQs and receive queue.
+    pub fn rc_pair(&self, a: NodeId, b: NodeId) -> (Arc<Qp>, Arc<Qp>) {
+        let qa = self.nic(a).create_qp(QpType::Rc);
+        let qb = self.nic(b).create_qp(QpType::Rc);
+        self.connect(&qa, &qb);
+        (qa, qb)
+    }
+
+    /// Connects two RC/UC QPs.
+    pub fn connect(&self, a: &Arc<Qp>, b: &Arc<Qp>) {
+        assert_ne!(a.typ, QpType::Ud, "UD QPs are connectionless");
+        assert_eq!(a.typ, b.typ, "QP types must match");
+        *a.peer.lock() = Some((b.node, b.id));
+        *b.peer.lock() = Some((a.node, a.id));
+    }
+
+    /// Closes every CQ on every node, releasing blocked pollers.
+    pub fn shutdown(&self) {
+        for hw in &self.nodes {
+            hw.nic.close_all_cqs();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fabric_builds_and_indexes() {
+        let f = IbFabric::new(IbConfig::with_nodes(3));
+        assert_eq!(f.num_nodes(), 3);
+        assert!(f.try_nic(2).is_ok());
+        assert!(matches!(f.try_nic(3), Err(VerbsError::BadNode { node: 3 })));
+        assert!(!f.is_down(0));
+        f.set_down(0, true);
+        assert!(f.is_down(0));
+    }
+
+    #[test]
+    fn rc_pair_is_connected() {
+        let f = IbFabric::new(IbConfig::with_nodes(2));
+        let (qa, qb) = f.rc_pair(0, 1);
+        assert_eq!(qa.peer().unwrap(), (1, qb.id));
+        assert_eq!(qb.peer().unwrap(), (0, qa.id));
+        assert_ne!(qa.id, qb.id);
+    }
+}

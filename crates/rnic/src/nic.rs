@@ -1,0 +1,911 @@
+//! The per-node RNIC: MR registry, QP registry, SRAM caches, request
+//! engine, and the implementation of every verb.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use parking_lot::{Mutex, RwLock};
+use simnet::{Ctx, Lru, Nanos, Resource};
+use smem::{AddrSpace, Chunk, PhysMem, PAGE_SHIFT};
+
+use crate::cost::CostModel;
+use crate::cq::Cq;
+use crate::error::{VerbsError, VerbsResult};
+use crate::fabric::{IbFabric, NodeId};
+use crate::qp::{Qp, QpId, QpType, RecvEntry, RecvQueue};
+use crate::verbs::{Access, RemoteAddr, Sge, Wc, WcOpcode};
+
+/// How a registered MR addresses memory.
+enum MrKind {
+    /// User-space MR: virtual addresses resolved through a page table.
+    Virt {
+        space: Arc<AddrSpace>,
+        base: u64,
+        len: u64,
+    },
+    /// Kernel physical MR (LITE's global MR): addresses are physical.
+    Phys { base: u64, len: u64 },
+}
+
+struct MrInner {
+    key: u32,
+    kind: MrKind,
+    access: Access,
+}
+
+/// A registered memory region handle.
+///
+/// In this simulation `lkey == rkey == key` (as on much real hardware,
+/// where both name the same MR context).
+#[derive(Clone)]
+pub struct Mr {
+    inner: Arc<MrInner>,
+    node: NodeId,
+}
+
+impl Mr {
+    /// Local key.
+    pub fn lkey(&self) -> u32 {
+        self.inner.key
+    }
+
+    /// Remote key.
+    pub fn rkey(&self) -> u32 {
+        self.inner.key
+    }
+
+    /// Node the MR lives on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Registered length in bytes.
+    pub fn len(&self) -> u64 {
+        match &self.inner.kind {
+            MrKind::Virt { len, .. } | MrKind::Phys { len, .. } => *len,
+        }
+    }
+
+    /// Whether the region is empty (never, in practice).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Base address (virtual for user MRs, physical for global MRs).
+    pub fn base(&self) -> u64 {
+        match &self.inner.kind {
+            MrKind::Virt { base, .. } | MrKind::Phys { base, .. } => *base,
+        }
+    }
+}
+
+struct Caches {
+    /// MR key table: key -> (). Capacity `mr_cache_entries`.
+    mr_keys: Lru<u32, ()>,
+    /// PTE cache: (key, vpn) -> (). Capacity `pte_cache_entries`.
+    ptes: Lru<(u32, u64), ()>,
+    /// QP context cache: qpn -> (). Capacity `qp_cache_entries`.
+    qpc: Lru<u64, ()>,
+}
+
+/// Aggregate NIC statistics for assertions and reports.
+#[derive(Debug, Clone, Default)]
+pub struct NicStats {
+    /// One-sided + atomic operations issued from this NIC.
+    pub one_sided_ops: u64,
+    /// Two-sided sends issued from this NIC.
+    pub send_ops: u64,
+    /// Payload bytes transmitted.
+    pub bytes_tx: u64,
+    /// MR-key cache hits/misses.
+    pub mr_hits: u64,
+    /// MR-key cache misses.
+    pub mr_misses: u64,
+    /// PTE cache hits.
+    pub pte_hits: u64,
+    /// PTE cache misses.
+    pub pte_misses: u64,
+    /// QP-context cache misses.
+    pub qp_misses: u64,
+    /// Registered MRs currently live.
+    pub live_mrs: usize,
+    /// QPs currently live.
+    pub live_qps: usize,
+}
+
+/// One simulated RNIC.
+pub struct Nic {
+    node: NodeId,
+    cost: CostModel,
+    fabric: Weak<IbFabric>,
+    /// WQE processing engine (FCFS).
+    engine: Resource,
+    /// Egress link.
+    tx: Resource,
+    /// Ingress link (cut-through: contended only when several senders
+    /// target this NIC at once).
+    rx: Resource,
+    caches: Mutex<Caches>,
+    mrs: RwLock<HashMap<u32, Arc<MrInner>>>,
+    qps: RwLock<HashMap<QpId, Arc<Qp>>>,
+    one_sided_ops: AtomicU64,
+    send_ops: AtomicU64,
+    bytes_tx: AtomicU64,
+}
+
+/// Local buffer resolved to physical fragments.
+struct Resolved {
+    chunks: Vec<Chunk>,
+    penalty: Nanos,
+}
+
+/// Timing of a one-sided write, for baselines that detect incoming data
+/// by polling remote memory (HERD, FaRM) rather than a CQ.
+#[derive(Debug, Clone, Copy)]
+pub struct WriteOutcome {
+    /// When the local completion (RC ack) is observable.
+    pub completion: Nanos,
+    /// When the data is visible in remote memory.
+    pub remote_visible: Nanos,
+}
+
+impl Nic {
+    pub(crate) fn new(node: NodeId, cost: CostModel, fabric: Weak<IbFabric>) -> Self {
+        let caches = Caches {
+            mr_keys: Lru::new(cost.mr_cache_entries),
+            ptes: Lru::new(cost.pte_cache_entries),
+            qpc: Lru::new(cost.qp_cache_entries),
+        };
+        // Pipeline windows: the request engine accepts a deep WQE queue
+        // (it processes WQEs from many QPs out of order, so a request
+        // scheduled far ahead by ingress queueing never blocks an
+        // independent one); the wire has NIC buffering worth tens of
+        // microseconds.
+        let engine_slack = 64_000;
+        let tx_slack = cost.link_time(96 * 1024);
+        Nic {
+            node,
+            cost,
+            fabric,
+            engine: Resource::with_slack("nic-engine", engine_slack),
+            tx: Resource::with_slack("nic-tx", tx_slack),
+            rx: Resource::with_slack("nic-rx", tx_slack),
+            caches: Mutex::new(caches),
+            mrs: RwLock::new(HashMap::new()),
+            qps: RwLock::new(HashMap::new()),
+            one_sided_ops: AtomicU64::new(0),
+            send_ops: AtomicU64::new(0),
+            bytes_tx: AtomicU64::new(0),
+        }
+    }
+
+    /// This NIC's node id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The cost model in force.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    fn fabric(&self) -> Arc<IbFabric> {
+        self.fabric.upgrade().expect("fabric alive")
+    }
+
+    fn mem(&self) -> Arc<PhysMem> {
+        Arc::clone(self.fabric().mem(self.node))
+    }
+
+    /// Snapshot of counters and cache statistics.
+    pub fn stats(&self) -> NicStats {
+        let c = self.caches.lock();
+        NicStats {
+            one_sided_ops: self.one_sided_ops.load(Ordering::Relaxed),
+            send_ops: self.send_ops.load(Ordering::Relaxed),
+            bytes_tx: self.bytes_tx.load(Ordering::Relaxed),
+            mr_hits: c.mr_keys.hits(),
+            mr_misses: c.mr_keys.misses(),
+            pte_hits: c.ptes.hits(),
+            pte_misses: c.ptes.misses(),
+            qp_misses: c.qpc.misses(),
+            live_mrs: self.mrs.read().len(),
+            live_qps: self.qps.read().len(),
+        }
+    }
+
+    /// Resets queueing state between experiments (caches keep warmth).
+    pub fn reset_resources(&self) {
+        self.engine.reset();
+        self.tx.reset();
+        self.rx.reset();
+    }
+
+    /// Receive-side arrival: the last byte of a `len`-byte transfer whose
+    /// first byte hits this NIC at `first_byte`. Cut-through: an
+    /// uncontended receive finishes exactly one serialization after the
+    /// first byte; competing senders queue on the ingress link.
+    pub(crate) fn rx_arrival(&self, first_byte: Nanos, len: usize) -> Nanos {
+        self.rx
+            .acquire(first_byte, self.cost.link_time(len as u64))
+            .finish
+    }
+
+    // ------------------------------------------------------------------
+    // Registration
+    // ------------------------------------------------------------------
+
+    /// Registers a user-space MR over `[addr, addr+len)` in `space`,
+    /// pinning every page (the Figure 8 cost).
+    pub fn register_mr(
+        &self,
+        ctx: &mut Ctx,
+        space: &Arc<AddrSpace>,
+        addr: u64,
+        len: u64,
+        access: Access,
+    ) -> VerbsResult<Mr> {
+        let pages = space.pin_range(addr, len)?;
+        ctx.work(self.cost.reg_mr_base_ns + self.cost.pin_page_ns * pages as u64);
+        let key = self.fabric().alloc_key();
+        let inner = Arc::new(MrInner {
+            key,
+            kind: MrKind::Virt {
+                space: Arc::clone(space),
+                base: addr,
+                len,
+            },
+            access,
+        });
+        self.mrs.write().insert(key, inner.clone());
+        Ok(Mr {
+            inner,
+            node: self.node,
+        })
+    }
+
+    /// Registers a *physical* MR — the kernel-only verb LITE builds on
+    /// (§4.1). No pinning, no page-table involvement: O(1) cost regardless
+    /// of size.
+    pub fn register_phys_mr(
+        &self,
+        ctx: &mut Ctx,
+        base: u64,
+        len: u64,
+        access: Access,
+    ) -> VerbsResult<Mr> {
+        ctx.work(self.cost.reg_mr_base_ns);
+        let key = self.fabric().alloc_key();
+        let inner = Arc::new(MrInner {
+            key,
+            kind: MrKind::Phys { base, len },
+            access,
+        });
+        self.mrs.write().insert(key, inner.clone());
+        Ok(Mr {
+            inner,
+            node: self.node,
+        })
+    }
+
+    /// Deregisters an MR, unpinning user pages.
+    pub fn deregister_mr(&self, ctx: &mut Ctx, mr: &Mr) -> VerbsResult<()> {
+        let removed = self
+            .mrs
+            .write()
+            .remove(&mr.inner.key)
+            .ok_or(VerbsError::BadKey { key: mr.inner.key })?;
+        match &removed.kind {
+            MrKind::Virt { space, base, len } => {
+                let pages = space.unpin_range(*base, *len)?;
+                ctx.work(self.cost.dereg_mr_base_ns + self.cost.unpin_page_ns * pages as u64);
+            }
+            MrKind::Phys { .. } => ctx.work(self.cost.dereg_mr_base_ns),
+        }
+        self.caches.lock().mr_keys.remove(&mr.inner.key);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // QPs
+    // ------------------------------------------------------------------
+
+    /// Creates a QP with fresh CQs and receive queue.
+    pub fn create_qp(&self, typ: QpType) -> Arc<Qp> {
+        self.create_qp_with(
+            typ,
+            Arc::new(Cq::new()),
+            Arc::new(Cq::new()),
+            Arc::new(RecvQueue::new()),
+        )
+    }
+
+    /// Creates a QP sharing the given CQs / receive queue (SRQ-style
+    /// sharing; LITE attaches all its QPs to one shared recv CQ).
+    pub fn create_qp_with(
+        &self,
+        typ: QpType,
+        send_cq: Arc<Cq>,
+        recv_cq: Arc<Cq>,
+        rq: Arc<RecvQueue>,
+    ) -> Arc<Qp> {
+        let qp = Arc::new(Qp::new(
+            self.fabric().alloc_qp_id(),
+            self.node,
+            typ,
+            send_cq,
+            recv_cq,
+            rq,
+        ));
+        self.qps.write().insert(qp.id, Arc::clone(&qp));
+        qp
+    }
+
+    /// Destroys a QP.
+    pub fn destroy_qp(&self, qp: &Arc<Qp>) {
+        self.qps.write().remove(&qp.id);
+        self.caches.lock().qpc.remove(&qp.id);
+    }
+
+    /// Looks up a QP by number.
+    pub fn qp(&self, id: QpId) -> VerbsResult<Arc<Qp>> {
+        self.qps
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or(VerbsError::BadQp { qp: id })
+    }
+
+    /// Posts a receive entry on a QP's receive queue.
+    pub fn post_recv(&self, ctx: &mut Ctx, qp: &Qp, entry: RecvEntry) {
+        ctx.work(self.cost.post_wr_ns);
+        qp.rq.post(entry);
+    }
+
+    pub(crate) fn close_all_cqs(&self) {
+        for qp in self.qps.read().values() {
+            qp.send_cq.close();
+            qp.recv_cq.close();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // SRAM model
+    // ------------------------------------------------------------------
+
+    fn touch_mr_key(&self, key: u32) -> Nanos {
+        let mut c = self.caches.lock();
+        if c.mr_keys.touch(&key).is_some() {
+            0
+        } else {
+            c.mr_keys.insert(key, ());
+            self.cost.mr_miss_ns
+        }
+    }
+
+    fn touch_ptes(&self, key: u32, addr: u64, len: usize) -> Nanos {
+        let mut c = self.caches.lock();
+        let first = addr >> PAGE_SHIFT;
+        let last = (addr + len.max(1) as u64 - 1) >> PAGE_SHIFT;
+        let mut pen = 0;
+        for vpn in first..=last {
+            if c.ptes.touch(&(key, vpn)).is_none() {
+                c.ptes.insert((key, vpn), ());
+                pen += self.cost.pte_miss_ns;
+            }
+        }
+        pen
+    }
+
+    fn touch_qpc(&self, qpn: u64) -> Nanos {
+        let mut c = self.caches.lock();
+        if c.qpc.touch(&qpn).is_some() {
+            0
+        } else {
+            c.qpc.insert(qpn, ());
+            self.cost.qp_miss_ns
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Address resolution
+    // ------------------------------------------------------------------
+
+    fn lookup_mr(&self, key: u32) -> VerbsResult<Arc<MrInner>> {
+        self.mrs
+            .read()
+            .get(&key)
+            .cloned()
+            .ok_or(VerbsError::BadKey { key })
+    }
+
+    /// Resolves a local SGE to physical fragments, charging SRAM
+    /// penalties exactly as the hardware would.
+    fn resolve_local(&self, sge: &Sge) -> VerbsResult<Resolved> {
+        match sge {
+            Sge::Virt { lkey, addr, len } => {
+                let mr = self.lookup_mr(*lkey)?;
+                let MrKind::Virt {
+                    space,
+                    base,
+                    len: mrlen,
+                } = &mr.kind
+                else {
+                    return Err(VerbsError::BadKey { key: *lkey });
+                };
+                check_bounds(*addr, *len, *base, *mrlen)?;
+                let mut penalty = self.touch_mr_key(*lkey);
+                penalty += self.touch_ptes(*lkey, *addr, *len);
+                let chunks = space.translate_range(*addr, *len as u64)?;
+                Ok(Resolved { chunks, penalty })
+            }
+            Sge::Phys { lkey, chunks } => {
+                let mr = self.lookup_mr(*lkey)?;
+                let MrKind::Phys { base, len: mrlen } = &mr.kind else {
+                    return Err(VerbsError::BadKey { key: *lkey });
+                };
+                for c in chunks {
+                    check_bounds(c.addr, c.len as usize, *base, *mrlen)?;
+                }
+                let penalty = self.touch_mr_key(*lkey);
+                Ok(Resolved {
+                    chunks: chunks.clone(),
+                    penalty,
+                })
+            }
+        }
+    }
+
+    /// Resolves a remote address (this NIC acting as the *target* of a
+    /// one-sided operation), charging this NIC's SRAM penalties.
+    fn resolve_remote(
+        &self,
+        remote: &RemoteAddr,
+        len: usize,
+        need_write: bool,
+        need_read: bool,
+        need_atomic: bool,
+    ) -> VerbsResult<Resolved> {
+        let mr = self.lookup_mr(remote.rkey)?;
+        let a = &mr.access;
+        if (need_write && !a.remote_write)
+            || (need_read && !a.remote_read)
+            || (need_atomic && !a.remote_atomic)
+        {
+            return Err(VerbsError::AccessDenied { key: remote.rkey });
+        }
+        match &mr.kind {
+            MrKind::Virt {
+                space,
+                base,
+                len: mrlen,
+            } => {
+                check_bounds(remote.addr, len, *base, *mrlen)?;
+                let mut penalty = self.touch_mr_key(remote.rkey);
+                penalty += self.touch_ptes(remote.rkey, remote.addr, len);
+                let chunks = space.translate_range(remote.addr, len as u64)?;
+                Ok(Resolved { chunks, penalty })
+            }
+            MrKind::Phys { base, len: mrlen } => {
+                check_bounds(remote.addr, len, *base, *mrlen)?;
+                let penalty = self.touch_mr_key(remote.rkey);
+                Ok(Resolved {
+                    chunks: vec![Chunk {
+                        addr: remote.addr,
+                        len: len as u64,
+                    }],
+                    penalty,
+                })
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Data movement between physical fragments
+    // ------------------------------------------------------------------
+
+    fn read_fragments(mem: &PhysMem, chunks: &[Chunk]) -> VerbsResult<Vec<u8>> {
+        let total: usize = chunks.iter().map(|c| c.len as usize).sum();
+        let mut buf = vec![0u8; total];
+        let mut off = 0;
+        for c in chunks {
+            mem.read(c.addr, &mut buf[off..off + c.len as usize])?;
+            off += c.len as usize;
+        }
+        Ok(buf)
+    }
+
+    fn write_fragments(mem: &PhysMem, chunks: &[Chunk], data: &[u8]) -> VerbsResult<()> {
+        let mut off = 0;
+        for c in chunks {
+            let n = (c.len as usize).min(data.len() - off);
+            mem.write(c.addr, &data[off..off + n])?;
+            off += n;
+            if off == data.len() {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn check_up(&self, fabric: &IbFabric, peer: NodeId) -> VerbsResult<()> {
+        if fabric.is_down(self.node) || fabric.is_down(peer) {
+            return Err(VerbsError::Timeout);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // One-sided verbs
+    // ------------------------------------------------------------------
+
+    /// Posts a one-sided RDMA write (optionally with immediate data).
+    ///
+    /// Executes the whole wire path and returns the completion stamp. The
+    /// caller's clock advances only by the post cost — poll the send CQ
+    /// (if `signaled`) or [`simnet::ctx::Ctx::wait_until`] the returned
+    /// stamp for blocking semantics.
+    pub fn post_write(
+        &self,
+        ctx: &mut Ctx,
+        qp: &Qp,
+        wr_id: u64,
+        sge: &Sge,
+        remote: RemoteAddr,
+        imm: Option<u32>,
+        signaled: bool,
+    ) -> VerbsResult<Nanos> {
+        self.post_write_outcome(ctx, qp, wr_id, sge, remote, imm, signaled)
+            .map(|o| o.completion)
+    }
+
+    /// Like [`Nic::post_write`], but also reports when the data became
+    /// visible in remote memory (for memory-polling receivers).
+    #[allow(clippy::too_many_arguments)]
+    pub fn post_write_outcome(
+        &self,
+        ctx: &mut Ctx,
+        qp: &Qp,
+        wr_id: u64,
+        sge: &Sge,
+        remote: RemoteAddr,
+        imm: Option<u32>,
+        signaled: bool,
+    ) -> VerbsResult<WriteOutcome> {
+        if !qp.supports_write() {
+            return Err(VerbsError::BadOpForQpType);
+        }
+        let fabric = self.fabric();
+        let (peer_node, peer_qp) = qp.peer()?;
+        self.check_up(&fabric, peer_node)?;
+        ctx.work(self.cost.post_wr_ns);
+        let len = sge.len();
+
+        // Local NIC: WQE fetch + lkey/PTE resolution, then DMA-read the
+        // payload and push it onto the wire.
+        let local = self.resolve_local(sge)?;
+        let lpen = local.penalty + self.touch_qpc(qp.id);
+        let g1 = self
+            .engine
+            .acquire(ctx.now(), self.cost.nic_engine_ns + lpen);
+        let data = Self::read_fragments(&self.mem(), &local.chunks)?;
+        let g2 = self.tx.acquire(g1.finish, self.cost.link_time(len as u64));
+
+        // Remote NIC: ingress link, then rkey/PTE resolution and DMA.
+        let rnic = fabric.try_nic(peer_node)?;
+        let arrive = rnic.rx_arrival(g2.start + self.cost.propagation_ns, len);
+        let rres = rnic.resolve_remote(&remote, len, true, false, false)?;
+        let rpen = rres.penalty + rnic.touch_qpc(peer_qp);
+        let g3 = rnic.engine.acquire(arrive, self.cost.nic_engine_ns + rpen);
+        Self::write_fragments(fabric.mem(peer_node), &rres.chunks, &data)?;
+        let done = qp.order_delivery(g3.finish);
+
+        // Immediate data consumes a receive credit and surfaces in the
+        // remote receive CQ.
+        if let Some(imm) = imm {
+            let rqp = rnic.qp(peer_qp)?;
+            let entry = rqp.rq.consume()?;
+            let mut wc = Wc::new(
+                entry.wr_id,
+                WcOpcode::RecvRdmaWithImm,
+                len,
+                done + self.cost.recv_handle_ns,
+            );
+            wc.imm = Some(imm);
+            wc.src = Some((self.node, qp.id));
+            rqp.recv_cq.push(wc);
+        }
+
+        // RC acks; UC completes at the wire.
+        let comp = match qp.typ {
+            QpType::Rc => done + self.cost.propagation_ns + self.cost.ack_ns,
+            _ => g2.finish,
+        };
+        if signaled {
+            let mut wc = Wc::new(wr_id, WcOpcode::RdmaWrite, len, comp);
+            wc.imm = imm;
+            qp.send_cq.push(wc);
+        }
+        self.one_sided_ops.fetch_add(1, Ordering::Relaxed);
+        self.bytes_tx.fetch_add(len as u64, Ordering::Relaxed);
+        Ok(WriteOutcome {
+            completion: comp,
+            remote_visible: done,
+        })
+    }
+
+    /// Posts a one-sided RDMA read. Data lands in the local SGE buffer.
+    pub fn post_read(
+        &self,
+        ctx: &mut Ctx,
+        qp: &Qp,
+        wr_id: u64,
+        sge: &Sge,
+        remote: RemoteAddr,
+        signaled: bool,
+    ) -> VerbsResult<Nanos> {
+        if !qp.supports_read_atomic() {
+            return Err(VerbsError::BadOpForQpType);
+        }
+        let fabric = self.fabric();
+        let (peer_node, peer_qp) = qp.peer()?;
+        self.check_up(&fabric, peer_node)?;
+        ctx.work(self.cost.post_wr_ns);
+        let len = sge.len();
+
+        // Request leg: local engine, then the (tiny) request on the wire.
+        let local = self.resolve_local(sge)?;
+        let lpen = local.penalty + self.touch_qpc(qp.id);
+        let g1 = self
+            .engine
+            .acquire(ctx.now(), self.cost.nic_engine_ns + lpen);
+        let arrive_req = g1.finish + self.cost.propagation_ns;
+
+        // Remote NIC resolves and streams the data back.
+        let rnic = fabric.try_nic(peer_node)?;
+        let rres = rnic.resolve_remote(&remote, len, false, true, false)?;
+        let rpen = rres.penalty + rnic.touch_qpc(peer_qp);
+        let g3 = rnic
+            .engine
+            .acquire(arrive_req, self.cost.nic_engine_ns + rpen);
+        let data = Self::read_fragments(fabric.mem(peer_node), &rres.chunks)?;
+        let g4 = rnic.tx.acquire(g3.finish, self.cost.link_time(len as u64));
+        let back = self.rx_arrival(g4.start + self.cost.propagation_ns, len);
+
+        // Local DMA into the destination buffer.
+        Self::write_fragments(&self.mem(), &local.chunks, &data)?;
+        let comp = back + self.cost.ack_ns;
+        if signaled {
+            qp.send_cq
+                .push(Wc::new(wr_id, WcOpcode::RdmaRead, len, comp));
+        }
+        self.one_sided_ops.fetch_add(1, Ordering::Relaxed);
+        Ok(comp)
+    }
+
+    /// One-sided atomic fetch-and-add on a remote 8-byte word. Blocking:
+    /// the caller's clock advances to completion; returns the old value.
+    pub fn fetch_add(
+        &self,
+        ctx: &mut Ctx,
+        qp: &Qp,
+        remote: RemoteAddr,
+        delta: u64,
+    ) -> VerbsResult<u64> {
+        self.atomic_op(ctx, qp, remote, AtomicKind::FetchAdd(delta))
+    }
+
+    /// One-sided atomic compare-and-swap; returns the old value.
+    pub fn cmp_swap(
+        &self,
+        ctx: &mut Ctx,
+        qp: &Qp,
+        remote: RemoteAddr,
+        expect: u64,
+        new: u64,
+    ) -> VerbsResult<u64> {
+        self.atomic_op(ctx, qp, remote, AtomicKind::CmpSwap(expect, new))
+    }
+
+    fn atomic_op(
+        &self,
+        ctx: &mut Ctx,
+        qp: &Qp,
+        remote: RemoteAddr,
+        kind: AtomicKind,
+    ) -> VerbsResult<u64> {
+        if !qp.supports_read_atomic() {
+            return Err(VerbsError::BadOpForQpType);
+        }
+        let fabric = self.fabric();
+        let (peer_node, peer_qp) = qp.peer()?;
+        self.check_up(&fabric, peer_node)?;
+        ctx.work(self.cost.post_wr_ns);
+        let lpen = self.touch_qpc(qp.id);
+        let g1 = self
+            .engine
+            .acquire(ctx.now(), self.cost.nic_engine_ns + lpen);
+        let arrive = g1.finish + self.cost.propagation_ns;
+        let rnic = fabric.try_nic(peer_node)?;
+        let rres = rnic.resolve_remote(&remote, 8, false, false, true)?;
+        let rpen = rres.penalty + rnic.touch_qpc(peer_qp);
+        let g3 = rnic.engine.acquire(
+            arrive,
+            self.cost.nic_engine_ns + self.cost.atomic_extra_ns + rpen,
+        );
+        let target = rres.chunks[0].addr;
+        let mem = fabric.mem(peer_node);
+        let old = match kind {
+            AtomicKind::FetchAdd(d) => mem.fetch_add_u64(target, d)?,
+            AtomicKind::CmpSwap(e, n) => mem.cas_u64(target, e, n)?,
+        };
+        let comp = g3.finish + self.cost.propagation_ns + self.cost.ack_ns;
+        ctx.wait_until(comp);
+        ctx.work(self.cost.cq_poll_ns);
+        self.one_sided_ops.fetch_add(1, Ordering::Relaxed);
+        Ok(old)
+    }
+
+    // ------------------------------------------------------------------
+    // Two-sided verbs
+    // ------------------------------------------------------------------
+
+    /// Posts a two-sided send on a connected RC/UC QP.
+    pub fn post_send(
+        &self,
+        ctx: &mut Ctx,
+        qp: &Qp,
+        wr_id: u64,
+        sge: &Sge,
+        imm: Option<u32>,
+        signaled: bool,
+    ) -> VerbsResult<Nanos> {
+        let (peer_node, peer_qp) = qp.peer()?;
+        self.send_inner(ctx, qp, wr_id, sge, imm, signaled, peer_node, peer_qp, 0)
+    }
+
+    /// Posts a UD send to an explicit destination (connectionless).
+    pub fn post_send_ud(
+        &self,
+        ctx: &mut Ctx,
+        qp: &Qp,
+        wr_id: u64,
+        sge: &Sge,
+        dest: (NodeId, QpId),
+        signaled: bool,
+    ) -> VerbsResult<Nanos> {
+        if qp.typ != QpType::Ud {
+            return Err(VerbsError::BadOpForQpType);
+        }
+        if sge.len() > self.cost.ud_max_payload {
+            return Err(VerbsError::PayloadTooLarge {
+                len: sge.len(),
+                max: self.cost.ud_max_payload,
+            });
+        }
+        self.send_inner(
+            ctx,
+            qp,
+            wr_id,
+            sge,
+            None,
+            signaled,
+            dest.0,
+            dest.1,
+            self.cost.ud_extra_ns,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn send_inner(
+        &self,
+        ctx: &mut Ctx,
+        qp: &Qp,
+        wr_id: u64,
+        sge: &Sge,
+        imm: Option<u32>,
+        signaled: bool,
+        peer_node: NodeId,
+        peer_qp: QpId,
+        extra: Nanos,
+    ) -> VerbsResult<Nanos> {
+        let fabric = self.fabric();
+        self.check_up(&fabric, peer_node)?;
+        ctx.work(self.cost.post_wr_ns);
+        let len = sge.len();
+        let local = self.resolve_local(sge)?;
+        let lpen = local.penalty + self.touch_qpc(qp.id);
+        let g1 = self
+            .engine
+            .acquire(ctx.now(), self.cost.nic_engine_ns + lpen + extra);
+        let data = Self::read_fragments(&self.mem(), &local.chunks)?;
+        let g2 = self.tx.acquire(g1.finish, self.cost.link_time(len as u64));
+
+        let rnic = fabric.try_nic(peer_node)?;
+        let arrive = rnic.rx_arrival(g2.start + self.cost.propagation_ns, len);
+        let rqp = rnic.qp(peer_qp)?;
+        let entry = rqp.rq.consume()?;
+        let mut rpen = rnic.touch_qpc(peer_qp) + self.cost.recv_handle_ns;
+        // Deliver the payload into the posted buffer. Only the payload
+        // prefix of the buffer is resolved/charged — the NIC translates
+        // the pages it DMAs into, not the whole posted region.
+        if len > 0 {
+            let dst = entry
+                .sge
+                .as_ref()
+                .ok_or(VerbsError::RecvBufferTooSmall { need: len, have: 0 })?;
+            if dst.len() < len {
+                return Err(VerbsError::RecvBufferTooSmall {
+                    need: len,
+                    have: dst.len(),
+                });
+            }
+            let rres = rnic.resolve_local(&truncate_sge(dst, len))?;
+            rpen += rres.penalty;
+            Self::write_fragments(fabric.mem(peer_node), &rres.chunks, &data)?;
+        }
+        let g3 = rnic.engine.acquire(arrive, self.cost.nic_engine_ns + rpen);
+        let delivered = qp.order_delivery(g3.finish);
+        let mut wc = Wc::new(entry.wr_id, WcOpcode::Recv, len, delivered);
+        wc.imm = imm;
+        wc.src = Some((self.node, qp.id));
+        rqp.recv_cq.push(wc);
+
+        let comp = match qp.typ {
+            QpType::Rc => delivered + self.cost.propagation_ns + self.cost.ack_ns,
+            _ => g2.finish,
+        };
+        if signaled {
+            qp.send_cq.push(Wc::new(wr_id, WcOpcode::Send, len, comp));
+        }
+        self.send_ops.fetch_add(1, Ordering::Relaxed);
+        self.bytes_tx.fetch_add(len as u64, Ordering::Relaxed);
+        Ok(comp)
+    }
+}
+
+enum AtomicKind {
+    FetchAdd(u64),
+    CmpSwap(u64, u64),
+}
+
+/// Restricts an SGE to its first `len` bytes.
+fn truncate_sge(sge: &Sge, len: usize) -> Sge {
+    match sge {
+        Sge::Virt { lkey, addr, len: l } => Sge::Virt {
+            lkey: *lkey,
+            addr: *addr,
+            len: (*l).min(len),
+        },
+        Sge::Phys { lkey, chunks } => {
+            let mut remaining = len as u64;
+            let mut out = Vec::new();
+            for c in chunks {
+                if remaining == 0 {
+                    break;
+                }
+                let take = c.len.min(remaining);
+                out.push(Chunk {
+                    addr: c.addr,
+                    len: take,
+                });
+                remaining -= take;
+            }
+            Sge::Phys {
+                lkey: *lkey,
+                chunks: out,
+            }
+        }
+    }
+}
+
+fn check_bounds(addr: u64, len: usize, base: u64, mrlen: u64) -> VerbsResult<()> {
+    let end = addr
+        .checked_add(len as u64)
+        .ok_or(VerbsError::OutOfBounds { addr, len })?;
+    if addr < base || end > base + mrlen {
+        return Err(VerbsError::OutOfBounds { addr, len });
+    }
+    Ok(())
+}

@@ -1,0 +1,173 @@
+//! Shared plumbing for the RPC baselines: registered scratch regions and
+//! the stamp side-channel used by memory-polling receivers.
+//!
+//! The simulation moves real bytes through [`smem::PhysMem`], but a
+//! receiver that polls *memory* (HERD's request regions, FaRM's rings)
+//! has no CQ entry to learn the virtual arrival stamp from. The
+//! [`Doorbell`] is the simulation's stand-in for the cache-coherent flag
+//! byte such systems poll: it carries `(slot, stamp)` while the payload
+//! itself travels through simulated memory.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+use rnic::{Access, IbFabric, Mr, NodeId, VerbsResult};
+use simnet::{Ctx, Nanos};
+use smem::AddrSpace;
+
+/// A registered, physically-resolved scratch region on one node.
+pub struct Region {
+    /// Owning node.
+    pub node: NodeId,
+    /// Virtual base in `space`.
+    pub va: u64,
+    /// Length in bytes.
+    pub len: usize,
+    /// The MR covering it.
+    pub mr: Mr,
+    space: Arc<AddrSpace>,
+    fabric: Arc<IbFabric>,
+}
+
+impl Region {
+    /// Allocates and registers a fresh region.
+    pub fn new(
+        fabric: &Arc<IbFabric>,
+        node: NodeId,
+        space: &Arc<AddrSpace>,
+        len: usize,
+        access: Access,
+        ctx: &mut Ctx,
+    ) -> VerbsResult<Region> {
+        let va = space.mmap(len as u64)?;
+        let mr = fabric
+            .nic(node)
+            .register_mr(ctx, space, va, len as u64, access)?;
+        Ok(Region {
+            node,
+            va,
+            len,
+            mr,
+            space: Arc::clone(space),
+            fabric: Arc::clone(fabric),
+        })
+    }
+
+    /// Writes bytes into the region at `off` (local host access).
+    pub fn put(&self, off: usize, data: &[u8]) -> VerbsResult<()> {
+        let frags = self
+            .space
+            .translate_range(self.va + off as u64, data.len() as u64)?;
+        let mut pos = 0;
+        for f in frags {
+            self.fabric
+                .mem(self.node)
+                .write(f.addr, &data[pos..pos + f.len as usize])?;
+            pos += f.len as usize;
+        }
+        Ok(())
+    }
+
+    /// Reads bytes from the region at `off`.
+    pub fn get(&self, off: usize, buf: &mut [u8]) -> VerbsResult<()> {
+        let frags = self
+            .space
+            .translate_range(self.va + off as u64, buf.len() as u64)?;
+        let mut pos = 0;
+        for f in frags {
+            self.fabric
+                .mem(self.node)
+                .read(f.addr, &mut buf[pos..pos + f.len as usize])?;
+            pos += f.len as usize;
+        }
+        Ok(())
+    }
+}
+
+/// A `(tag, stamp, len)` notification channel standing in for polled
+/// memory flags.
+pub struct Doorbell {
+    q: Mutex<BinaryHeap<Reverse<(Nanos, u64, usize)>>>,
+    cv: Condvar,
+}
+
+impl Doorbell {
+    /// Creates an empty doorbell.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Doorbell {
+            q: Mutex::new(BinaryHeap::new()),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Rings: data tagged `tag` became visible at `stamp`.
+    pub fn ring(&self, tag: u64, stamp: Nanos, len: usize) {
+        self.q.lock().push(Reverse((stamp, tag, len)));
+        self.cv.notify_all();
+    }
+
+    /// Busy-polling receive: charges `scan_cost` CPU per poll iteration
+    /// that found something, plus the full idle gap (these receivers spin).
+    pub fn poll(
+        &self,
+        ctx: &mut Ctx,
+        scan_cost: Nanos,
+        timeout: Duration,
+    ) -> Option<(u64, Nanos, usize)> {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.q.lock();
+        loop {
+            if let Some(Reverse((stamp, tag, len))) = q.pop() {
+                drop(q);
+                ctx.spin_until(stamp);
+                ctx.work(scan_cost);
+                return Some((tag, stamp, len));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            if self.cv.wait_until(&mut q, deadline).timed_out() {
+                return None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex as PMutex;
+    use rnic::IbConfig;
+    use smem::PhysAllocator;
+
+    #[test]
+    fn region_put_get() {
+        let fabric = IbFabric::new(IbConfig::with_nodes(1));
+        let space = Arc::new(AddrSpace::new(Arc::new(PMutex::new(PhysAllocator::new(
+            0,
+            1 << 24,
+        )))));
+        let mut ctx = Ctx::new();
+        let r = Region::new(&fabric, 0, &space, 8192, Access::RW, &mut ctx).unwrap();
+        r.put(100, b"abcdef").unwrap();
+        let mut buf = [0u8; 6];
+        r.get(100, &mut buf).unwrap();
+        assert_eq!(&buf, b"abcdef");
+    }
+
+    #[test]
+    fn doorbell_stamps_and_spins() {
+        let db = Doorbell::new();
+        db.ring(5, 10_000, 64);
+        let mut ctx = Ctx::new();
+        let (tag, stamp, len) = db.poll(&mut ctx, 100, Duration::from_secs(1)).unwrap();
+        assert_eq!((tag, stamp, len), (5, 10_000, 64));
+        assert!(ctx.now() >= 10_000);
+        assert!(ctx.cpu.total() >= 10_000, "spinning receiver burns CPU");
+        assert!(db.poll(&mut ctx, 100, Duration::from_millis(5)).is_none());
+    }
+}

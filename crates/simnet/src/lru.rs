@@ -1,0 +1,296 @@
+//! A constant-time LRU cache with hit/miss accounting.
+//!
+//! This is the model of on-RNIC SRAM in the reproduction: the RNIC keeps an
+//! [`Lru`] of MR keys, an [`Lru`] of cached page-table entries, and an
+//! [`Lru`] of QP contexts. A miss costs extra virtual time (a PCIe round
+//! trip to host memory in the real hardware), which is what produces the
+//! paper's Figure 4 and Figure 5 scalability cliffs.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Slab index used by the intrusive doubly-linked list.
+type Idx = usize;
+const NIL: Idx = usize::MAX;
+
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    prev: Idx,
+    next: Idx,
+}
+
+/// An LRU cache with a fixed capacity and atomic hit/miss counters.
+///
+/// Not internally synchronized: wrap in a lock (the RNIC model holds one
+/// short-lived lock per NIC operation, mirroring the single SRAM port).
+pub struct Lru<K, V> {
+    map: HashMap<K, Idx>,
+    slab: Vec<Option<Entry<K, V>>>,
+    free: Vec<Idx>,
+    head: Idx,
+    tail: Idx,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<K: Eq + Hash + Clone, V> Lru<K, V> {
+    /// Creates an empty cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LRU capacity must be positive");
+        Lru {
+            map: HashMap::with_capacity(capacity),
+            slab: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Hits recorded so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Misses recorded so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Evictions performed so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    fn slot(&self, idx: Idx) -> &Entry<K, V> {
+        self.slab[idx].as_ref().expect("linked slot is occupied")
+    }
+
+    fn slot_mut(&mut self, idx: Idx) -> &mut Entry<K, V> {
+        self.slab[idx].as_mut().expect("linked slot is occupied")
+    }
+
+    fn unlink(&mut self, idx: Idx) {
+        let (prev, next) = {
+            let e = self.slot(idx);
+            (e.prev, e.next)
+        };
+        if prev != NIL {
+            self.slot_mut(prev).next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slot_mut(next).prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: Idx) {
+        let head = self.head;
+        {
+            let e = self.slot_mut(idx);
+            e.prev = NIL;
+            e.next = head;
+        }
+        if head != NIL {
+            self.slot_mut(head).prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Looks `key` up, promoting it on a hit. Records hit/miss. Returns a
+    /// reference to the cached value on a hit.
+    pub fn touch(&mut self, key: &K) -> Option<&V> {
+        match self.map.get(key).copied() {
+            Some(idx) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                if self.head != idx {
+                    self.unlink(idx);
+                    self.push_front(idx);
+                }
+                Some(&self.slot(idx).value)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Checks residency without promoting or counting.
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Inserts `key` as the most-recently-used entry, evicting the LRU
+    /// entry if at capacity. Returns the evicted pair, if any. Inserting an
+    /// existing key replaces its value and promotes it.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if let Some(&idx) = self.map.get(&key) {
+            self.slot_mut(idx).value = value;
+            if self.head != idx {
+                self.unlink(idx);
+                self.push_front(idx);
+            }
+            return None;
+        }
+        let mut evicted = None;
+        if self.map.len() == self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            self.unlink(victim);
+            let old = self.slab[victim].take().expect("tail slot occupied");
+            self.map.remove(&old.key);
+            self.free.push(victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            evicted = Some((old.key, old.value));
+        }
+        let entry = Entry {
+            key: key.clone(),
+            value,
+            prev: NIL,
+            next: NIL,
+        };
+        let idx = if let Some(free) = self.free.pop() {
+            self.slab[free] = Some(entry);
+            free
+        } else {
+            self.slab.push(Some(entry));
+            self.slab.len() - 1
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+        evicted
+    }
+
+    /// Removes `key` if resident, returning its value.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let idx = self.map.remove(key)?;
+        self.unlink(idx);
+        let entry = self.slab[idx].take().expect("mapped slot occupied");
+        self.free.push(idx);
+        Some(entry.value)
+    }
+
+    /// Clears all entries (counters are preserved).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_hit_miss_evict() {
+        let mut lru: Lru<u32, u32> = Lru::new(2);
+        assert!(lru.touch(&1).is_none());
+        assert_eq!(lru.misses(), 1);
+        lru.insert(1, 10);
+        lru.insert(2, 20);
+        assert_eq!(lru.touch(&1), Some(&10));
+        // Inserting 3 evicts 2 (1 was just promoted).
+        let ev = lru.insert(3, 30);
+        assert_eq!(ev, Some((2, 20)));
+        assert!(lru.contains(&1) && lru.contains(&3) && !lru.contains(&2));
+        assert_eq!(lru.evictions(), 1);
+    }
+
+    #[test]
+    fn reinsert_promotes() {
+        let mut lru: Lru<u32, ()> = Lru::new(2);
+        lru.insert(1, ());
+        lru.insert(2, ());
+        lru.insert(1, ()); // promote 1
+        let ev = lru.insert(3, ());
+        assert_eq!(ev.map(|e| e.0), Some(2));
+    }
+
+    #[test]
+    fn hit_rate_matches_capacity_over_working_set() {
+        // Random touches over a working set W with capacity C should give
+        // a hit rate near C/W once warm.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        let (cap, ws) = (64usize, 256u32);
+        let mut lru: Lru<u32, ()> = Lru::new(cap);
+        for _ in 0..ws * 4 {
+            let k = rng.gen_range(0..ws);
+            if lru.touch(&k).is_none() {
+                lru.insert(k, ());
+            }
+        }
+        let (h0, m0) = (lru.hits(), lru.misses());
+        for _ in 0..20_000 {
+            let k = rng.gen_range(0..ws);
+            if lru.touch(&k).is_none() {
+                lru.insert(k, ());
+            }
+        }
+        let hits = lru.hits() - h0;
+        let total = hits + (lru.misses() - m0);
+        let rate = hits as f64 / total as f64;
+        let expect = cap as f64 / ws as f64;
+        assert!(
+            (rate - expect).abs() < 0.05,
+            "hit rate {rate:.3} far from {expect:.3}"
+        );
+    }
+
+    #[test]
+    fn remove_frees_slot() {
+        let mut lru: Lru<u32, u32> = Lru::new(2);
+        lru.insert(1, 10);
+        assert_eq!(lru.remove(&1), Some(10));
+        assert!(lru.is_empty());
+        lru.insert(2, 20);
+        lru.insert(3, 30);
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.remove(&9), None);
+    }
+
+    #[test]
+    fn eviction_order_is_lru_under_sequence() {
+        let mut lru: Lru<u32, u32> = Lru::new(3);
+        for k in 0..3 {
+            lru.insert(k, k);
+        }
+        lru.touch(&0);
+        lru.touch(&1);
+        // LRU is now 2.
+        assert_eq!(lru.insert(3, 3).map(|e| e.0), Some(2));
+        assert_eq!(lru.insert(4, 4).map(|e| e.0), Some(0));
+    }
+}

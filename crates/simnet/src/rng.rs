@@ -1,0 +1,149 @@
+//! Deterministic workload samplers.
+//!
+//! The evaluation needs a Zipf sampler (WordCount vocabulary, power-law
+//! graph degrees) and piecewise discrete samplers (the Facebook ETC
+//! key/value-size and inter-arrival distributions of Figs 12/13). `rand`
+//! is available offline but `rand_distr` is not, so both live here.
+
+use rand::Rng;
+
+/// A Zipf(θ) sampler over ranks `0..n` using a precomputed CDF.
+///
+/// Rank 0 is the most popular item. Suitable for `n` up to a few million;
+/// our workloads use ≤ 1 M ranks.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` ranks with exponent `theta` (> 0; 0.99 is
+    /// the YCSB default, ~1.0 fits word frequencies).
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(theta > 0.0, "Zipf exponent must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating-point shortfall at the end.
+        *cdf.last_mut().expect("non-empty") = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws a rank in `0..n`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// A weighted discrete sampler over arbitrary `u64` values.
+///
+/// Used to approximate published empirical distributions by a piecewise
+/// table of `(value, weight)` points.
+#[derive(Debug, Clone)]
+pub struct DiscreteSampler {
+    values: Vec<u64>,
+    cdf: Vec<f64>,
+}
+
+impl DiscreteSampler {
+    /// Builds a sampler from `(value, weight)` pairs; weights need not be
+    /// normalized.
+    pub fn new(points: &[(u64, f64)]) -> Self {
+        assert!(!points.is_empty(), "sampler needs at least one point");
+        let total: f64 = points.iter().map(|&(_, w)| w).sum();
+        assert!(total > 0.0, "total weight must be positive");
+        let mut values = Vec::with_capacity(points.len());
+        let mut cdf = Vec::with_capacity(points.len());
+        let mut acc = 0.0;
+        for &(v, w) in points {
+            assert!(w >= 0.0, "weights must be non-negative");
+            acc += w / total;
+            values.push(v);
+            cdf.push(acc);
+        }
+        *cdf.last_mut().expect("non-empty") = 1.0;
+        DiscreteSampler { values, cdf }
+    }
+
+    /// Draws one value.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let idx = self
+            .cdf
+            .partition_point(|&c| c < u)
+            .min(self.values.len() - 1);
+        self.values[idx]
+    }
+
+    /// The expected value of the distribution.
+    pub fn mean(&self) -> f64 {
+        let mut prev = 0.0;
+        let mut acc = 0.0;
+        for (v, c) in self.values.iter().zip(&self.cdf) {
+            acc += *v as f64 * (c - prev);
+            prev = *c;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_rank0_most_popular() {
+        let z = Zipf::new(1000, 0.99);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[500]);
+        // Rank 0 of Zipf(0.99, 1000) has probability ~0.125.
+        let p0 = counts[0] as f64 / 100_000.0;
+        assert!((0.10..0.16).contains(&p0), "p0={p0}");
+    }
+
+    #[test]
+    fn zipf_covers_full_range() {
+        let z = Zipf::new(4, 1.0);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(9);
+        let mut seen = [false; 4];
+        for _ in 0..10_000 {
+            seen[z.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn discrete_sampler_matches_weights() {
+        let d = DiscreteSampler::new(&[(10, 1.0), (100, 3.0)]);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+        let mut c100 = 0;
+        for _ in 0..40_000 {
+            if d.sample(&mut rng) == 100 {
+                c100 += 1;
+            }
+        }
+        let frac = c100 as f64 / 40_000.0;
+        assert!((frac - 0.75).abs() < 0.02, "frac={frac}");
+        assert!((d.mean() - 77.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,116 @@
+//! Logical time. All simulated durations and timestamps are nanoseconds.
+
+/// A point in (or a span of) virtual time, in nanoseconds.
+pub type Nanos = u64;
+
+/// One microsecond in [`Nanos`].
+pub const MICROS: Nanos = 1_000;
+/// One millisecond in [`Nanos`].
+pub const MILLIS: Nanos = 1_000_000;
+/// One second in [`Nanos`].
+pub const SECONDS: Nanos = 1_000_000_000;
+/// Alias of [`SECONDS`] for bandwidth math (`bytes * GIGA / bytes_per_sec`).
+pub const GIGA: Nanos = 1_000_000_000;
+
+/// Converts a byte count and a bandwidth (bytes/second) into a duration.
+///
+/// Rounds up so that a non-empty transfer never takes zero time.
+#[inline]
+pub fn transfer_time(bytes: u64, bytes_per_sec: u64) -> Nanos {
+    if bytes == 0 {
+        return 0;
+    }
+    debug_assert!(bytes_per_sec > 0, "bandwidth must be positive");
+    (bytes.saturating_mul(GIGA) + bytes_per_sec - 1) / bytes_per_sec
+}
+
+/// A logical clock carried by one simulated execution context (one
+/// application thread, one polling thread, ...).
+///
+/// The clock only moves forward. Receiving a message stamped in the future
+/// joins the clock with the stamp ([`VClock::join`]); local work advances
+/// it ([`VClock::advance`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct VClock {
+    now: Nanos,
+}
+
+impl VClock {
+    /// A clock starting at virtual time zero.
+    pub const fn new() -> Self {
+        VClock { now: 0 }
+    }
+
+    /// A clock starting at `at`.
+    pub const fn at(at: Nanos) -> Self {
+        VClock { now: at }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Advances the clock by `cost` and returns the new time.
+    #[inline]
+    pub fn advance(&mut self, cost: Nanos) -> Nanos {
+        self.now += cost;
+        self.now
+    }
+
+    /// Joins this clock with an external timestamp (message arrival,
+    /// resource grant completion). The clock never moves backwards.
+    #[inline]
+    pub fn join(&mut self, stamp: Nanos) -> Nanos {
+        if stamp > self.now {
+            self.now = stamp;
+        }
+        self.now
+    }
+
+    /// Sets the clock to exactly `at`, which must not be in the past.
+    #[inline]
+    pub fn seek(&mut self, at: Nanos) {
+        debug_assert!(at >= self.now, "clock cannot move backwards");
+        self.now = at;
+    }
+}
+
+impl Default for VClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_and_joins() {
+        let mut c = VClock::new();
+        assert_eq!(c.now(), 0);
+        assert_eq!(c.advance(100), 100);
+        assert_eq!(c.join(50), 100, "join never rewinds");
+        assert_eq!(c.join(250), 250);
+        c.seek(300);
+        assert_eq!(c.now(), 300);
+    }
+
+    #[test]
+    fn transfer_time_rounds_up() {
+        // 1 byte at 3 bytes/sec is more than 333 ms; must round up.
+        assert_eq!(transfer_time(1, 3), 333_333_334);
+        assert_eq!(transfer_time(0, 3), 0);
+        // 4 KiB at 4 GiB/s is slightly under 1 us.
+        let t = transfer_time(4096, 4 * 1024 * 1024 * 1024);
+        assert!((900..=1000).contains(&t), "got {t}");
+    }
+
+    #[test]
+    fn unit_constants() {
+        assert_eq!(MICROS * 1000, MILLIS);
+        assert_eq!(MILLIS * 1000, SECONDS);
+    }
+}

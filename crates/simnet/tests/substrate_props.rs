@@ -1,0 +1,108 @@
+//! Property-based tests of the virtual-time substrate itself.
+
+use proptest::prelude::*;
+use simnet::{Histogram, Resource, Summary, TokenBucket, GIGA};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A token bucket never releases faster than its configured rate over
+    /// any long horizon, regardless of arrival pattern.
+    #[test]
+    fn token_bucket_rate_is_a_hard_cap(
+        rate in 1_000u64..1_000_000,
+        burst in 64u64..100_000,
+        reqs in prop::collection::vec((0u64..1_000_000, 1u64..10_000), 10..200)
+    ) {
+        let tb = TokenBucket::new(rate, burst);
+        let mut clock = 0u64;
+        let mut total = 0u64;
+        let mut last_release = 0u64;
+        for (gap, bytes) in reqs {
+            clock += gap;
+            let at = tb.reserve(clock.max(last_release), bytes);
+            prop_assert!(at >= clock, "release before request");
+            last_release = last_release.max(at);
+            total += bytes;
+        }
+        // Everything released by `last_release`; rate * span + burst must
+        // cover the total.
+        let budget = burst as f64 + last_release as f64 * rate as f64 / GIGA as f64;
+        prop_assert!(
+            total as f64 <= budget + 1.0,
+            "released {total} bytes with budget {budget}"
+        );
+    }
+
+    /// Histogram percentiles are monotone in p and bracket the sample
+    /// range.
+    #[test]
+    fn histogram_percentiles_monotone(
+        samples in prop::collection::vec(0u64..1_000_000, 1..500)
+    ) {
+        let mut h = Histogram::new();
+        let mut s = Summary::new();
+        for &v in &samples {
+            h.record(v);
+            s.record(v);
+        }
+        let mut last = 0;
+        for p in [1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let q = h.percentile(p);
+            prop_assert!(q >= last, "percentiles must be monotone");
+            last = q;
+        }
+        // The log-bucketed floor can sit below the true min, but never
+        // above the true max; the top percentile reaches the max bucket.
+        prop_assert!(h.percentile(1.0) <= s.max());
+        prop_assert!(h.percentile(100.0) <= s.max());
+        prop_assert!(h.percentile(100.0) * 2 + 1 > s.max(), "top bucket too low");
+    }
+
+    /// Fluid resources compose: a chain of resources (engine → wire)
+    /// yields monotone stamps along each request's path.
+    #[test]
+    fn resource_chains_are_causal(
+        reqs in prop::collection::vec((0u64..100_000, 10u64..2_000), 1..100)
+    ) {
+        let engine = Resource::with_slack("e", 5_000);
+        let wire = Resource::with_slack("w", 10_000);
+        for (now, svc) in reqs {
+            let g1 = engine.acquire(now, svc / 2 + 1);
+            prop_assert!(g1.start >= now);
+            prop_assert!(g1.finish > g1.start);
+            let g2 = wire.acquire(g1.finish, svc);
+            prop_assert!(g2.start >= g1.finish, "wire cannot start before engine ends");
+            prop_assert_eq!(g2.finish, g2.start + svc);
+        }
+    }
+}
+
+/// Deterministic closed-loop sanity: N clients through one strict server
+/// settle at the server's service rate.
+#[test]
+fn closed_loop_settles_at_service_rate() {
+    let server = Resource::new("s");
+    let clients = 4;
+    let svc = 100u64;
+    let think = 50u64;
+    let mut clocks = vec![0u64; clients];
+    for _ in 0..1_000 {
+        for c in &mut clocks {
+            *c += think;
+            let g = server.acquire(*c, svc);
+            *c = g.finish;
+        }
+    }
+    let makespan = clocks.iter().max().unwrap();
+    let total_service = clients as u64 * 1_000 * svc;
+    // Demand (4 × 100 per 150) exceeds capacity: makespan ≈ total service.
+    assert!(
+        *makespan >= total_service,
+        "saturated server finished early: {makespan} < {total_service}"
+    );
+    assert!(
+        *makespan < total_service + total_service / 5,
+        "saturated server too slow: {makespan}"
+    );
+}

@@ -1,0 +1,286 @@
+//! Per-process virtual address spaces and page tables.
+//!
+//! Native Verbs registers MRs by virtual address, so the RNIC must resolve
+//! virtual→physical through PTEs (and caches them in SRAM — the Figure 5
+//! bottleneck). The address space here provides exactly what that model
+//! needs: `mmap`-style allocation, translation, per-page pinning with
+//! pin counts, and fragment lists for DMA.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::alloc::{Chunk, PhysAllocator};
+use crate::error::MemError;
+use crate::phys::{PhysAddr, PAGE_SHIFT, PAGE_SIZE};
+
+/// A virtual address inside one process.
+pub type VirtAddr = u64;
+
+/// Base of the mmap arena. Non-zero so a null pointer is never valid.
+const MMAP_BASE: VirtAddr = 0x0000_1000_0000;
+
+/// Physical backing is grabbed in slabs of this size and sliced into
+/// frames, keeping allocator metadata small for multi-GB mappings.
+const BACKING_SLAB: u64 = 2 * 1024 * 1024;
+
+#[derive(Debug, Clone, Copy)]
+struct Pte {
+    pfn: u64,
+    pinned: u32,
+}
+
+struct Region {
+    len: u64,
+    backing: Vec<Chunk>,
+}
+
+/// One process's virtual address space.
+///
+/// Internally synchronized; clones share the same underlying space.
+pub struct AddrSpace {
+    inner: Mutex<Inner>,
+    phys: Arc<Mutex<PhysAllocator>>,
+}
+
+struct Inner {
+    next_vaddr: VirtAddr,
+    page_table: HashMap<u64, Pte>,
+    regions: HashMap<VirtAddr, Region>,
+}
+
+impl AddrSpace {
+    /// Creates an address space drawing physical frames from `phys`.
+    pub fn new(phys: Arc<Mutex<PhysAllocator>>) -> Self {
+        AddrSpace {
+            inner: Mutex::new(Inner {
+                next_vaddr: MMAP_BASE,
+                page_table: HashMap::new(),
+                regions: HashMap::new(),
+            }),
+            phys,
+        }
+    }
+
+    /// Maps `len` bytes of fresh memory; returns the starting virtual
+    /// address (page aligned).
+    pub fn mmap(&self, len: u64) -> Result<VirtAddr, MemError> {
+        let len = len.max(1).div_ceil(PAGE_SIZE as u64) * PAGE_SIZE as u64;
+        let backing = self.phys.lock().alloc_chunked(len, BACKING_SLAB)?;
+        let mut inner = self.inner.lock();
+        let vaddr = inner.next_vaddr;
+        inner.next_vaddr += len + PAGE_SIZE as u64; // guard page
+        let mut vpn = vaddr >> PAGE_SHIFT;
+        for chunk in &backing {
+            debug_assert_eq!(chunk.addr % PAGE_SIZE as u64, 0);
+            let pages = chunk.len / PAGE_SIZE as u64;
+            for i in 0..pages {
+                inner.page_table.insert(
+                    vpn,
+                    Pte {
+                        pfn: (chunk.addr >> PAGE_SHIFT) + i,
+                        pinned: 0,
+                    },
+                );
+                vpn += 1;
+            }
+        }
+        inner.regions.insert(vaddr, Region { len, backing });
+        Ok(vaddr)
+    }
+
+    /// Unmaps a region previously returned by [`AddrSpace::mmap`].
+    pub fn munmap(&self, vaddr: VirtAddr) -> Result<(), MemError> {
+        let region = {
+            let mut inner = self.inner.lock();
+            let region = inner
+                .regions
+                .remove(&vaddr)
+                .ok_or(MemError::NotMapped { vaddr })?;
+            let pages = region.len / PAGE_SIZE as u64;
+            for vpn in (vaddr >> PAGE_SHIFT)..(vaddr >> PAGE_SHIFT) + pages {
+                inner.page_table.remove(&vpn);
+            }
+            region
+        };
+        self.phys.lock().free_chunks(&region.backing)?;
+        Ok(())
+    }
+
+    /// Translates one virtual address to a physical address.
+    pub fn translate(&self, vaddr: VirtAddr) -> Result<PhysAddr, MemError> {
+        let inner = self.inner.lock();
+        let pte = inner
+            .page_table
+            .get(&(vaddr >> PAGE_SHIFT))
+            .ok_or(MemError::NotMapped { vaddr })?;
+        Ok((pte.pfn << PAGE_SHIFT) | (vaddr & (PAGE_SIZE as u64 - 1)))
+    }
+
+    /// Translates a byte range into physically-consecutive fragments
+    /// (merging adjacent frames), as a DMA engine would consume them.
+    pub fn translate_range(&self, vaddr: VirtAddr, len: u64) -> Result<Vec<Chunk>, MemError> {
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        let inner = self.inner.lock();
+        let mut frags: Vec<Chunk> = Vec::new();
+        let mut cur = vaddr;
+        let mut remaining = len;
+        while remaining > 0 {
+            let pte = inner
+                .page_table
+                .get(&(cur >> PAGE_SHIFT))
+                .ok_or(MemError::NotMapped { vaddr: cur })?;
+            let in_page = cur & (PAGE_SIZE as u64 - 1);
+            let n = (PAGE_SIZE as u64 - in_page).min(remaining);
+            let paddr = (pte.pfn << PAGE_SHIFT) | in_page;
+            match frags.last_mut() {
+                Some(last) if last.addr + last.len == paddr => last.len += n,
+                _ => frags.push(Chunk {
+                    addr: paddr,
+                    len: n,
+                }),
+            }
+            cur += n;
+            remaining -= n;
+        }
+        Ok(frags)
+    }
+
+    /// Pins every page overlapping `[vaddr, vaddr+len)`; returns the number
+    /// of pages pinned (the register-time cost driver of Figure 8).
+    pub fn pin_range(&self, vaddr: VirtAddr, len: u64) -> Result<usize, MemError> {
+        let mut inner = self.inner.lock();
+        let first = vaddr >> PAGE_SHIFT;
+        let last = (vaddr + len.max(1) - 1) >> PAGE_SHIFT;
+        // Validate before mutating so a partial range does not half-pin.
+        for vpn in first..=last {
+            if !inner.page_table.contains_key(&vpn) {
+                return Err(MemError::NotMapped {
+                    vaddr: vpn << PAGE_SHIFT,
+                });
+            }
+        }
+        for vpn in first..=last {
+            inner.page_table.get_mut(&vpn).expect("validated").pinned += 1;
+        }
+        Ok((last - first + 1) as usize)
+    }
+
+    /// Unpins the same range; returns the number of pages unpinned.
+    pub fn unpin_range(&self, vaddr: VirtAddr, len: u64) -> Result<usize, MemError> {
+        let mut inner = self.inner.lock();
+        let first = vaddr >> PAGE_SHIFT;
+        let last = (vaddr + len.max(1) - 1) >> PAGE_SHIFT;
+        for vpn in first..=last {
+            match inner.page_table.get(&vpn) {
+                Some(pte) if pte.pinned > 0 => {}
+                _ => {
+                    return Err(MemError::NotPinned {
+                        vaddr: vpn << PAGE_SHIFT,
+                    })
+                }
+            }
+        }
+        for vpn in first..=last {
+            inner.page_table.get_mut(&vpn).expect("validated").pinned -= 1;
+        }
+        Ok((last - first + 1) as usize)
+    }
+
+    /// Number of currently mapped pages.
+    pub fn mapped_pages(&self) -> usize {
+        self.inner.lock().page_table.len()
+    }
+
+    /// Number of currently pinned pages (pin count > 0).
+    pub fn pinned_pages(&self) -> usize {
+        self.inner
+            .lock()
+            .page_table
+            .values()
+            .filter(|p| p.pinned > 0)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> AddrSpace {
+        AddrSpace::new(Arc::new(Mutex::new(PhysAllocator::new(0, 1 << 26))))
+    }
+
+    #[test]
+    fn mmap_translate_munmap() {
+        let a = space();
+        let v = a.mmap(10_000).unwrap();
+        assert_eq!(v % PAGE_SIZE as u64, 0);
+        let p0 = a.translate(v).unwrap();
+        let p1 = a.translate(v + 4096).unwrap();
+        assert_ne!(p0, p1);
+        assert_eq!(a.translate(v + 5).unwrap(), p0 + 5);
+        assert_eq!(a.mapped_pages(), 3);
+        a.munmap(v).unwrap();
+        assert!(a.translate(v).is_err());
+        assert_eq!(a.mapped_pages(), 0);
+    }
+
+    #[test]
+    fn translate_range_merges_contiguous_frames() {
+        let a = space();
+        let v = a.mmap(1 << 20).unwrap(); // 1 MB, slab-backed => contiguous
+        let frags = a.translate_range(v, 1 << 20).unwrap();
+        assert_eq!(frags.len(), 1, "slab backing should merge");
+        assert_eq!(frags[0].len, 1 << 20);
+        // A misaligned sub-range still resolves.
+        let frags = a.translate_range(v + 100, 8000).unwrap();
+        assert_eq!(frags.iter().map(|c| c.len).sum::<u64>(), 8000);
+    }
+
+    #[test]
+    fn pin_unpin_counts() {
+        let a = space();
+        let v = a.mmap(3 * PAGE_SIZE as u64).unwrap();
+        assert_eq!(a.pin_range(v, 3 * PAGE_SIZE as u64).unwrap(), 3);
+        assert_eq!(a.pinned_pages(), 3);
+        assert_eq!(a.pin_range(v, 1).unwrap(), 1, "double pin allowed");
+        assert_eq!(a.unpin_range(v, 3 * PAGE_SIZE as u64).unwrap(), 3);
+        assert_eq!(a.pinned_pages(), 1, "first page still has a pin");
+        assert_eq!(a.unpin_range(v, 1).unwrap(), 1);
+        assert_eq!(a.pinned_pages(), 0);
+        assert!(a.unpin_range(v, 1).is_err(), "over-unpin rejected");
+    }
+
+    #[test]
+    fn pin_unmapped_fails_atomically() {
+        let a = space();
+        let v = a.mmap(PAGE_SIZE as u64).unwrap();
+        // Second page of the range is the guard page: not mapped.
+        assert!(a.pin_range(v, 2 * PAGE_SIZE as u64).is_err());
+        assert_eq!(a.pinned_pages(), 0, "no partial pin");
+    }
+
+    #[test]
+    fn guard_page_between_regions() {
+        let a = space();
+        let v1 = a.mmap(PAGE_SIZE as u64).unwrap();
+        let v2 = a.mmap(PAGE_SIZE as u64).unwrap();
+        assert!(v2 >= v1 + 2 * PAGE_SIZE as u64);
+        assert!(a.translate(v1 + PAGE_SIZE as u64).is_err());
+    }
+
+    #[test]
+    fn munmap_returns_memory() {
+        let phys = Arc::new(Mutex::new(PhysAllocator::new(0, 1 << 22)));
+        let a = AddrSpace::new(Arc::clone(&phys));
+        let before = phys.lock().free_bytes();
+        let v = a.mmap(1 << 20).unwrap();
+        assert!(phys.lock().free_bytes() < before);
+        a.munmap(v).unwrap();
+        assert_eq!(phys.lock().free_bytes(), before);
+    }
+}

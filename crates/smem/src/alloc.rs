@@ -1,0 +1,237 @@
+//! First-fit physical memory allocator with chunked allocation.
+//!
+//! LITE issues RDMA to the NIC with *physical* addresses, so every LMR must
+//! be backed by physically-consecutive ranges. Allocating huge consecutive
+//! ranges causes external fragmentation, so LITE splits large LMRs into
+//! chunks of at most `max_chunk` bytes (§4.1; the paper measures <2 %
+//! overhead from chunking). [`PhysAllocator::alloc_chunked`] implements
+//! exactly that policy.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::error::MemError;
+use crate::phys::PhysAddr;
+
+/// Allocation granule/alignment. 64 B keeps every allocation cacheline- and
+/// atomic-aligned.
+const ALIGN: u64 = 64;
+
+/// One physically-consecutive piece of an allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chunk {
+    /// Start physical address.
+    pub addr: PhysAddr,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+/// A first-fit free-list allocator over a physical range.
+///
+/// Not internally synchronized; the kernel wraps it in a lock.
+pub struct PhysAllocator {
+    /// Free ranges keyed by start address (coalesced, non-adjacent).
+    free: BTreeMap<PhysAddr, u64>,
+    /// Live allocations (start -> len), for validating frees.
+    live: HashMap<PhysAddr, u64>,
+    base: PhysAddr,
+    size: u64,
+}
+
+impl PhysAllocator {
+    /// Creates an allocator managing `[base, base + size)`.
+    pub fn new(base: PhysAddr, size: u64) -> Self {
+        let base = round_up(base);
+        let mut free = BTreeMap::new();
+        if size > 0 {
+            free.insert(base, size - (base % ALIGN));
+        }
+        PhysAllocator {
+            free,
+            live: HashMap::new(),
+            base,
+            size,
+        }
+    }
+
+    /// Total managed bytes.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Bytes currently free (sum over free ranges).
+    pub fn free_bytes(&self) -> u64 {
+        self.free.values().sum()
+    }
+
+    /// Bytes currently allocated.
+    pub fn live_bytes(&self) -> u64 {
+        self.live.values().sum()
+    }
+
+    /// Number of live allocations.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Allocates `len` physically-consecutive bytes (first fit).
+    pub fn alloc(&mut self, len: u64) -> Result<PhysAddr, MemError> {
+        let want = round_up(len.max(1));
+        let found = self
+            .free
+            .iter()
+            .find(|(_, &flen)| flen >= want)
+            .map(|(&addr, &flen)| (addr, flen));
+        let (addr, flen) = found.ok_or(MemError::OutOfMemory { requested: len })?;
+        self.free.remove(&addr);
+        if flen > want {
+            self.free.insert(addr + want, flen - want);
+        }
+        self.live.insert(addr, want);
+        Ok(addr)
+    }
+
+    /// Allocates `len` bytes as one or more physically-consecutive chunks
+    /// of at most `max_chunk` bytes each (LITE's large-LMR policy).
+    ///
+    /// On failure, any chunks already grabbed are rolled back.
+    pub fn alloc_chunked(&mut self, len: u64, max_chunk: u64) -> Result<Vec<Chunk>, MemError> {
+        assert!(max_chunk >= ALIGN, "max_chunk too small");
+        let mut remaining = len.max(1);
+        let mut chunks = Vec::new();
+        while remaining > 0 {
+            let this = remaining.min(max_chunk);
+            match self.alloc(this) {
+                Ok(addr) => {
+                    chunks.push(Chunk { addr, len: this });
+                    remaining -= this;
+                }
+                Err(e) => {
+                    for c in &chunks {
+                        let _ = self.free(c.addr);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(chunks)
+    }
+
+    /// Frees an allocation by start address, returning its length.
+    pub fn free(&mut self, addr: PhysAddr) -> Result<u64, MemError> {
+        let len = self.live.remove(&addr).ok_or(MemError::BadFree { addr })?;
+        self.insert_free(addr, len);
+        Ok(len)
+    }
+
+    /// Frees every chunk of a chunked allocation.
+    pub fn free_chunks(&mut self, chunks: &[Chunk]) -> Result<(), MemError> {
+        for c in chunks {
+            self.free(c.addr)?;
+        }
+        Ok(())
+    }
+
+    fn insert_free(&mut self, addr: PhysAddr, len: u64) {
+        let mut start = addr;
+        let mut total = len;
+        // Coalesce with predecessor.
+        if let Some((&paddr, &plen)) = self.free.range(..addr).next_back() {
+            if paddr + plen == addr {
+                self.free.remove(&paddr);
+                start = paddr;
+                total += plen;
+            }
+        }
+        // Coalesce with successor.
+        if let Some(&nlen) = self.free.get(&(addr + len)) {
+            self.free.remove(&(addr + len));
+            total += nlen;
+        }
+        self.free.insert(start, total);
+    }
+
+    /// Base address of the managed range.
+    pub fn base(&self) -> PhysAddr {
+        self.base
+    }
+}
+
+fn round_up(v: u64) -> u64 {
+    v.div_ceil(ALIGN) * ALIGN
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_coalesce() {
+        let mut a = PhysAllocator::new(0, 1 << 20);
+        let x = a.alloc(100).unwrap();
+        let y = a.alloc(100).unwrap();
+        let z = a.alloc(100).unwrap();
+        assert!(x < y && y < z);
+        a.free(y).unwrap();
+        a.free(x).unwrap();
+        a.free(z).unwrap();
+        // Everything coalesced back into one range.
+        assert_eq!(a.free.len(), 1);
+        assert_eq!(a.free_bytes(), 1 << 20);
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut a = PhysAllocator::new(0, 4096);
+        let x = a.alloc(64).unwrap();
+        a.free(x).unwrap();
+        assert_eq!(a.free(x), Err(MemError::BadFree { addr: x }));
+    }
+
+    #[test]
+    fn oom_reported() {
+        let mut a = PhysAllocator::new(0, 4096);
+        assert!(matches!(
+            a.alloc(1 << 20),
+            Err(MemError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn chunked_allocation_splits() {
+        let mut a = PhysAllocator::new(0, 1 << 22);
+        let chunks = a.alloc_chunked(1 << 20, 1 << 18).unwrap();
+        assert_eq!(chunks.len(), 4);
+        assert_eq!(chunks.iter().map(|c| c.len).sum::<u64>(), 1 << 20);
+        a.free_chunks(&chunks).unwrap();
+        assert_eq!(a.free_bytes(), 1 << 22);
+    }
+
+    #[test]
+    fn chunked_survives_fragmentation() {
+        // Fragment the arena so no 256 KB contiguous range exists, then ask
+        // for 256 KB chunked at 64 KB: it must still succeed.
+        let mut a = PhysAllocator::new(0, 1 << 20);
+        let blocks: Vec<_> = (0..16).map(|_| a.alloc(1 << 16).unwrap()).collect();
+        // Free every other block: largest hole is 64 KB.
+        let mut freed = 0;
+        for (i, b) in blocks.iter().enumerate() {
+            if i % 2 == 0 {
+                a.free(*b).unwrap();
+                freed += 1;
+            }
+        }
+        assert_eq!(freed, 8);
+        assert!(a.alloc(1 << 18).is_err(), "no contiguous 256 KB");
+        let chunks = a.alloc_chunked(1 << 18, 1 << 16).unwrap();
+        assert_eq!(chunks.iter().map(|c| c.len).sum::<u64>(), 1 << 18);
+    }
+
+    #[test]
+    fn chunked_rolls_back_on_failure() {
+        let mut a = PhysAllocator::new(0, 1 << 16);
+        let before = a.free_bytes();
+        assert!(a.alloc_chunked(1 << 20, 1 << 14).is_err());
+        assert_eq!(a.free_bytes(), before, "failed chunked alloc leaked");
+        assert_eq!(a.live_count(), 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Memory-subsystem error type.
+
+use std::fmt;
+
+/// Errors raised by the simulated memory subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// A physical access fell outside the node's physical address range.
+    BadPhysAddr {
+        /// Faulting physical address.
+        addr: u64,
+        /// Access length in bytes.
+        len: usize,
+    },
+    /// A virtual access touched an unmapped page.
+    NotMapped {
+        /// Faulting virtual address.
+        vaddr: u64,
+    },
+    /// Allocation failed: not enough contiguous physical memory.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u64,
+    },
+    /// A free targeted an address that was never allocated (double free or
+    /// corruption).
+    BadFree {
+        /// The address passed to free.
+        addr: u64,
+    },
+    /// An atomic access was not 8-byte aligned or crossed a page boundary.
+    BadAtomic {
+        /// Faulting address.
+        addr: u64,
+    },
+    /// Unpinning a page that was not pinned.
+    NotPinned {
+        /// The page's virtual address.
+        vaddr: u64,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::BadPhysAddr { addr, len } => {
+                write!(f, "physical access out of range: {addr:#x}+{len}")
+            }
+            MemError::NotMapped { vaddr } => write!(f, "virtual address not mapped: {vaddr:#x}"),
+            MemError::OutOfMemory { requested } => {
+                write!(f, "out of physical memory: requested {requested} bytes")
+            }
+            MemError::BadFree { addr } => write!(f, "free of unallocated address {addr:#x}"),
+            MemError::BadAtomic { addr } => {
+                write!(f, "atomic access misaligned or page-crossing at {addr:#x}")
+            }
+            MemError::NotPinned { vaddr } => write!(f, "page not pinned: {vaddr:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}

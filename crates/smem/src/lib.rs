@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! Simulated host memory for the LITE reproduction.
+//!
+//! Each simulated node owns one [`PhysMem`]: a sparse, page-granular,
+//! thread-safe physical address space. Pages materialize (zero-filled) on
+//! first touch, so a node can expose a multi-GB physical range while only
+//! the pages an experiment actually touches consume host memory.
+//!
+//! On top of physical memory sit:
+//!
+//! * [`PhysAllocator`] — a first-fit free-list allocator handing out
+//!   physically-consecutive ranges, plus the *chunked* allocation mode LITE
+//!   uses for large LMRs (§4.1: large LMRs are split into smaller
+//!   physically-consecutive chunks to avoid external fragmentation).
+//! * [`AddrSpace`] — a per-process virtual address space with a page table.
+//!   Native Verbs registers memory regions by *virtual* address, which is
+//!   why the RNIC model has to walk/cache PTEs; LITE bypasses the page
+//!   table by registering one global MR over physical memory.
+//!
+//! Pinning is modeled explicitly: registering a Verbs MR pins every page
+//! (a per-page virtual-time cost — the dominant term in the paper's
+//! Figure 8), and unpinning happens on deregistration.
+
+pub mod addrspace;
+pub mod alloc;
+pub mod error;
+pub mod phys;
+
+pub use addrspace::{AddrSpace, VirtAddr};
+pub use alloc::{Chunk, PhysAllocator};
+pub use error::MemError;
+pub use phys::{PhysAddr, PhysMem, PAGE_SHIFT, PAGE_SIZE};

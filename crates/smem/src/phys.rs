@@ -1,0 +1,259 @@
+//! Sparse, page-granular physical memory.
+//!
+//! Concurrency model: a sharded `RwLock<HashMap>` maps page frame numbers
+//! to `Arc<Mutex<Page>>`. One-sided RDMA from many requester threads into
+//! one node therefore contends only per page, mirroring DRAM banks more
+//! closely than a single big lock would.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::error::MemError;
+
+/// Page size (bytes). Matches x86-64 base pages, like the paper's testbed.
+pub const PAGE_SIZE: usize = 4096;
+/// log2 of [`PAGE_SIZE`].
+pub const PAGE_SHIFT: u32 = 12;
+
+const SHARDS: usize = 64;
+
+/// A physical address on one simulated node.
+pub type PhysAddr = u64;
+
+type Page = Box<[u8; PAGE_SIZE]>;
+
+/// One node's physical memory.
+pub struct PhysMem {
+    size: u64,
+    shards: Vec<RwLock<HashMap<u64, Arc<Mutex<Page>>>>>,
+}
+
+impl PhysMem {
+    /// Creates a physical address space of `size` bytes (rounded up to a
+    /// page). Pages materialize zero-filled on first touch.
+    pub fn new(size: u64) -> Self {
+        let size = size.div_ceil(PAGE_SIZE as u64) * PAGE_SIZE as u64;
+        PhysMem {
+            size,
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    /// Size of the physical address space in bytes.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Number of pages actually materialized (host-memory footprint).
+    pub fn resident_pages(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    fn check(&self, addr: PhysAddr, len: usize) -> Result<(), MemError> {
+        if addr
+            .checked_add(len as u64)
+            .is_none_or(|end| end > self.size)
+        {
+            return Err(MemError::BadPhysAddr { addr, len });
+        }
+        Ok(())
+    }
+
+    fn page(&self, pfn: u64) -> Arc<Mutex<Page>> {
+        let shard = &self.shards[(pfn as usize) % SHARDS];
+        if let Some(p) = shard.read().get(&pfn) {
+            return Arc::clone(p);
+        }
+        let mut w = shard.write();
+        Arc::clone(
+            w.entry(pfn)
+                .or_insert_with(|| Arc::new(Mutex::new(Box::new([0u8; PAGE_SIZE])))),
+        )
+    }
+
+    /// Visits each `(page, offset, len)` fragment of the byte range.
+    fn for_each_fragment(
+        &self,
+        addr: PhysAddr,
+        len: usize,
+        mut f: impl FnMut(&Arc<Mutex<Page>>, usize, usize, usize),
+    ) {
+        let mut off = 0usize;
+        while off < len {
+            let cur = addr + off as u64;
+            let pfn = cur >> PAGE_SHIFT;
+            let in_page = (cur & (PAGE_SIZE as u64 - 1)) as usize;
+            let n = (PAGE_SIZE - in_page).min(len - off);
+            let page = self.page(pfn);
+            f(&page, in_page, off, n);
+            off += n;
+        }
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    pub fn read(&self, addr: PhysAddr, buf: &mut [u8]) -> Result<(), MemError> {
+        self.check(addr, buf.len())?;
+        self.for_each_fragment(addr, buf.len(), |page, in_page, off, n| {
+            let p = page.lock();
+            buf[off..off + n].copy_from_slice(&p[in_page..in_page + n]);
+        });
+        Ok(())
+    }
+
+    /// Writes `data` starting at `addr`.
+    pub fn write(&self, addr: PhysAddr, data: &[u8]) -> Result<(), MemError> {
+        self.check(addr, data.len())?;
+        self.for_each_fragment(addr, data.len(), |page, in_page, off, n| {
+            let mut p = page.lock();
+            p[in_page..in_page + n].copy_from_slice(&data[off..off + n]);
+        });
+        Ok(())
+    }
+
+    /// Fills `len` bytes at `addr` with `byte` (LT_memset's data plane).
+    pub fn fill(&self, addr: PhysAddr, len: usize, byte: u8) -> Result<(), MemError> {
+        self.check(addr, len)?;
+        self.for_each_fragment(addr, len, |page, in_page, _off, n| {
+            let mut p = page.lock();
+            p[in_page..in_page + n].fill(byte);
+        });
+        Ok(())
+    }
+
+    fn atomic_cell(&self, addr: PhysAddr) -> Result<(Arc<Mutex<Page>>, usize), MemError> {
+        self.check(addr, 8)?;
+        if addr % 8 != 0 || (addr & (PAGE_SIZE as u64 - 1)) as usize > PAGE_SIZE - 8 {
+            return Err(MemError::BadAtomic { addr });
+        }
+        Ok((
+            self.page(addr >> PAGE_SHIFT),
+            (addr % PAGE_SIZE as u64) as usize,
+        ))
+    }
+
+    /// Atomically adds `delta` to the little-endian u64 at `addr` and
+    /// returns the *previous* value (RDMA fetch-and-add semantics).
+    pub fn fetch_add_u64(&self, addr: PhysAddr, delta: u64) -> Result<u64, MemError> {
+        let (page, off) = self.atomic_cell(addr)?;
+        let mut p = page.lock();
+        let old = u64::from_le_bytes(p[off..off + 8].try_into().expect("8 bytes"));
+        p[off..off + 8].copy_from_slice(&old.wrapping_add(delta).to_le_bytes());
+        Ok(old)
+    }
+
+    /// Atomic compare-and-swap on the u64 at `addr`; returns the previous
+    /// value (swap happened iff it equals `expect`).
+    pub fn cas_u64(&self, addr: PhysAddr, expect: u64, new: u64) -> Result<u64, MemError> {
+        let (page, off) = self.atomic_cell(addr)?;
+        let mut p = page.lock();
+        let old = u64::from_le_bytes(p[off..off + 8].try_into().expect("8 bytes"));
+        if old == expect {
+            p[off..off + 8].copy_from_slice(&new.to_le_bytes());
+        }
+        Ok(old)
+    }
+
+    /// Reads the u64 at `addr` atomically.
+    pub fn load_u64(&self, addr: PhysAddr) -> Result<u64, MemError> {
+        let (page, off) = self.atomic_cell(addr)?;
+        let p = page.lock();
+        Ok(u64::from_le_bytes(
+            p[off..off + 8].try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Writes the u64 at `addr` atomically.
+    pub fn store_u64(&self, addr: PhysAddr, v: u64) -> Result<(), MemError> {
+        let (page, off) = self.atomic_cell(addr)?;
+        let mut p = page.lock();
+        p[off..off + 8].copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip_cross_page() {
+        let m = PhysMem::new(1 << 20);
+        let data: Vec<u8> = (0..10_000).map(|i| (i % 251) as u8).collect();
+        // Straddle several page boundaries.
+        m.write(PAGE_SIZE as u64 - 100, &data).unwrap();
+        let mut back = vec![0u8; data.len()];
+        m.read(PAGE_SIZE as u64 - 100, &mut back).unwrap();
+        assert_eq!(back, data);
+        assert!(m.resident_pages() >= 3);
+    }
+
+    #[test]
+    fn zero_filled_on_first_touch() {
+        let m = PhysMem::new(1 << 20);
+        let mut buf = [1u8; 64];
+        m.read(4096, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 64]);
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let m = PhysMem::new(8192);
+        let mut b = [0u8; 16];
+        assert!(m.read(8192 - 8, &mut b).is_err());
+        assert!(m.write(u64::MAX - 4, &[0; 8]).is_err());
+        assert!(m.read(0, &mut b).is_ok());
+    }
+
+    #[test]
+    fn fill_works() {
+        let m = PhysMem::new(1 << 16);
+        m.fill(100, 5000, 0xAB).unwrap();
+        let mut b = vec![0u8; 5000];
+        m.read(100, &mut b).unwrap();
+        assert!(b.iter().all(|&x| x == 0xAB));
+        let mut edge = [0u8; 1];
+        m.read(99, &mut edge).unwrap();
+        assert_eq!(edge[0], 0);
+    }
+
+    #[test]
+    fn atomics() {
+        let m = PhysMem::new(1 << 16);
+        assert_eq!(m.fetch_add_u64(64, 5).unwrap(), 0);
+        assert_eq!(m.fetch_add_u64(64, 3).unwrap(), 5);
+        assert_eq!(m.load_u64(64).unwrap(), 8);
+        assert_eq!(m.cas_u64(64, 8, 100).unwrap(), 8);
+        assert_eq!(m.load_u64(64).unwrap(), 100);
+        assert_eq!(m.cas_u64(64, 8, 42).unwrap(), 100, "failed CAS returns old");
+        assert_eq!(m.load_u64(64).unwrap(), 100);
+        assert!(m.fetch_add_u64(63, 1).is_err(), "misaligned");
+    }
+
+    #[test]
+    fn concurrent_fetch_add_is_atomic() {
+        let m = std::sync::Arc::new(PhysMem::new(1 << 16));
+        let hs: Vec<_> = (0..8)
+            .map(|_| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        m.fetch_add_u64(0, 1).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(m.load_u64(0).unwrap(), 80_000);
+    }
+
+    #[test]
+    fn store_load_u64() {
+        let m = PhysMem::new(1 << 16);
+        m.store_u64(8, 0xDEADBEEF).unwrap();
+        assert_eq!(m.load_u64(8).unwrap(), 0xDEADBEEF);
+    }
+}

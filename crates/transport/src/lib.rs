@@ -1,0 +1,16 @@
+#![warn(missing_docs)]
+
+//! Baseline transports from the LITE evaluation.
+//!
+//! * [`tcp`] — TCP/IP over IPoIB, the kernel-socket baseline the paper
+//!   measures with `qperf` (Figs 6 and 7) and the transport under the
+//!   Hadoop-like and PowerGraph baselines (Figs 18 and 19).
+//! * [`rdma_cm`] — an `rsockets`/RDMA-CM-style socket wrapper over raw RC
+//!   verbs (the `RDMA-CM` lines of Fig 7): near-verbs performance, but
+//!   per-connection resources and none of LITE's management.
+
+pub mod rdma_cm;
+pub mod tcp;
+
+pub use rdma_cm::RcmSock;
+pub use tcp::{TcpCostModel, TcpNet, TcpSock};

@@ -1,0 +1,96 @@
+//! Transport-level stress: RDMA-CM flow control under a fast producer,
+//! and TCP behavior with many connections sharing one endpoint.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rnic::{IbConfig, IbFabric};
+use simnet::Ctx;
+use smem::{AddrSpace, PhysAllocator};
+use transport::{RcmSock, TcpCostModel, TcpNet};
+
+fn spaces(n: usize) -> Vec<Arc<AddrSpace>> {
+    (0..n)
+        .map(|_| {
+            Arc::new(AddrSpace::new(Arc::new(Mutex::new(PhysAllocator::new(
+                0,
+                1 << 28,
+            )))))
+        })
+        .collect()
+}
+
+/// A sender racing far ahead of a slow receiver must block on credits
+/// instead of overrunning the receive ring, and every byte must arrive
+/// intact and in order.
+#[test]
+fn rcm_sender_blocks_on_slow_receiver() {
+    let fabric = IbFabric::new(IbConfig::with_nodes(2));
+    let sp = spaces(2);
+    let (a, b) = RcmSock::pair(
+        &fabric,
+        (0, Arc::clone(&sp[0])),
+        (1, Arc::clone(&sp[1])),
+        1024,
+    )
+    .unwrap();
+    let n = 500u32; // far more than the 64-entry ring
+    let recv = std::thread::spawn(move || {
+        let mut ctx = Ctx::new();
+        for i in 0..n {
+            // Receiver dawdles in real time to force credit exhaustion.
+            if i % 50 == 0 {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            let got = b.recv(&mut ctx, Duration::from_secs(10)).unwrap();
+            assert_eq!(got, i.to_le_bytes(), "reordered or corrupted at {i}");
+        }
+    });
+    let mut ctx = Ctx::new();
+    for i in 0..n {
+        a.send(&mut ctx, &i.to_le_bytes()).unwrap();
+    }
+    recv.join().unwrap();
+}
+
+/// Many TCP connections through one node's kernel/wire resources: the
+/// aggregate stays at the modeled bandwidth, and per-connection framing
+/// is preserved.
+#[test]
+fn tcp_many_connections_share_bandwidth() {
+    let net = TcpNet::new(2, TcpCostModel::default());
+    let conns = 6usize;
+    let per_conn = 60usize;
+    let msg = vec![3u8; 32 * 1024];
+    let mut joins = Vec::new();
+    for c in 0..conns {
+        let (a, b) = net.connect(0, 1);
+        let msg = msg.clone();
+        joins.push(std::thread::spawn(move || {
+            let recv = std::thread::spawn(move || {
+                let mut ctx = Ctx::new();
+                for _ in 0..per_conn {
+                    let got = b.recv(&mut ctx).unwrap();
+                    assert_eq!(got.len(), 32 * 1024);
+                }
+                ctx.now()
+            });
+            let mut ctx = Ctx::new();
+            let _ = c;
+            for _ in 0..per_conn {
+                a.send(&mut ctx, &msg);
+            }
+            recv.join().unwrap()
+        }));
+    }
+    let makespan = joins.into_iter().map(|j| j.join().unwrap()).max().unwrap();
+    let bytes = (conns * per_conn * msg.len()) as f64;
+    let gbps = bytes / makespan as f64;
+    // All six connections share one ~2.1 GB/s IPoIB endpoint.
+    assert!(
+        gbps <= 2.4,
+        "aggregate {gbps:.2} GB/s exceeds the shared endpoint"
+    );
+    assert!(gbps > 0.8, "aggregate {gbps:.2} GB/s implausibly low");
+}

@@ -1,0 +1,138 @@
+//! A distributed key-value store in ~100 lines of LITE — the class of
+//! application (Pilaf, HERD, FaRM's hash table) that motivated the paper.
+//!
+//! Design: values live in per-node LMR arenas; a `PUT` RPC installs the
+//! value at the arena node and returns its (node, offset, len) locator;
+//! `GET`s go through a locator cache and fetch the value with a
+//! *one-sided* `LT_read` — the serving node's CPU is never involved.
+//!
+//! ```text
+//! cargo run --example kv_store
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use lite::{LiteCluster, LiteHandle, Perm, USER_FUNC_MIN};
+use simnet::Ctx;
+
+const PUT: u8 = USER_FUNC_MIN;
+const LOOKUP: u8 = USER_FUNC_MIN + 1;
+
+/// Runs the arena/directory server on `node`.
+fn server(cluster: Arc<LiteCluster>, node: usize, puts_expected: usize) {
+    let mut h = cluster.attach(node).expect("attach");
+    let mut ctx = Ctx::new();
+    // The value arena: one big LMR other nodes read one-sidedly.
+    let arena = h
+        .lt_malloc(
+            &mut ctx,
+            node,
+            1 << 20,
+            &format!("kv.arena.{node}"),
+            Perm::RO,
+        )
+        .expect("arena");
+    let mut next = 0u64;
+    let mut directory: HashMap<Vec<u8>, (u64, u32)> = HashMap::new();
+    let mut served = 0;
+    // puts + gets + one final negative lookup.
+    while served < puts_expected * 2 + 1 {
+        let call = h.lt_recv_rpc(&mut ctx, PUT).expect("recv");
+        served += 1;
+        match call.input[0] {
+            0 => {
+                // PUT: [0, klen u16, key, value...]
+                let klen = u16::from_le_bytes([call.input[1], call.input[2]]) as usize;
+                let key = call.input[3..3 + klen].to_vec();
+                let value = &call.input[3 + klen..];
+                h.lt_write(&mut ctx, arena, next, value).expect("install");
+                directory.insert(key, (next, value.len() as u32));
+                let mut out = next.to_le_bytes().to_vec();
+                out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+                next += value.len().max(64) as u64;
+                h.lt_reply_rpc(&mut ctx, &call, &out).expect("reply");
+            }
+            _ => {
+                // LOOKUP: [1, key...] -> (offset, len) or len = 0.
+                let key = &call.input[1..];
+                let (off, len) = directory.get(key).copied().unwrap_or((0, 0));
+                let mut out = off.to_le_bytes().to_vec();
+                out.extend_from_slice(&len.to_le_bytes());
+                h.lt_reply_rpc(&mut ctx, &call, &out).expect("reply");
+            }
+        }
+    }
+}
+
+fn put(h: &mut LiteHandle, ctx: &mut Ctx, node: usize, key: &[u8], value: &[u8]) {
+    let mut msg = vec![0u8];
+    msg.extend_from_slice(&(key.len() as u16).to_le_bytes());
+    msg.extend_from_slice(key);
+    msg.extend_from_slice(value);
+    h.lt_rpc(ctx, node, PUT, &msg, 64).expect("put");
+}
+
+fn get(
+    h: &mut LiteHandle,
+    ctx: &mut Ctx,
+    node: usize,
+    arena_lh: u64,
+    key: &[u8],
+) -> Option<Vec<u8>> {
+    let mut msg = vec![1u8];
+    msg.extend_from_slice(key);
+    let loc = h.lt_rpc(ctx, node, PUT, &msg, 64).expect("lookup");
+    let off = u64::from_le_bytes(loc[0..8].try_into().unwrap());
+    let len = u32::from_le_bytes(loc[8..12].try_into().unwrap()) as usize;
+    if len == 0 {
+        return None;
+    }
+    // The data path: one-sided read, no server CPU.
+    let mut buf = vec![0u8; len];
+    h.lt_read(ctx, arena_lh, off, &mut buf).expect("read");
+    Some(buf)
+}
+
+fn main() {
+    let _ = LOOKUP;
+    let cluster = LiteCluster::start(3).expect("cluster");
+    cluster.attach(1).unwrap().register_rpc(PUT).unwrap();
+    let n_keys = 50usize;
+    let srv = {
+        let cluster = Arc::clone(&cluster);
+        std::thread::spawn(move || server(cluster, 1, n_keys))
+    };
+
+    let mut h = cluster.attach(0).expect("attach");
+    let mut ctx = Ctx::new();
+    for i in 0..n_keys {
+        let key = format!("user:{i}");
+        let value = format!("{{\"id\":{i},\"name\":\"user {i}\"}}");
+        put(&mut h, &mut ctx, 1, key.as_bytes(), value.as_bytes());
+    }
+    println!("installed {n_keys} keys on node 1");
+
+    // Map the arena once; GETs after the first are one-sided reads.
+    let arena_lh = h.lt_map(&mut ctx, "kv.arena.1").expect("map arena");
+    let t0 = ctx.now();
+    let mut hits = 0;
+    for i in 0..n_keys {
+        let key = format!("user:{i}");
+        if let Some(v) = get(&mut h, &mut ctx, 1, arena_lh, key.as_bytes()) {
+            assert!(std::str::from_utf8(&v)
+                .unwrap()
+                .contains(&format!("\"id\":{i}")));
+            hits += 1;
+        }
+    }
+    let per_get = (ctx.now() - t0) / n_keys as u64;
+    println!(
+        "{hits}/{n_keys} GETs, {:.2} us each (lookup RPC + one-sided read)",
+        per_get as f64 / 1000.0
+    );
+    assert_eq!(hits, n_keys);
+    assert!(get(&mut h, &mut ctx, 1, arena_lh, b"missing").is_none());
+    srv.join().unwrap();
+    println!("done");
+}

@@ -1,0 +1,51 @@
+//! PageRank on the four Figure 19 substrates.
+//!
+//! ```text
+//! cargo run --release --example pagerank
+//! ```
+
+use lite::LiteCluster;
+use lite_graph::{
+    run_dsm, run_grappa, run_lite, run_powergraph_tcp, run_reference, Graph, PagerankConfig,
+};
+
+fn main() {
+    let g = Graph::power_law(20_000, 160_000, 0.9, 7);
+    println!(
+        "graph: {} vertices, {} edges (power-law)",
+        g.n,
+        g.edges.len()
+    );
+    let cfg = PagerankConfig::default();
+    let reference = run_reference(&g, &cfg);
+
+    let cluster = LiteCluster::start(4).expect("cluster");
+    let lite_r = run_lite(&cluster, &g, 4, 4, &cfg).expect("lite");
+    let dsm_cluster = LiteCluster::start(4).expect("cluster");
+    let dsm_r = run_dsm(&dsm_cluster, &g, 4, 4, &cfg).expect("dsm");
+    let grappa_r = run_grappa(&g, 4, 4, &cfg);
+    let tcp_r = run_powergraph_tcp(&g, 4, 4, &cfg);
+
+    for (name, r) in [
+        ("LITE-Graph     ", &lite_r),
+        ("LITE-Graph-DSM ", &dsm_r),
+        ("Grappa-like    ", &grappa_r),
+        ("PowerGraph/TCP ", &tcp_r),
+    ] {
+        for (a, b) in r.ranks.iter().zip(&reference.ranks) {
+            assert!((a - b).abs() < 1e-9, "rank divergence in {name}");
+        }
+        println!(
+            "{name} {:>8.2} ms   ({} iterations)",
+            r.runtime_ns as f64 / 1e6,
+            r.iterations
+        );
+    }
+    let top = reference
+        .ranks
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap();
+    println!("highest-ranked vertex: {} (rank {:.6})", top.0, top.1);
+}

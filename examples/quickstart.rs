@@ -1,0 +1,70 @@
+//! Quickstart: the LITE memory and RPC APIs in one minute.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use lite::{LiteCluster, Perm, USER_FUNC_MIN};
+use simnet::Ctx;
+
+const GREET: u8 = USER_FUNC_MIN;
+
+fn main() {
+    // A 3-node LITE cluster: node 0 doubles as the cluster manager.
+    let cluster = LiteCluster::start(3).expect("start cluster");
+
+    // --- Memory: allocate a named LMR on node 2, write from node 0. ---
+    let mut h0 = cluster.attach(0).expect("attach");
+    let mut ctx = Ctx::new();
+    let lh = h0
+        .lt_malloc(&mut ctx, 2, 4096, "greeting", Perm::RW)
+        .expect("malloc");
+    h0.lt_write(&mut ctx, lh, 0, b"hello from node 0")
+        .expect("write");
+    println!("node 0 wrote 17 bytes into an LMR on node 2 (one-sided)");
+
+    // --- Node 1 maps the same LMR by name and reads it. ---
+    let mut h1 = cluster.attach(1).expect("attach");
+    let mut ctx1 = Ctx::new();
+    let lh1 = h1.lt_map(&mut ctx1, "greeting").expect("map");
+    let mut buf = [0u8; 17];
+    let t0 = ctx1.now();
+    h1.lt_read(&mut ctx1, lh1, 0, &mut buf).expect("read");
+    println!(
+        "node 1 read {:?} in {:.2} us (one-sided, no remote CPU)",
+        std::str::from_utf8(&buf).unwrap(),
+        (ctx1.now() - t0) as f64 / 1000.0
+    );
+
+    // --- RPC: node 2 serves a function; node 0 calls it. ---
+    cluster.attach(2).unwrap().register_rpc(GREET).unwrap();
+    let c2 = std::sync::Arc::clone(&cluster);
+    let server = std::thread::spawn(move || {
+        let mut h = c2.attach(2).expect("attach");
+        let mut ctx = Ctx::new();
+        let call = h.lt_recv_rpc(&mut ctx, GREET).expect("recv");
+        let reply = format!("hi, node {}!", call.src_node);
+        h.lt_reply_rpc(&mut ctx, &call, reply.as_bytes())
+            .expect("reply");
+    });
+    let t0 = ctx.now();
+    let reply = h0.lt_rpc(&mut ctx, 2, GREET, b"ping", 4096).expect("rpc");
+    println!(
+        "RPC to node 2 returned {:?} in {:.2} us",
+        std::str::from_utf8(&reply).unwrap(),
+        (ctx.now() - t0) as f64 / 1000.0
+    );
+    server.join().unwrap();
+
+    // --- Synchronization: a distributed lock and an atomic counter. ---
+    let lock = h0.lt_create_lock(&mut ctx).expect("lock");
+    h0.lt_lock(&mut ctx, lock).unwrap();
+    let old = h0.lt_fetch_add(&mut ctx, lh, 1024, 41).unwrap();
+    h0.lt_unlock(&mut ctx, lock).unwrap();
+    println!("fetch-add under a LITE lock: old value {old}");
+
+    println!(
+        "virtual time spent by node 0: {:.1} us",
+        ctx.now() as f64 / 1000.0
+    );
+}

@@ -1,0 +1,53 @@
+//! WordCount three ways: Phoenix (single node), LITE-MR (distributed),
+//! and the Hadoop-like baseline — Figure 18 in miniature.
+//!
+//! ```text
+//! cargo run --release --example wordcount
+//! ```
+
+use lite::LiteCluster;
+use lite_mr::{reference_counts, run_hadoop, run_litemr, run_phoenix, Text};
+
+fn main() {
+    let text = Text::generate(300_000, 20_000, 1.0, 42);
+    println!(
+        "corpus: {} words, ~{} KB",
+        text.words.len(),
+        text.bytes() / 1024
+    );
+    let reference = reference_counts(&text);
+
+    let p = run_phoenix(&text, 16);
+    assert_eq!(p.counts, reference);
+    println!(
+        "Phoenix (1 node, 16 threads): {:.1} ms",
+        p.runtime_ns as f64 / 1e6
+    );
+
+    let cluster = LiteCluster::start(5).expect("cluster");
+    let l = run_litemr(&cluster, &text, 4, 4).expect("litemr");
+    assert_eq!(l.counts, reference);
+    println!(
+        "LITE-MR (4 worker nodes x 4 threads): {:.1} ms  (map {:.1} / reduce {:.1} / merge {:.1})",
+        l.runtime_ns as f64 / 1e6,
+        l.phases[0] as f64 / 1e6,
+        l.phases[1] as f64 / 1e6,
+        l.phases[2] as f64 / 1e6
+    );
+
+    let h = run_hadoop(&text, 4, 4);
+    assert_eq!(h.counts, reference);
+    println!(
+        "Hadoop-like (4 nodes, TCP/IPoIB + disk): {:.1} ms",
+        h.runtime_ns as f64 / 1e6
+    );
+
+    let top = &reference[..0]; // counts are sorted by word id, find max by count instead
+    let _ = top;
+    let (word, count) = reference.iter().max_by_key(|(_, c)| *c).unwrap();
+    println!("most frequent word id: {word} ({count} occurrences)");
+    println!(
+        "speedup over Hadoop: {:.1}x",
+        h.runtime_ns as f64 / l.runtime_ns as f64
+    );
+}

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Lines-of-code summary per crate plus LITE-API call-site counts per app
+# (the Figure 20 analogue).
+set -e
+cd "$(dirname "$0")/.."
+echo "== lines of Rust per crate =="
+for c in crates/*/; do
+  n=$(find "$c" -name '*.rs' | xargs wc -l | tail -1 | awk '{print $1}')
+  printf '%-24s %6s\n' "$(basename "$c")" "$n"
+done
+n=$(find src examples tests -name '*.rs' | xargs wc -l | tail -1 | awk '{print $1}')
+printf '%-24s %6s\n' "root (src+examples+tests)" "$n"
+echo
+echo "== LITE-API call sites per application (Fig 20 analogue) =="
+for c in lite-log lite-mr lite-graph lite-dsm; do
+  calls=$(grep -roE 'lt_[a-z_]+\(|register_rpc\(' "crates/$c/src" | wc -l)
+  printf '%-12s %4s call sites\n' "$c" "$calls"
+done
