@@ -1,0 +1,6 @@
+//! Regenerates Ablation: doorbell-batched posting.
+fn main() {
+    let full = bench::full_mode();
+    let rows = bench::figs::ablation::ablation_batch_posting(full);
+    bench::print_table("Ablation: doorbell-batched posting", "posting", &rows);
+}

@@ -121,6 +121,11 @@ fn main() {
         "policy",
         bench::figs::ablation::ablation_chunking
     );
+    run!(
+        "Ablation: doorbell-batched posting",
+        "posting",
+        bench::figs::ablation::ablation_batch_posting
+    );
     eprintln!(
         "\n(reproduced in {:.1?}, mode = {})",
         t0.elapsed(),

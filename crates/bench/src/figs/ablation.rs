@@ -195,6 +195,86 @@ pub fn ablation_qp_factor(full: bool) -> Vec<Row> {
     rows
 }
 
+/// Ablation: doorbell-batched posting through the shared datapath.
+///
+/// With `batch_posting` on, multi-extent writes (`rdma_write_vec`
+/// behind `lt_write` across LMR chunks) and the RPC reply's
+/// head-release + data pair go out as one `post_write_many` chain —
+/// one host post and one QP-context touch per chain instead of per
+/// work request. Off, the same chains degrade to element-at-a-time
+/// posting. This is the fig07/fig11 hot path, isolated.
+pub fn ablation_batch_posting(full: bool) -> Vec<Row> {
+    let write_ops = if full { 400 } else { 150 };
+    let rpc_per_client = if full { 300 } else { 100 };
+    let rpc_clients = 8usize;
+    let mut rows = Vec::new();
+    for (name, batch) in [("batched", true), ("unbatched", false)] {
+        // ---- Multi-extent writes: 8 KB over 512 B chunks = 16-WQE
+        // chains. At this extent size the per-WQE host charge
+        // (map check + doorbell) outweighs the engine service, so the
+        // unbatched path is host-bound and the chain pays for itself.
+        let env = LiteEnv::with_config(
+            2,
+            LiteConfig {
+                batch_posting: batch,
+                max_lmr_chunk: 512,
+                ..Default::default()
+            },
+        );
+        let mut h = env.cluster.attach(0).unwrap();
+        let mut ctx = Ctx::new();
+        let lh = h.lt_malloc(&mut ctx, 1, 256 << 10, "bp", Perm::RW).unwrap();
+        let buf = vec![3u8; 8192];
+        h.lt_write(&mut ctx, lh, 0, &buf).unwrap();
+        let start = ctx.now();
+        for i in 0..write_ops {
+            let off = ((i * 8192) as u64) % ((256 << 10) - 8192);
+            h.lt_write(&mut ctx, lh, off, &buf).unwrap();
+        }
+        let write_mops = write_ops as f64 * 16.0 / (ctx.now() - start) as f64 * 1_000.0;
+
+        // ---- RPC echo, fig11 shape: 8 clients on one ring keep the
+        // server busy; each reply is a head-release + data chain. ----
+        const F: u8 = lite::USER_FUNC_MIN + 9;
+        env.cluster.attach(1).unwrap().register_rpc(F).unwrap();
+        let total = rpc_clients * rpc_per_client;
+        let cluster = std::sync::Arc::clone(&env.cluster);
+        let srv = std::thread::spawn(move || {
+            let mut h = cluster.attach(1).unwrap();
+            let mut ctx = Ctx::new();
+            for _ in 0..total {
+                let call = h.lt_recv_rpc(&mut ctx, F).unwrap();
+                h.lt_reply_rpc(&mut ctx, &call, &[0u8; 512]).unwrap();
+            }
+        });
+        let mut clients = Vec::new();
+        for _ in 0..rpc_clients {
+            let cluster = std::sync::Arc::clone(&env.cluster);
+            clients.push(std::thread::spawn(move || {
+                let mut h = cluster.attach(0).unwrap();
+                let mut ctx = Ctx::new();
+                for _ in 0..rpc_per_client {
+                    h.lt_rpc(&mut ctx, 1, F, &[1u8; 64], 4096).unwrap();
+                }
+                ctx.now()
+            }));
+        }
+        let makespan = clients
+            .into_iter()
+            .map(|c| c.join().unwrap())
+            .max()
+            .unwrap();
+        srv.join().unwrap();
+        let rpc_kops = total as f64 / makespan as f64 * 1_000_000.0;
+        rows.push(
+            Row::new(name)
+                .cell("write_mops", write_mops)
+                .cell("rpc_kops", rpc_kops),
+        );
+    }
+    rows
+}
+
 /// Ablation: chunked large-LMR allocation (§4.1 reports <2 % overhead).
 pub fn ablation_chunking(full: bool) -> Vec<Row> {
     let ops = if full { 200 } else { 60 };

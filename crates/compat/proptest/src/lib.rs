@@ -1,0 +1,338 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! shim provides the subset of proptest's API the workspace uses: the
+//! `proptest!` macro (with optional `#![proptest_config(...)]`),
+//! integer-range / tuple / `collection::vec` / `any::<T>()` strategies,
+//! `ProptestConfig::with_cases`, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Inputs are drawn deterministically from a hash of the test's module
+//! path, name, and case index, so runs are reproducible. There is no
+//! shrinking: a failing case panics with the ordinary assertion message
+//! (the case is re-derivable from the test name + printed case number).
+
+use std::ops::Range;
+
+/// Run-time configuration for a `proptest!` block.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases executed per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic per-case entropy source (SplitMix64 seeded from a hash
+/// of the test identity and case index).
+#[derive(Debug)]
+pub struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    /// Builds the generator for case `case` of the test named `name`.
+    pub fn new(name: &str, case: u64) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Gen {
+            state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A failed test case, produced by `return Err(TestCaseError::fail(..))`
+/// inside a property body (the escape hatch for non-assertion failures).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Fails the current case with `reason`.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A source of random values of one type (no shrinking).
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, g: &mut Gen) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, g: &mut Gen) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (g.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, g: &mut Gen) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        let unit = (g.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, g: &mut Gen) -> f32 {
+        assert!(self.start < self.end, "empty strategy range");
+        let unit = (g.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, g: &mut Gen) -> Self::Value {
+        (self.0.sample(g), self.1.sample(g))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, g: &mut Gen) -> Self::Value {
+        (self.0.sample(g), self.1.sample(g), self.2.sample(g))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+    fn sample(&self, g: &mut Gen) -> Self::Value {
+        (
+            self.0.sample(g),
+            self.1.sample(g),
+            self.2.sample(g),
+            self.3.sample(g),
+        )
+    }
+}
+
+/// Types with a canonical full-range strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(g: &mut Gen) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(g: &mut Gen) -> $t {
+                g.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(g: &mut Gen) -> bool {
+        g.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy produced by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, g: &mut Gen) -> T {
+        T::arbitrary(g)
+    }
+}
+
+/// The full-range strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use super::{Gen, Strategy};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with a length drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, g: &mut Gen) -> Self::Value {
+            let n = self.len.sample(g);
+            (0..n).map(|_| self.element.sample(g)).collect()
+        }
+    }
+
+    /// Vectors of values from `element`, with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+/// Everything a property test file needs in scope.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` that runs the body over `cases` deterministic
+/// random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr);) => {};
+    (
+        cfg = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            for __case in 0..__cfg.cases {
+                let __label = concat!(module_path!(), "::", stringify!($name));
+                let mut __gen = $crate::Gen::new(__label, __case as u64);
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut __gen);)+
+                let __run = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        Ok(())
+                    }
+                ));
+                match __run {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => {
+                        panic!(
+                            "proptest: {} failed at case {}/{}: {}",
+                            __label, __case, __cfg.cases, e
+                        );
+                    }
+                    Err(panic) => {
+                        eprintln!(
+                            "proptest: {} failed at case {}/{}",
+                            __label, __case, __cfg.cases
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Property assertion; panics (failing the case) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Property equality assertion; panics (failing the case) when unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn gen_is_deterministic() {
+        let mut a = crate::Gen::new("t", 3);
+        let mut b = crate::Gen::new("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::Gen::new("t", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Ranges, tuples, and vec strategies stay in bounds.
+        #[test]
+        fn strategies_in_bounds(
+            x in 10u64..20,
+            pair in (0u8..2, 5usize..9),
+            items in prop::collection::vec((0u32..100, any::<u8>()), 1..30)
+        ) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!(pair.0 < 2 && (5..9).contains(&pair.1));
+            prop_assert!(!items.is_empty() && items.len() < 30);
+            for (v, _b) in &items {
+                prop_assert!(*v < 100);
+            }
+        }
+    }
+
+    proptest! {
+        /// The no-config arm compiles and runs too.
+        #[test]
+        fn default_config_works(v in prop::collection::vec(any::<u64>(), 0..4)) {
+            prop_assert!(v.len() < 4);
+        }
+    }
+}

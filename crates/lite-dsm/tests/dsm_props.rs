@@ -133,6 +133,9 @@ fn reads_move_data_one_sidedly() {
     assert!(reads >= 4, "data moved via one-sided reads (saw {reads})");
     // Registration RPCs are bounded by the number of fault batches, not
     // bytes: far fewer than a per-page-RPC design would need.
-    assert!(rpcs <= 8, "home CPU touched {rpcs} times for 4 faulted pages");
+    assert!(
+        rpcs <= 8,
+        "home CPU touched {rpcs} times for 4 faulted pages"
+    );
     dsm.shutdown();
 }

@@ -88,7 +88,7 @@ pub fn node_loop<B: Backend>(
 
     // Publish the initial segment so the first fetch has data.
     if nodes > 1 {
-        backend.publish(&mut ctx, &my_ranks, &active[mine.clone()].to_vec());
+        backend.publish(&mut ctx, &my_ranks, &active[mine.clone()]);
         backend.barrier(&mut ctx, seq);
         seq += 1;
     }

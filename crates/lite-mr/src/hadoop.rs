@@ -8,11 +8,9 @@
 //! modeled explicitly; the counting work itself is identical.
 
 use std::collections::HashMap;
-use std::sync::Arc;
 
-use parking_lot::Mutex;
 use simnet::Ctx;
-use transport::{TcpCostModel, TcpNet, TcpSock};
+use transport::{Mesh, MeshSock, TcpCostModel, TcpNet};
 
 use crate::model::{disk_time, HADOOP_RECORD_NS, MAP_WORD_NS, MERGE_RECORD_NS, TASK_LAUNCH_NS};
 use crate::text::Text;
@@ -23,16 +21,7 @@ use crate::{decode_pairs, encode_pairs, merge_sorted, WordCountResult};
 pub fn run_hadoop(text: &Text, nodes: usize, threads: usize) -> WordCountResult {
     let net = TcpNet::new(nodes, TcpCostModel::default());
     // Full-mesh sockets (shared by the per-node actors).
-    let mut mesh: Vec<Vec<Option<Arc<Mutex<TcpSock>>>>> = (0..nodes)
-        .map(|_| (0..nodes).map(|_| None).collect())
-        .collect();
-    for a in 0..nodes {
-        for b in (a + 1)..nodes {
-            let (sa, sb) = net.connect(a, b);
-            mesh[a][b] = Some(Arc::new(Mutex::new(sa)));
-            mesh[b][a] = Some(Arc::new(Mutex::new(sb)));
-        }
-    }
+    let mesh = Mesh::full(&net);
 
     // One map task per split; `threads` task slots per node run in waves.
     let tasks_per_node = threads; // one wave of map tasks per node
@@ -48,7 +37,7 @@ pub fn run_hadoop(text: &Text, nodes: usize, threads: usize) -> WordCountResult 
     for node in 0..nodes {
         let my_splits: Vec<Vec<u32>> =
             splits[node * tasks_per_node..(node + 1) * tasks_per_node].to_vec();
-        let row: Vec<Option<Arc<Mutex<TcpSock>>>> = mesh[node].clone();
+        let row: Vec<Option<MeshSock>> = mesh.row(node);
         handles.push(std::thread::spawn(move || {
             let mut ctx = Ctx::new();
 
@@ -91,6 +80,7 @@ pub fn run_hadoop(text: &Text, nodes: usize, threads: usize) -> WordCountResult 
                     .advance(MERGE_RECORD_NS * (run.len() + merged.len()) as u64);
                 merged = merge_sorted(&merged, &run);
             }
+            #[allow(clippy::needless_range_loop)]
             for src in 0..nodes {
                 if src == node {
                     continue;
@@ -124,7 +114,7 @@ pub fn run_hadoop(text: &Text, nodes: usize, threads: usize) -> WordCountResult 
 
     let mut final_counts: Vec<(u32, u64)> = Vec::new();
     let (mut map_t, mut reduce_t) = (0u64, 0u64);
-    let mut gather: Option<(Ctx, Vec<Option<Arc<Mutex<TcpSock>>>>)> = None;
+    let mut gather: Option<(Ctx, Vec<Option<MeshSock>>)> = None;
     for (node, h) in handles.into_iter().enumerate() {
         let (ctx, m, r, counts, row) = h.join().expect("node actor");
         map_t = map_t.max(m);
@@ -136,6 +126,7 @@ pub fn run_hadoop(text: &Text, nodes: usize, threads: usize) -> WordCountResult 
     }
     // Node 0 collects the per-node reduce outputs.
     let (mut ctx0, row) = gather.expect("node 0");
+    #[allow(clippy::needless_range_loop)]
     for src in 1..nodes {
         let bytes = row[src]
             .as_ref()

@@ -73,6 +73,7 @@ pub fn run_litemr(
     let per_word = map_word_cost(threads_per_node);
 
     let mut handles = Vec::new();
+    #[allow(clippy::needless_range_loop)]
     for w in 0..w_total {
         let node = 1 + w / threads_per_node;
         let split = splits[w].clone();
@@ -193,10 +194,14 @@ mod tests {
     fn more_nodes_speed_up_map_phase() {
         let text = Text::generate(200_000, 1000, 1.0, 13);
         let c2 = LiteCluster::start(3).unwrap();
-        let r2 = run_litemr(&c2, &text, 2, 4).unwrap();
+        let r2 = run_litemr(&c2, &text, 2, 8).unwrap();
         let c4 = LiteCluster::start(5).unwrap();
-        let r4 = run_litemr(&c4, &text, 4, 2).unwrap();
+        let r4 = run_litemr(&c4, &text, 4, 4).unwrap();
         // Same total threads; more nodes = less index contention (§8.2).
+        // 8-vs-4 threads per node keeps the per-node index past its
+        // saturation point (`map_word_cost` flattens below 6 clients), so
+        // the margin comes from the modeled contention, not scheduling
+        // noise.
         assert!(
             r4.phases[0] < r2.phases[0],
             "4-node map {} !< 2-node map {}",

@@ -26,20 +26,21 @@
 
 use std::sync::Arc;
 
+use parking_lot::Mutex;
 use rnic::NodeId;
 use simnet::{Ctx, Nanos};
 use smem::Chunk;
 
 use crate::error::{LiteError, LiteResult};
+use crate::kernel::datapath::Op;
 use crate::kernel::{
-    codec::{Dec, Enc},
     perm_to_byte, LiteKernel, ReplyRoute, FN_BARRIER, FN_FREE_CHUNKS, FN_GRANT, FN_INVALIDATE,
     FN_LOCK, FN_MALLOC, FN_MAP, FN_MEMCPY, FN_MEMSET, FN_MSG, FN_QUERYNAME, FN_REGNAME,
     FN_TAKE_RECORD, FN_UNMAP, FN_UNREGNAME, MANAGER_NODE, USER_FUNC_MIN,
 };
 use crate::lmr::{LhEntry, LmrId, Location, Perm};
 use crate::qos::Priority;
-use crate::wire::{Imm, MsgHeader, HEADER_BYTES};
+use crate::wire::{Dec, Enc, Imm, MsgHeader, HEADER_BYTES};
 
 /// A cluster-wide lock identity (§7.2: a 64-bit integer in an internal
 /// LMR with an owner node). `Copy` — distribute it to other nodes through
@@ -65,6 +66,10 @@ pub struct RpcCall {
     /// Calling process.
     pub src_pid: u32,
     pub(crate) route: ReplyRoute,
+    /// Deferred ring-release head update, flushed together with the
+    /// reply in one doorbell batch (only set with `batch_posting`, for
+    /// remote two-way calls).
+    pub(crate) pending_head: Mutex<Option<Op>>,
 }
 
 /// A physical scratch region owned by a handle.
@@ -656,18 +661,21 @@ impl LiteHandle {
         let pieces = entry.check(offset, data.len(), Perm::RW)?;
         let staged = self.stage(data)?;
         let mut off = 0u64;
-        let mut last = ctx.now();
+        let mut vec_pieces = Vec::with_capacity(pieces.len());
         for (node, c) in pieces {
-            let src = [Chunk {
-                addr: staged + off,
-                len: c.len,
-            }];
-            let comp =
-                self.kernel
-                    .rdma_write(ctx, self.prio, node, c.addr, &src, c.len as usize)?;
-            last = last.max(comp);
+            vec_pieces.push((
+                node,
+                c.addr,
+                Chunk {
+                    addr: staged + off,
+                    len: c.len,
+                },
+            ));
             off += c.len;
         }
+        // Multi-extent writes towards one node chain into a single
+        // doorbell batch; single-extent writes post as before.
+        let last = self.kernel.rdma_write_vec(ctx, self.prio, &vec_pieces)?;
         self.finish_blocking(ctx, last);
         self.exit(ctx);
         Ok(())
@@ -846,12 +854,23 @@ impl LiteHandle {
         let input = self.kernel.read_ring_payload(client, &inc)?;
         ctx.work(self.kernel.fabric().cost().memcpy_time(input.len() as u64));
         ctx.work(self.kernel.config.rpc_meta_ns);
-        self.kernel.release_ring(ctx, client, &inc)?;
+        // For remote two-way calls with batching on, defer the
+        // ring-release head update: the reply path chains it with the
+        // reply into one doorbell batch (one post for §5.1 steps e+f).
+        let defer =
+            self.kernel.config.batch_posting && inc.hdr.slot != 0 && client != self.kernel.node();
+        let pending_head = if defer {
+            self.kernel.release_ring_op(client, &inc)
+        } else {
+            self.kernel.release_ring(ctx, client, &inc)?;
+            None
+        };
         Ok(RpcCall {
             input,
             src_node: client,
             src_pid: inc.hdr.src_pid,
             route: ReplyRoute::of_hdr(&inc.hdr),
+            pending_head: Mutex::new(pending_head),
         })
     }
 
@@ -877,8 +896,9 @@ impl LiteHandle {
             addr: staged,
             len: output.len() as u64,
         }];
+        let head = call.pending_head.lock().take();
         self.kernel
-            .send_reply(ctx, self.prio, call.route, &chunks, output.len())?;
+            .send_reply_with(ctx, self.prio, call.route, &chunks, output.len(), head)?;
         self.exit(ctx);
         Ok(())
     }
@@ -898,8 +918,9 @@ impl LiteHandle {
             addr: staged,
             len: output.len() as u64,
         }];
+        let head = call.pending_head.lock().take();
         self.kernel
-            .send_reply(ctx, self.prio, call.route, &chunks, output.len())?;
+            .send_reply_with(ctx, self.prio, call.route, &chunks, output.len(), head)?;
         let timeout = self.kernel.config.op_timeout;
         let inc = self.kernel.pop_rpc(ctx, func, timeout)?;
         let next = self.finish_recv(ctx, inc)?;
@@ -1140,7 +1161,7 @@ impl Drop for LiteHandle {
     }
 }
 
-fn single_piece<'a>(pieces: &'a [(NodeId, Chunk)]) -> LiteResult<(NodeId, &'a Chunk)> {
+fn single_piece(pieces: &[(NodeId, Chunk)]) -> LiteResult<(NodeId, &Chunk)> {
     if pieces.len() != 1 {
         return Err(LiteError::OutOfBounds { offset: 0, len: 8 });
     }

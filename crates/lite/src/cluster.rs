@@ -107,6 +107,13 @@ impl LiteCluster {
         &self.kernels[node]
     }
 
+    /// The transport-agnostic datapath of `node` — the same op plane the
+    /// kernel posts through, exposed for consumers that select backends
+    /// via the [`DataPath`](crate::kernel::datapath::DataPath) trait.
+    pub fn datapath(&self, node: NodeId) -> Arc<dyn crate::kernel::datapath::DataPath> {
+        Arc::clone(self.kernels[node].datapath()) as _
+    }
+
     /// Attaches a user-level process on `node` (LT_join).
     pub fn attach(&self, node: NodeId) -> LiteResult<LiteHandle> {
         LiteHandle::new(Arc::clone(&self.kernels[node]), true)

@@ -47,6 +47,10 @@ pub struct LiteConfig {
     /// registering each LMR as a native virtual MR, resurrecting the
     /// Fig 4/5 cliffs (DESIGN.md ablation `global_mr`).
     pub use_global_mr: bool,
+    /// `false` disables doorbell-batched posting: chains handed to
+    /// `DataPath::post_many` degrade to one host post + QP-context touch
+    /// per work request instead of one per chain.
+    pub batch_posting: bool,
 }
 
 impl Default for LiteConfig {
@@ -66,6 +70,7 @@ impl Default for LiteConfig {
             fast_syscalls: true,
             adaptive_poll: true,
             use_global_mr: true,
+            batch_posting: true,
         }
     }
 }

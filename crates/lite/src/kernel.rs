@@ -1,4 +1,4 @@
-//! The per-node LITE kernel module.
+//! The per-node LITE kernel module: composition root.
 //!
 //! One `LiteKernel` per node owns everything the paper's loadable module
 //! owns: the node's physical allocator, the single *global physical MR*
@@ -7,28 +7,47 @@
 //! tables, master records, and the kernel-internal services (naming,
 //! mapping, locks, barriers, memory ops) that the LITE API is built on.
 //!
-//! Kernel-internal services are *event-driven handlers executed by the
-//! polling thread* — none of them blocks, and multi-step operations (e.g.
-//! `LT_malloc` + name registration) are driven by the calling thread as a
-//! sequence of RPCs, so the poller can never deadlock.
+//! This file only holds the struct, construction, and cluster wiring;
+//! the behavior lives in focused submodules:
+//!
+//! * [`datapath`] — op descriptors, the [`datapath::DataPath`] trait,
+//!   and the verbs/TCP implementations (one-sided plane + batching).
+//! * [`rpc`] — rings, completion slots, reply routing, the poll loop.
+//! * [`msg`] — kernel services (naming, mapping, locks, barriers).
+//! * [`chunkio`] — gather/scatter between chunk lists and memory.
+//! * [`stats`] — hot-path counters and the stats snapshot.
 
-use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
-use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex, RwLock};
+use parking_lot::{Mutex, RwLock};
 use rnic::qp::{RecvEntry, RecvQueue};
-use rnic::{Cq, IbFabric, NodeId, Qp, RemoteAddr, Sge, Wc, WcOpcode};
-use simnet::{CpuMeter, Ctx, Nanos};
-use smem::{Chunk, PhysAllocator, PhysMem};
+use rnic::{Cq, IbFabric, NodeId, Qp};
+use simnet::{CpuMeter, Ctx};
+use smem::{PhysAllocator, PhysMem};
 
 use crate::config::LiteConfig;
-use crate::error::{LiteError, LiteResult};
-use crate::lmr::{LhEntry, LmrId, Location, MasterRecord, Perm};
-use crate::qos::{Priority, QosConfig, QosMode, QosState};
-use crate::ring::{ClientRing, Reservation, ServerRing};
-use crate::wire::{Imm, MsgHeader, HEADER_BYTES, RING_GRANULE};
+use crate::error::LiteResult;
+use crate::qos::{QosConfig, QosState};
+use crate::ring::{ClientRing, ServerRing};
+
+pub(crate) mod chunkio;
+pub mod datapath;
+mod msg;
+mod rpc;
+mod stats;
+
+pub use rpc::Incoming;
+pub use stats::KernelStats;
+
+pub(crate) use msg::{byte_to_perm, perm_to_byte};
+pub(crate) use rpc::ReplyRoute;
+
+use datapath::RnicDataPath;
+use msg::{BarrierState, LockState, MasterTable};
+use rpc::{CallSlot, RpcQueue};
+use stats::KernelCounters;
 
 // ---------------------------------------------------------------------
 // Kernel-internal RPC function ids (< USER_FUNC_MIN).
@@ -59,243 +78,6 @@ pub const MANAGER_NODE: NodeId = 0;
 /// Number of pre-allocated lock cells per node.
 const LOCK_CELLS: u64 = 4_096;
 
-/// Simulation-internal cost of a loop-back delivery (RPC to self).
-const LOOPBACK_NS: Nanos = 400;
-
-// ---------------------------------------------------------------------
-// Small wire codec for kernel-service payloads.
-// ---------------------------------------------------------------------
-
-pub(crate) mod codec {
-    //! Hand-rolled little-endian payload codec for kernel services.
-
-    use crate::error::{LiteError, LiteResult};
-
-    /// Incremental writer.
-    #[derive(Default)]
-    pub struct Enc(pub Vec<u8>);
-
-    impl Enc {
-        pub fn new() -> Self {
-            Enc(Vec::new())
-        }
-        pub fn u8(mut self, v: u8) -> Self {
-            self.0.push(v);
-            self
-        }
-        pub fn u32(mut self, v: u32) -> Self {
-            self.0.extend_from_slice(&v.to_le_bytes());
-            self
-        }
-        pub fn u64(mut self, v: u64) -> Self {
-            self.0.extend_from_slice(&v.to_le_bytes());
-            self
-        }
-        pub fn bytes(mut self, v: &[u8]) -> Self {
-            self = self.u32(v.len() as u32);
-            self.0.extend_from_slice(v);
-            self
-        }
-        pub fn done(self) -> Vec<u8> {
-            self.0
-        }
-    }
-
-    /// Incremental reader.
-    pub struct Dec<'a> {
-        b: &'a [u8],
-        pos: usize,
-    }
-
-    impl<'a> Dec<'a> {
-        pub fn new(b: &'a [u8]) -> Self {
-            Dec { b, pos: 0 }
-        }
-        fn take(&mut self, n: usize) -> LiteResult<&'a [u8]> {
-            if self.pos + n > self.b.len() {
-                return Err(LiteError::Remote(0xFC));
-            }
-            let s = &self.b[self.pos..self.pos + n];
-            self.pos += n;
-            Ok(s)
-        }
-        pub fn u8(&mut self) -> LiteResult<u8> {
-            Ok(self.take(1)?[0])
-        }
-        pub fn u32(&mut self) -> LiteResult<u32> {
-            Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
-        }
-        pub fn u64(&mut self) -> LiteResult<u64> {
-            Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
-        }
-        pub fn bytes(&mut self) -> LiteResult<&'a [u8]> {
-            let n = self.u32()? as usize;
-            self.take(n)
-        }
-    }
-}
-
-use codec::{Dec, Enc};
-
-// ---------------------------------------------------------------------
-// Completion slots, queues, managers.
-// ---------------------------------------------------------------------
-
-/// A per-call completion slot: the simulation analogue of §5.2's shared
-/// user/kernel page through which the LITE library observes completion
-/// without a kernel-to-user crossing.
-pub(crate) struct CallSlot {
-    state: Mutex<Option<SlotResult>>,
-    cv: Condvar,
-}
-
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct SlotResult {
-    pub stamp: Nanos,
-    pub len: u32,
-    pub ok: bool,
-}
-
-impl CallSlot {
-    fn new() -> Self {
-        CallSlot {
-            state: Mutex::new(None),
-            cv: Condvar::new(),
-        }
-    }
-
-    pub(crate) fn complete(&self, r: SlotResult) {
-        *self.state.lock() = Some(r);
-        self.cv.notify_all();
-    }
-
-    /// Blocks for the result; models the adaptive busy-check-then-sleep
-    /// wait of the LITE library (§5.2).
-    pub(crate) fn wait(
-        &self,
-        ctx: &mut Ctx,
-        cfg: &LiteConfig,
-        timeout: Duration,
-    ) -> LiteResult<SlotResult> {
-        let mut st = self.state.lock();
-        while st.is_none() {
-            if self.cv.wait_for(&mut st, timeout).timed_out() && st.is_none() {
-                return Err(LiteError::Timeout);
-            }
-        }
-        let r = st.expect("checked above");
-        drop(st);
-        let gap = r.stamp.saturating_sub(ctx.now());
-        if cfg.adaptive_poll {
-            // Busy-check briefly, then sleep until completion.
-            ctx.cpu.charge(gap.min(cfg.adaptive_spin_ns));
-        } else {
-            ctx.cpu.charge(gap);
-        }
-        ctx.wait_until(r.stamp);
-        Ok(r)
-    }
-}
-
-/// An incoming RPC parked in a function queue, payload still in the ring.
-#[derive(Debug, Clone)]
-pub struct Incoming {
-    /// Decoded header.
-    pub hdr: MsgHeader,
-    /// Ring byte offset of the message start.
-    pub ring_offset: u64,
-    /// Virtual arrival stamp.
-    pub stamp: Nanos,
-}
-
-/// Queue of incoming calls for one RPC function id.
-pub(crate) struct RpcQueue {
-    q: Mutex<VecDeque<Incoming>>,
-    cv: Condvar,
-}
-
-impl RpcQueue {
-    fn new() -> Self {
-        RpcQueue {
-            q: Mutex::new(VecDeque::new()),
-            cv: Condvar::new(),
-        }
-    }
-
-    fn push(&self, inc: Incoming) {
-        self.q.lock().push_back(inc);
-        self.cv.notify_one();
-    }
-
-    fn pop(&self, timeout: Duration) -> Option<Incoming> {
-        let mut q = self.q.lock();
-        loop {
-            if let Some(inc) = q.pop_front() {
-                return Some(inc);
-            }
-            if self.cv.wait_for(&mut q, timeout).timed_out() {
-                return q.pop_front();
-            }
-        }
-    }
-
-    fn try_pop(&self) -> Option<Incoming> {
-        self.q.lock().pop_front()
-    }
-}
-
-/// Where to send a (possibly delayed) reply.
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct ReplyRoute {
-    pub node: u32,
-    pub slot: u32,
-    pub reply_addr: u64,
-    pub reply_max: u32,
-}
-
-impl ReplyRoute {
-    pub(crate) fn of_hdr(hdr: &MsgHeader) -> Self {
-        ReplyRoute {
-            node: hdr.src_node,
-            slot: hdr.slot,
-            reply_addr: hdr.reply_addr,
-            reply_max: hdr.reply_max,
-        }
-    }
-}
-
-#[derive(Default)]
-struct LockState {
-    waiters: VecDeque<ReplyRoute>,
-    credits: u32,
-}
-
-struct BarrierState {
-    routes: Vec<ReplyRoute>,
-    count: u32,
-}
-
-struct MasterTable {
-    records: HashMap<u32, MasterRecord>,
-    by_name: HashMap<String, u32>,
-    next_idx: u32,
-}
-
-/// Aggregate kernel statistics.
-#[derive(Debug, Default, Clone)]
-pub struct KernelStats {
-    /// RPC requests dispatched by the poller.
-    pub rpc_dispatched: u64,
-    /// One-sided writes issued through LITE.
-    pub lt_writes: u64,
-    /// One-sided reads issued through LITE.
-    pub lt_reads: u64,
-    /// Bytes moved by LITE one-sided ops.
-    pub lt_bytes: u64,
-    /// Total RC QPs this kernel created (K × (N-1)).
-    pub qps: usize,
-}
-
 // ---------------------------------------------------------------------
 // The kernel proper.
 // ---------------------------------------------------------------------
@@ -307,9 +89,8 @@ pub struct LiteKernel {
     pub(crate) fabric: Arc<IbFabric>,
     pub(crate) alloc: Arc<Mutex<PhysAllocator>>,
     global_mr: rnic::Mr,
-    global_rkeys: OnceLock<Vec<u32>>,
+    datapath: OnceLock<Arc<RnicDataPath>>,
     head_sinks: OnceLock<Vec<u64>>,
-    qp_pools: OnceLock<Vec<Vec<Arc<Qp>>>>,
     pub(crate) shared_recv_cq: Arc<Cq>,
     shared_send_cq: Arc<Cq>,
     shared_rq: Arc<RecvQueue>,
@@ -327,21 +108,15 @@ pub struct LiteKernel {
     barriers: Mutex<HashMap<u64, BarrierState>>,
     masters: Mutex<MasterTable>,
     names: Mutex<HashMap<String, u32>>,
-    lhs: Mutex<HashMap<(u32, u64), LhEntry>>,
+    lhs: Mutex<HashMap<(u32, u64), crate::lmr::LhEntry>>,
     next_pid: AtomicU32,
     next_lh: AtomicU64,
     pub(crate) qos: Arc<QosState>,
-    all_qos: OnceLock<Vec<Arc<QosState>>>,
-    rr: AtomicUsize,
     shutdown: AtomicBool,
     poller: Mutex<Option<std::thread::JoinHandle<()>>>,
     /// CPU meter of the shared polling thread.
     pub poller_cpu: Arc<CpuMeter>,
-    // stats
-    s_rpc: AtomicU64,
-    s_writes: AtomicU64,
-    s_reads: AtomicU64,
-    s_bytes: AtomicU64,
+    counters: KernelCounters,
 }
 
 impl LiteKernel {
@@ -373,9 +148,8 @@ impl LiteKernel {
             fabric,
             alloc,
             global_mr,
-            global_rkeys: OnceLock::new(),
+            datapath: OnceLock::new(),
             head_sinks: OnceLock::new(),
-            qp_pools: OnceLock::new(),
             shared_recv_cq: Arc::new(Cq::new()),
             shared_send_cq: Arc::new(Cq::new()),
             shared_rq: Arc::new(RecvQueue::new()),
@@ -389,25 +163,16 @@ impl LiteKernel {
             queues: RwLock::new(HashMap::new()),
             locks: Mutex::new(HashMap::new()),
             barriers: Mutex::new(HashMap::new()),
-            masters: Mutex::new(MasterTable {
-                records: HashMap::new(),
-                by_name: HashMap::new(),
-                next_idx: 1,
-            }),
+            masters: Mutex::new(MasterTable::new()),
             names: Mutex::new(HashMap::new()),
             lhs: Mutex::new(HashMap::new()),
             next_pid: AtomicU32::new(1),
             next_lh: AtomicU64::new(1),
             qos: Arc::new(QosState::new(qos_cfg, link)),
-            all_qos: OnceLock::new(),
-            rr: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             poller: Mutex::new(None),
             poller_cpu: Arc::new(CpuMeter::new()),
-            s_rpc: AtomicU64::new(0),
-            s_writes: AtomicU64::new(0),
-            s_reads: AtomicU64::new(0),
-            s_bytes: AtomicU64::new(0),
+            counters: KernelCounters::new(),
         };
         // FN_MSG delivers through a queue like user functions do.
         kernel
@@ -442,73 +207,23 @@ impl LiteKernel {
         Arc::clone(&self.qos)
     }
 
-    /// The QoS state of a peer node (receiver-side SW-Pri policies).
-    fn qos_of(&self, node: NodeId) -> &QosState {
-        match self.all_qos.get() {
-            Some(v) => &v[node],
-            None => &self.qos,
-        }
-    }
-
-    /// Applies QoS before an op of `bytes` towards `dst`: HW-Sep
-    /// partitions the sender; SW-Pri consults the *receiver's* monitor
-    /// (the paper's policy 3 explicitly uses receiver-side information).
-    fn qos_before(&self, ctx: &mut Ctx, prio: Priority, dst: NodeId, bytes: u64) {
-        match self.qos.mode() {
-            QosMode::SwPri => self.qos_of(dst).before_op(ctx, prio, bytes),
-            _ => self.qos.before_op(ctx, prio, bytes),
-        }
-    }
-
-    /// Records a completed high-priority op at the receiver's monitor.
-    fn qos_after_high(&self, dst: NodeId, finish: Nanos, bytes: u64, latency: Nanos) {
-        self.qos_of(dst).after_high_op(finish, bytes, latency);
-    }
-
     /// Statistics snapshot.
     pub fn stats(&self) -> KernelStats {
-        KernelStats {
-            rpc_dispatched: self.s_rpc.load(Ordering::Relaxed),
-            lt_writes: self.s_writes.load(Ordering::Relaxed),
-            lt_reads: self.s_reads.load(Ordering::Relaxed),
-            lt_bytes: self.s_bytes.load(Ordering::Relaxed),
-            qps: self
-                .qp_pools
-                .get()
-                .map_or(0, |p| p.iter().map(Vec::len).sum()),
-        }
+        self.counters
+            .snapshot(self.datapath.get().map_or(0, |d| d.num_qps()))
     }
 
     fn mem(&self) -> &Arc<PhysMem> {
         self.fabric.mem(self.node)
     }
 
-    pub(crate) fn global_lkey(&self) -> u32 {
-        self.global_mr.lkey()
-    }
-
-    pub(crate) fn global_rkey_of(&self, node: NodeId) -> u32 {
-        self.global_rkeys.get().expect("setup complete")[node]
-    }
-
-    fn client_ring(&self, server: NodeId) -> &ClientRing {
-        self.client_rings.get().expect("setup")[server]
-            .as_ref()
-            .expect("ring exists")
-    }
-
-    fn server_ring(&self, client: NodeId) -> &ServerRing {
-        self.server_rings.get().expect("setup")[client]
-            .as_ref()
-            .expect("ring exists")
-    }
-
     // ------------------------------------------------------------------
     // Cluster wiring
     // ------------------------------------------------------------------
 
-    /// Second-phase setup, run once by the cluster: QP pools, rings,
-    /// global rkeys, head sinks, initial receive credits, and the poller.
+    /// Second-phase setup, run once by the cluster: the datapath (QP
+    /// pools, global rkeys, QoS views), rings, head sinks, initial
+    /// receive credits, and the poller.
     pub(crate) fn finish_setup(
         self: &Arc<Self>,
         qp_pools: Vec<Vec<Arc<Qp>>>,
@@ -518,8 +233,18 @@ impl LiteKernel {
         head_sinks: Vec<u64>,
         all_qos: Vec<Arc<QosState>>,
     ) {
-        self.all_qos.set(all_qos).ok().expect("setup once");
-        self.qp_pools.set(qp_pools).ok().expect("setup once");
+        let dp = Arc::new(RnicDataPath::new(
+            Arc::clone(&self.fabric),
+            self.node,
+            &self.config,
+            self.global_mr.lkey(),
+            global_rkeys,
+            qp_pools,
+            Arc::clone(&self.qos),
+            all_qos,
+            Arc::clone(&self.alloc),
+        ));
+        self.datapath.set(dp).ok().expect("setup once");
         self.client_rings
             .set(client_rings)
             .ok()
@@ -528,11 +253,7 @@ impl LiteKernel {
             .set(server_rings)
             .ok()
             .expect("setup once");
-        self.global_rkeys
-            .set(global_rkeys)
-            .ok()
-            .expect("setup once");
-        self.head_sinks.set(head_sinks).ok().expect("setup once");
+        assert!(self.head_sinks.set(head_sinks).is_ok(), "setup once");
         // Pre-post receive credits for write-imm (the paper's background
         // IMM-buffer posting).
         for _ in 0..self.config.recv_credits {
@@ -581,1018 +302,5 @@ impl LiteKernel {
         if let Some(h) = self.poller.lock().take() {
             let _ = h.join();
         }
-    }
-
-    // ------------------------------------------------------------------
-    // QP selection (§6.1 sharing, §6.2 HW-Sep partitioning)
-    // ------------------------------------------------------------------
-
-    pub(crate) fn qp_to(&self, peer: NodeId, prio: Priority) -> LiteResult<Arc<Qp>> {
-        let pools = self.qp_pools.get().expect("setup");
-        let pool = pools
-            .get(peer)
-            .filter(|p| !p.is_empty())
-            .ok_or(LiteError::NodeDown { node: peer })?;
-        let k = pool.len();
-        let (lo, hi) = if self.qos.mode() == QosMode::HwSep {
-            let (h, _) = self.qos.hw_partition(k);
-            match prio {
-                Priority::High => (0, h),
-                Priority::Low => {
-                    if h < k {
-                        (h, k)
-                    } else {
-                        (0, k)
-                    }
-                }
-            }
-        } else {
-            (0, k)
-        };
-        let n = hi - lo;
-        let idx = lo + self.rr.fetch_add(1, Ordering::Relaxed) % n;
-        Ok(Arc::clone(&pool[idx]))
-    }
-
-    // ------------------------------------------------------------------
-    // One-sided data plane
-    // ------------------------------------------------------------------
-
-    /// RDMA-writes `len` bytes from local physical `src_chunks` to
-    /// `(dst_node, dst_addr)`. Returns the completion stamp; the caller
-    /// decides whether to block on it (LT_write always does).
-    pub(crate) fn rdma_write(
-        &self,
-        ctx: &mut Ctx,
-        prio: Priority,
-        dst_node: NodeId,
-        dst_addr: u64,
-        src_chunks: &[Chunk],
-        len: usize,
-    ) -> LiteResult<Nanos> {
-        self.s_writes.fetch_add(1, Ordering::Relaxed);
-        self.s_bytes.fetch_add(len as u64, Ordering::Relaxed);
-        let start = ctx.now();
-        ctx.work(self.config.map_check_ns);
-        if dst_node == self.node {
-            // Local LMR: plain memory copy, no NIC.
-            let cost = self.fabric.cost();
-            let data = read_chunks(self.mem(), src_chunks, len)?;
-            self.mem().write(dst_addr, &data)?;
-            ctx.work(cost.memcpy_time(len as u64));
-            return Ok(ctx.now());
-        }
-        self.qos_before(ctx, prio, dst_node, len as u64);
-        let qp = self.qp_to(dst_node, prio)?;
-        let sge = Sge::Phys {
-            lkey: self.global_lkey(),
-            chunks: src_chunks.to_vec(),
-        };
-        let comp = self.fabric.nic(self.node).post_write(
-            ctx,
-            &qp,
-            0,
-            &sge,
-            RemoteAddr {
-                rkey: self.global_rkey_of(dst_node),
-                addr: dst_addr,
-            },
-            None,
-            false,
-        )?;
-        if prio == Priority::High {
-            self.qos_after_high(dst_node, comp, len as u64, comp.saturating_sub(start));
-        }
-        Ok(comp)
-    }
-
-    /// RDMA-reads `len` bytes from `(src_node, src_addr)` into local
-    /// physical `dst_chunks`.
-    pub(crate) fn rdma_read(
-        &self,
-        ctx: &mut Ctx,
-        prio: Priority,
-        src_node: NodeId,
-        src_addr: u64,
-        dst_chunks: &[Chunk],
-        len: usize,
-    ) -> LiteResult<Nanos> {
-        self.s_reads.fetch_add(1, Ordering::Relaxed);
-        self.s_bytes.fetch_add(len as u64, Ordering::Relaxed);
-        let start = ctx.now();
-        ctx.work(self.config.map_check_ns);
-        if src_node == self.node {
-            let cost = self.fabric.cost();
-            let mut data = vec![0u8; len];
-            self.mem().read(src_addr, &mut data)?;
-            write_chunks(self.mem(), dst_chunks, &data)?;
-            ctx.work(cost.memcpy_time(len as u64));
-            return Ok(ctx.now());
-        }
-        self.qos_before(ctx, prio, src_node, len as u64);
-        let qp = self.qp_to(src_node, prio)?;
-        let sge = Sge::Phys {
-            lkey: self.global_lkey(),
-            chunks: dst_chunks.to_vec(),
-        };
-        let comp = self.fabric.nic(self.node).post_read(
-            ctx,
-            &qp,
-            0,
-            &sge,
-            RemoteAddr {
-                rkey: self.global_rkey_of(src_node),
-                addr: src_addr,
-            },
-            false,
-        )?;
-        if prio == Priority::High {
-            self.qos_after_high(src_node, comp, len as u64, comp.saturating_sub(start));
-        }
-        Ok(comp)
-    }
-
-    /// One-sided fetch-and-add on a u64 anywhere in the cluster.
-    pub(crate) fn fetch_add(
-        &self,
-        ctx: &mut Ctx,
-        prio: Priority,
-        node: NodeId,
-        addr: u64,
-        delta: u64,
-    ) -> LiteResult<u64> {
-        ctx.work(self.config.map_check_ns);
-        if node == self.node {
-            ctx.work(120);
-            return Ok(self.mem().fetch_add_u64(addr, delta)?);
-        }
-        let qp = self.qp_to(node, prio)?;
-        Ok(self.fabric.nic(self.node).fetch_add(
-            ctx,
-            &qp,
-            RemoteAddr {
-                rkey: self.global_rkey_of(node),
-                addr,
-            },
-            delta,
-        )?)
-    }
-
-    /// One-sided compare-and-swap on a u64 anywhere in the cluster.
-    pub(crate) fn cmp_swap(
-        &self,
-        ctx: &mut Ctx,
-        prio: Priority,
-        node: NodeId,
-        addr: u64,
-        expect: u64,
-        new: u64,
-    ) -> LiteResult<u64> {
-        ctx.work(self.config.map_check_ns);
-        if node == self.node {
-            ctx.work(120);
-            return Ok(self.mem().cas_u64(addr, expect, new)?);
-        }
-        let qp = self.qp_to(node, prio)?;
-        Ok(self.fabric.nic(self.node).cmp_swap(
-            ctx,
-            &qp,
-            RemoteAddr {
-                rkey: self.global_rkey_of(node),
-                addr,
-            },
-            expect,
-            new,
-        )?)
-    }
-
-    // ------------------------------------------------------------------
-    // RPC data plane
-    // ------------------------------------------------------------------
-
-    /// Posts a write-imm carrying `len` bytes from `src_chunks` to
-    /// `(dst_node, dst_addr)`. Loop-back (self) deliveries bypass the NIC
-    /// but flow through the same shared CQ and poller.
-    pub(crate) fn post_write_imm(
-        &self,
-        ctx: &mut Ctx,
-        prio: Priority,
-        dst_node: NodeId,
-        dst_addr: u64,
-        src_chunks: &[Chunk],
-        len: usize,
-        imm: Imm,
-    ) -> LiteResult<Nanos> {
-        if dst_node == self.node {
-            let data = read_chunks(self.mem(), src_chunks, len)?;
-            self.mem().write(dst_addr, &data)?;
-            let cost = self.fabric.cost();
-            ctx.work(cost.memcpy_time(len as u64));
-            let stamp = ctx.now() + LOOPBACK_NS;
-            let mut wc = Wc::new(0, WcOpcode::RecvRdmaWithImm, len, stamp);
-            wc.imm = Some(imm.encode());
-            wc.src = Some((self.node, u64::MAX)); // loopback marker
-            self.shared_recv_cq.push(wc);
-            return Ok(stamp);
-        }
-        self.qos_before(ctx, prio, dst_node, len as u64);
-        let qp = self.qp_to(dst_node, prio)?;
-        let sge = Sge::Phys {
-            lkey: self.global_lkey(),
-            chunks: src_chunks.to_vec(),
-        };
-        // RNR (exhausted credits at the receiver) is transient: the remote
-        // poller reposts credits continuously. Retry briefly.
-        let mut tries = 0;
-        loop {
-            match self.fabric.nic(self.node).post_write(
-                ctx,
-                &qp,
-                0,
-                &sge,
-                RemoteAddr {
-                    rkey: self.global_rkey_of(dst_node),
-                    addr: dst_addr,
-                },
-                Some(imm.encode()),
-                false,
-            ) {
-                Ok(stamp) => return Ok(stamp),
-                Err(rnic::VerbsError::ReceiverNotReady) if tries < 1000 => {
-                    tries += 1;
-                    std::thread::yield_now();
-                    ctx.clock.advance(200);
-                }
-                Err(e) => return Err(e.into()),
-            }
-        }
-    }
-
-    /// Reserves ring space towards `server`, waiting (bounded) for head
-    /// updates when the ring is full.
-    pub(crate) fn reserve_ring(
-        &self,
-        ctx: &mut Ctx,
-        server: NodeId,
-        total_len: u64,
-    ) -> LiteResult<Reservation> {
-        let ring = self.client_ring(server);
-        let deadline = std::time::Instant::now() + self.config.op_timeout;
-        loop {
-            match ring.try_reserve(total_len) {
-                Ok(r) => return Ok(r),
-                Err(LiteError::RingFull) => {
-                    if std::time::Instant::now() > deadline {
-                        return Err(LiteError::RingFull);
-                    }
-                    let (_, stamp) = ring.head();
-                    ctx.wait_until(stamp);
-                    std::thread::yield_now();
-                }
-                Err(e) => return Err(e),
-            }
-        }
-    }
-
-    /// Ring slot → physical address at the server.
-    pub(crate) fn ring_remote_addr(&self, server: NodeId, offset: u64) -> u64 {
-        self.client_ring(server).remote_base + offset
-    }
-
-    /// Registers a fresh completion slot.
-    pub(crate) fn alloc_slot(&self) -> (u32, Arc<CallSlot>) {
-        loop {
-            let id = self.next_slot.fetch_add(1, Ordering::Relaxed) & ((1 << 30) - 1);
-            if id == 0 {
-                continue;
-            }
-            let slot = Arc::new(CallSlot::new());
-            let mut slots = self.slots.lock();
-            if slots.contains_key(&id) {
-                continue;
-            }
-            slots.insert(id, Arc::clone(&slot));
-            return (id, slot);
-        }
-    }
-
-    /// Drops a completion slot (after wait or timeout).
-    pub(crate) fn free_slot(&self, id: u32) {
-        self.slots.lock().remove(&id);
-    }
-
-    /// Binds an RPC function id to a fresh queue (LT_regRPC).
-    pub fn register_rpc(&self, func: u8) -> LiteResult<()> {
-        if func < USER_FUNC_MIN {
-            return Err(LiteError::ReservedFunc { func });
-        }
-        self.queues
-            .write()
-            .entry(func)
-            .or_insert_with(|| Arc::new(RpcQueue::new()));
-        Ok(())
-    }
-
-    pub(crate) fn queue_of(&self, func: u8) -> LiteResult<Arc<RpcQueue>> {
-        self.queues
-            .read()
-            .get(&func)
-            .cloned()
-            .ok_or(LiteError::UnknownRpc { func })
-    }
-
-    /// Blocking dequeue of the next call for `func` (LT_recvRPC's kernel
-    /// half).
-    pub(crate) fn pop_rpc(
-        &self,
-        ctx: &mut Ctx,
-        func: u8,
-        timeout: Duration,
-    ) -> LiteResult<Incoming> {
-        let q = self.queue_of(func)?;
-        let inc = q.pop(timeout).ok_or(LiteError::Timeout)?;
-        let gap = inc.stamp.saturating_sub(ctx.now());
-        if self.config.adaptive_poll {
-            ctx.cpu.charge(gap.min(self.config.adaptive_spin_ns));
-        } else {
-            ctx.cpu.charge(gap);
-        }
-        ctx.wait_until(inc.stamp);
-        Ok(inc)
-    }
-
-    /// Non-blocking dequeue (used by servers that interleave work).
-    pub(crate) fn try_pop_rpc(&self, ctx: &mut Ctx, func: u8) -> LiteResult<Option<Incoming>> {
-        let q = self.queue_of(func)?;
-        Ok(q.try_pop().inspect(|inc| {
-            ctx.wait_until(inc.stamp);
-        }))
-    }
-
-    /// Copies a parked message's payload out of the ring.
-    pub(crate) fn read_ring_payload(&self, client: NodeId, inc: &Incoming) -> LiteResult<Vec<u8>> {
-        let ring = self.server_ring(client);
-        let mut buf = vec![0u8; inc.hdr.len as usize];
-        self.mem()
-            .read(ring.base + inc.ring_offset + HEADER_BYTES as u64, &mut buf)?;
-        Ok(buf)
-    }
-
-    /// Frees the ring span of a consumed message and pushes the head
-    /// update to the client (§5.1 step f).
-    pub(crate) fn release_ring(
-        &self,
-        ctx: &mut Ctx,
-        client: NodeId,
-        inc: &Incoming,
-    ) -> LiteResult<()> {
-        let total = HEADER_BYTES as u64 + inc.hdr.len as u64;
-        let ring = self.server_ring(client);
-        if let Some(head) = ring.consume(inc.ring_offset, total, inc.hdr.skip as u64) {
-            let sink = self.head_sinks.get().expect("setup")[client];
-            let imm = Imm::Head {
-                granule: ((head / RING_GRANULE) & ((1 << 30) - 1)) as u32,
-            };
-            self.post_write_imm(ctx, Priority::High, client, sink, &[], 0, imm)?;
-        }
-        Ok(())
-    }
-
-    /// Sends a reply (LT_replyRPC's kernel half): writes the payload to
-    /// the client's reply buffer and signals its slot.
-    pub(crate) fn send_reply(
-        &self,
-        ctx: &mut Ctx,
-        prio: Priority,
-        route: ReplyRoute,
-        src_chunks: &[Chunk],
-        len: usize,
-    ) -> LiteResult<Nanos> {
-        if route.slot == 0 {
-            return Ok(ctx.now()); // one-way message: nothing to send
-        }
-        if len > route.reply_max as usize {
-            return Err(LiteError::TooLarge {
-                len,
-                max: route.reply_max as usize,
-            });
-        }
-        self.post_write_imm(
-            ctx,
-            prio,
-            route.node as NodeId,
-            route.reply_addr,
-            src_chunks,
-            len,
-            Imm::Reply { slot: route.slot },
-        )
-    }
-
-    /// Sends an error reply (consumes no reply-buffer space).
-    fn send_error_reply(&self, ctx: &mut Ctx, route: ReplyRoute) -> LiteResult<()> {
-        if route.slot == 0 {
-            return Ok(());
-        }
-        self.post_write_imm(
-            ctx,
-            Priority::High,
-            route.node as NodeId,
-            route.reply_addr,
-            &[],
-            0,
-            Imm::ReplyErr { slot: route.slot },
-        )?;
-        Ok(())
-    }
-
-    // ------------------------------------------------------------------
-    // lh table
-    // ------------------------------------------------------------------
-
-    /// Creates a process on this node; returns its pid.
-    pub(crate) fn alloc_pid(&self) -> u32 {
-        self.next_pid.fetch_add(1, Ordering::Relaxed)
-    }
-
-    pub(crate) fn install_lh(&self, pid: u32, entry: LhEntry) -> u64 {
-        let lh = self.next_lh.fetch_add(1, Ordering::Relaxed);
-        self.lhs.lock().insert((pid, lh), entry);
-        lh
-    }
-
-    pub(crate) fn lookup_lh(&self, pid: u32, lh: u64) -> LiteResult<LhEntry> {
-        self.lhs
-            .lock()
-            .get(&(pid, lh))
-            .cloned()
-            .ok_or(LiteError::BadLh { lh })
-    }
-
-    pub(crate) fn reinstall_lh(&self, pid: u32, lh: u64, entry: LhEntry) {
-        self.lhs.lock().insert((pid, lh), entry);
-    }
-
-    pub(crate) fn remove_lh(&self, pid: u32, lh: u64) -> LiteResult<LhEntry> {
-        self.lhs
-            .lock()
-            .remove(&(pid, lh))
-            .ok_or(LiteError::BadLh { lh })
-    }
-
-    fn invalidate_lmr(&self, id: LmrId) {
-        for entry in self.lhs.lock().values_mut() {
-            if entry.id == id {
-                entry.stale = true;
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Master records
-    // ------------------------------------------------------------------
-
-    /// Removes a master record created on this node (rollback path).
-    pub(crate) fn remove_master_record(&self, idx: u32) {
-        let mut t = self.masters.lock();
-        if let Some(rec) = t.records.remove(&idx) {
-            if let Some(name) = rec.name {
-                t.by_name.remove(&name);
-            }
-        }
-    }
-
-    /// Swaps the physical location of a master record held on this node
-    /// (LT_move). Returns the old location, or `None` if the record is
-    /// gone or the requester lacks master rights.
-    pub(crate) fn swap_master_location(
-        &self,
-        name: &str,
-        requester: NodeId,
-        new_location: Location,
-    ) -> Option<(LmrId, Location, Vec<NodeId>)> {
-        let mut t = self.masters.lock();
-        let idx = *t.by_name.get(name)?;
-        let rec = t.records.get_mut(&idx)?;
-        if requester != self.node && !rec.perm_for(requester).master {
-            return None;
-        }
-        let old = std::mem::replace(&mut rec.location, new_location);
-        Some((rec.id, old, rec.mapped_by.clone()))
-    }
-
-    /// Installs a master record for a freshly allocated LMR.
-    pub(crate) fn create_master_record(
-        &self,
-        location: Location,
-        name: Option<String>,
-        default_perm: Perm,
-    ) -> LmrId {
-        let mut t = self.masters.lock();
-        let idx = t.next_idx;
-        t.next_idx += 1;
-        let id = LmrId {
-            node: self.node as u32,
-            idx,
-        };
-        if let Some(n) = &name {
-            t.by_name.insert(n.clone(), idx);
-        }
-        t.records.insert(
-            idx,
-            MasterRecord {
-                id,
-                location,
-                name,
-                default_perm,
-                grants: HashMap::new(),
-                mapped_by: vec![self.node],
-            },
-        );
-        id
-    }
-
-    // ------------------------------------------------------------------
-    // Locks
-    // ------------------------------------------------------------------
-
-    /// Allocates a lock cell on this node; returns its physical address
-    /// and index.
-    pub(crate) fn alloc_lock_cell(&self) -> LiteResult<(u64, u64)> {
-        let idx = self.next_lock.fetch_add(1, Ordering::Relaxed);
-        if idx >= LOCK_CELLS {
-            return Err(LiteError::Mem(smem::MemError::OutOfMemory { requested: 8 }));
-        }
-        let addr = self.lock_cells + idx * 8;
-        self.mem().store_u64(addr, 0)?;
-        Ok((addr, idx))
-    }
-
-    // ------------------------------------------------------------------
-    // The shared polling thread (§5.1/§6.1: one per node).
-    // ------------------------------------------------------------------
-
-    fn poll_loop(self: Arc<Self>) {
-        let mut ctx = Ctx::with_meter(Arc::clone(&self.poller_cpu));
-        let cost = self.fabric.cost().clone();
-        let spin = !self.config.adaptive_poll;
-        while !self.shutdown.load(Ordering::Acquire) {
-            let Some(wc) =
-                self.shared_recv_cq
-                    .poll_blocking(&mut ctx, &cost, spin, Duration::from_millis(50))
-            else {
-                if self.shared_recv_cq.is_closed() {
-                    break;
-                }
-                continue;
-            };
-            let (src_node, src_qp) = wc.src.unwrap_or((self.node, u64::MAX));
-            // Repost the consumed receive credit (not for loop-backs,
-            // which never consumed one).
-            if src_qp != u64::MAX {
-                self.shared_rq.post(RecvEntry {
-                    wr_id: 0,
-                    sge: None,
-                });
-                ctx.work(cost.post_wr_ns);
-            }
-            ctx.work(self.config.imm_dispatch_ns);
-            match Imm::decode(wc.imm.unwrap_or(0)) {
-                Imm::Request { granule } => {
-                    self.s_rpc.fetch_add(1, Ordering::Relaxed);
-                    let offset = granule as u64 * RING_GRANULE;
-                    self.handle_request(&mut ctx, src_node, offset, wc.ready_at);
-                }
-                Imm::Reply { slot } => {
-                    if let Some(s) = self.slots.lock().get(&slot) {
-                        s.complete(SlotResult {
-                            stamp: ctx.now(),
-                            len: wc.byte_len as u32,
-                            ok: true,
-                        });
-                    }
-                }
-                Imm::ReplyErr { slot } => {
-                    if let Some(s) = self.slots.lock().get(&slot) {
-                        s.complete(SlotResult {
-                            stamp: ctx.now(),
-                            len: 0,
-                            ok: false,
-                        });
-                    }
-                }
-                Imm::Head { granule } => {
-                    let rings = self.client_rings.get().expect("setup");
-                    if let Some(ring) = rings.get(src_node).and_then(|r| r.as_ref()) {
-                        let (cur, _) = ring.head();
-                        ring.update_head(reconstruct_head(cur, granule), ctx.now());
-                    }
-                }
-            }
-        }
-    }
-
-    fn handle_request(&self, ctx: &mut Ctx, client: NodeId, offset: u64, stamp: Nanos) {
-        let ring_base = self.server_ring(client).base;
-        let mut hbuf = [0u8; HEADER_BYTES];
-        if self.mem().read(ring_base + offset, &mut hbuf).is_err() {
-            return;
-        }
-        let Ok(hdr) = MsgHeader::decode(&hbuf) else {
-            return;
-        };
-        let inc = Incoming {
-            hdr,
-            ring_offset: offset,
-            stamp,
-        };
-        if hdr.func >= USER_FUNC_MIN || hdr.func == FN_MSG {
-            match self.queues.read().get(&hdr.func) {
-                Some(q) => q.push(inc),
-                None => {
-                    // No handler bound: error-reply and release the ring.
-                    let _ = self.release_ring(ctx, client, &inc);
-                    let _ = self.send_error_reply(ctx, ReplyRoute::of_hdr(&hdr));
-                }
-            }
-            return;
-        }
-        // Kernel service: read payload, free the ring, run the handler.
-        let payload = match self.read_ring_payload(client, &inc) {
-            Ok(p) => p,
-            Err(_) => return,
-        };
-        let _ = self.release_ring(ctx, client, &inc);
-        ctx.work(self.config.rpc_meta_ns);
-        let route = ReplyRoute::of_hdr(&hdr);
-        match self.kernel_service(ctx, &hdr, &payload) {
-            Ok(Some(resp)) => {
-                let _ = self.reply_bytes(ctx, route, &resp);
-            }
-            Ok(None) => {} // delayed reply (locks, barriers) or one-way
-            Err(_) => {
-                let _ = self.send_error_reply(ctx, route);
-            }
-        }
-    }
-
-    /// Stages `bytes` in a scratch allocation and write-imm's them as a
-    /// reply. Used by poller-side handlers (user replies go through the
-    /// caller's staging buffer instead).
-    fn reply_bytes(&self, ctx: &mut Ctx, route: ReplyRoute, bytes: &[u8]) -> LiteResult<()> {
-        if route.slot == 0 {
-            return Ok(());
-        }
-        let addr = {
-            let mut a = self.alloc.lock();
-            a.alloc(bytes.len().max(1) as u64)?
-        };
-        self.mem().write(addr, bytes)?;
-        let chunks = [Chunk {
-            addr,
-            len: bytes.len() as u64,
-        }];
-        let r = self.send_reply(ctx, Priority::High, route, &chunks, bytes.len());
-        self.alloc.lock().free(addr)?;
-        r.map(|_| ())
-    }
-
-    // ------------------------------------------------------------------
-    // Kernel services (run on the poller; must never block)
-    // ------------------------------------------------------------------
-
-    fn kernel_service(
-        &self,
-        ctx: &mut Ctx,
-        hdr: &MsgHeader,
-        payload: &[u8],
-    ) -> LiteResult<Option<Vec<u8>>> {
-        let mut d = Dec::new(payload);
-        match hdr.func {
-            FN_MALLOC => {
-                let size = d.u64()?;
-                let max_chunk = d.u64()?;
-                match self.alloc.lock().alloc_chunked(size, max_chunk) {
-                    Ok(chunks) => {
-                        let mut e = Enc::new().u8(0).u32(chunks.len() as u32);
-                        for c in &chunks {
-                            e = e.u64(c.addr).u64(c.len);
-                        }
-                        Ok(Some(e.done()))
-                    }
-                    Err(_) => Ok(Some(Enc::new().u8(1).done())),
-                }
-            }
-            FN_FREE_CHUNKS => {
-                let n = d.u32()?;
-                let mut a = self.alloc.lock();
-                let mut status = 0u8;
-                for _ in 0..n {
-                    let addr = d.u64()?;
-                    if a.free(addr).is_err() {
-                        status = 1;
-                    }
-                }
-                Ok(Some(Enc::new().u8(status).done()))
-            }
-            FN_INVALIDATE => {
-                let node = d.u32()?;
-                let idx = d.u32()?;
-                self.invalidate_lmr(LmrId { node, idx });
-                Ok(Some(Enc::new().u8(0).done()))
-            }
-            FN_REGNAME => {
-                let name = String::from_utf8_lossy(d.bytes()?).into_owned();
-                let master = d.u32()?;
-                let mut names = self.names.lock();
-                if names.contains_key(&name) {
-                    Ok(Some(Enc::new().u8(1).done()))
-                } else {
-                    names.insert(name, master);
-                    Ok(Some(Enc::new().u8(0).done()))
-                }
-            }
-            FN_UNREGNAME => {
-                let name = String::from_utf8_lossy(d.bytes()?).into_owned();
-                self.names.lock().remove(&name);
-                Ok(Some(Enc::new().u8(0).done()))
-            }
-            FN_QUERYNAME => {
-                let name = String::from_utf8_lossy(d.bytes()?).into_owned();
-                match self.names.lock().get(&name) {
-                    Some(&node) => Ok(Some(Enc::new().u8(0).u32(node).done())),
-                    None => Ok(Some(Enc::new().u8(2).done())),
-                }
-            }
-            FN_MAP => {
-                let name = String::from_utf8_lossy(d.bytes()?).into_owned();
-                let mut t = self.masters.lock();
-                let Some(&idx) = t.by_name.get(&name) else {
-                    return Ok(Some(Enc::new().u8(2).done()));
-                };
-                let rec = t.records.get_mut(&idx).expect("indexed");
-                let perm = rec.perm_for(hdr.src_node as NodeId);
-                if !rec.mapped_by.contains(&(hdr.src_node as NodeId)) {
-                    rec.mapped_by.push(hdr.src_node as NodeId);
-                }
-                let mut e = Enc::new()
-                    .u8(0)
-                    .u32(rec.id.node)
-                    .u32(rec.id.idx)
-                    .u8(perm_to_byte(perm))
-                    .u32(rec.location.extents.len() as u32);
-                for (node, c) in &rec.location.extents {
-                    e = e.u32(*node as u32).u64(c.addr).u64(c.len);
-                }
-                Ok(Some(e.done()))
-            }
-            FN_UNMAP => {
-                let idx = d.u32()?;
-                let node = d.u32()?;
-                let mut t = self.masters.lock();
-                if let Some(rec) = t.records.get_mut(&idx) {
-                    rec.mapped_by.retain(|&n| n != node as NodeId);
-                }
-                Ok(Some(Enc::new().u8(0).done()))
-            }
-            FN_TAKE_RECORD => {
-                let name = String::from_utf8_lossy(d.bytes()?).into_owned();
-                let mut t = self.masters.lock();
-                let Some(&idx) = t.by_name.get(&name) else {
-                    return Ok(Some(Enc::new().u8(2).done()));
-                };
-                let rec = t.records.get(&idx).expect("indexed");
-                let requester = hdr.src_node as NodeId;
-                let is_master = requester == self.node || rec.perm_for(requester).master;
-                if !is_master {
-                    return Ok(Some(Enc::new().u8(3).done()));
-                }
-                let rec = t.records.remove(&idx).expect("present");
-                t.by_name.remove(&name);
-                let mut e = Enc::new()
-                    .u8(0)
-                    .u32(rec.id.node)
-                    .u32(rec.id.idx)
-                    .u32(rec.location.extents.len() as u32);
-                for (node, c) in &rec.location.extents {
-                    e = e.u32(*node as u32).u64(c.addr).u64(c.len);
-                }
-                e = e.u32(rec.mapped_by.len() as u32);
-                for n in &rec.mapped_by {
-                    e = e.u32(*n as u32);
-                }
-                Ok(Some(e.done()))
-            }
-            FN_GRANT => {
-                let name = String::from_utf8_lossy(d.bytes()?).into_owned();
-                let node = d.u32()?;
-                let perm = byte_to_perm(d.u8()?);
-                let mut t = self.masters.lock();
-                let Some(&idx) = t.by_name.get(&name) else {
-                    return Ok(Some(Enc::new().u8(2).done()));
-                };
-                let rec = t.records.get_mut(&idx).expect("indexed");
-                let requester = hdr.src_node as NodeId;
-                if requester != self.node && !rec.perm_for(requester).master {
-                    return Ok(Some(Enc::new().u8(3).done()));
-                }
-                rec.grants.insert(node as NodeId, perm);
-                Ok(Some(Enc::new().u8(0).done()))
-            }
-            FN_MEMSET => {
-                let addr = d.u64()?;
-                let len = d.u64()?;
-                let byte = d.u8()?;
-                self.mem().fill(addr, len as usize, byte)?;
-                ctx.work(self.fabric.cost().memcpy_time(len));
-                Ok(Some(Enc::new().u8(0).done()))
-            }
-            FN_MEMCPY => {
-                let op = d.u8()?;
-                let src = d.u64()?;
-                let len = d.u64()?;
-                let dst_node = d.u32()? as NodeId;
-                let dst = d.u64()?;
-                let mut data = vec![0u8; len as usize];
-                self.mem().read(src, &mut data)?;
-                if op == 0 || dst_node == self.node {
-                    self.mem().write(dst, &data)?;
-                    ctx.work(self.fabric.cost().memcpy_time(len));
-                } else {
-                    // Push to the destination node with a one-sided write;
-                    // LT_memcpy returns only once the copy is durable.
-                    let chunks = [Chunk { addr: src, len }];
-                    let comp =
-                        self.rdma_write(ctx, Priority::High, dst_node, dst, &chunks, len as usize)?;
-                    ctx.wait_until(comp);
-                }
-                Ok(Some(Enc::new().u8(0).done()))
-            }
-            FN_LOCK => {
-                let op = d.u8()?;
-                let idx = d.u64()?;
-                let mut locks = self.locks.lock();
-                let st = locks.entry(idx).or_default();
-                match op {
-                    1 => {
-                        // Enqueue a waiter; reply only when granted.
-                        if st.credits > 0 {
-                            st.credits -= 1;
-                            drop(locks);
-                            let _ = self.reply_bytes(ctx, ReplyRoute::of_hdr(hdr), &[0]);
-                        } else {
-                            st.waiters.push_back(ReplyRoute::of_hdr(hdr));
-                        }
-                        Ok(None)
-                    }
-                    2 => {
-                        // Grant the next waiter (one-way from the unlocker).
-                        let next = st.waiters.pop_front();
-                        match next {
-                            Some(route) => {
-                                drop(locks);
-                                let _ = self.reply_bytes(ctx, route, &[0]);
-                            }
-                            None => st.credits += 1,
-                        }
-                        Ok(None)
-                    }
-                    _ => Err(LiteError::Remote(1)),
-                }
-            }
-            FN_BARRIER => {
-                let id = d.u64()?;
-                let count = d.u32()?;
-                let mut barriers = self.barriers.lock();
-                let st = barriers.entry(id).or_insert(BarrierState {
-                    routes: Vec::new(),
-                    count,
-                });
-                st.routes.push(ReplyRoute::of_hdr(hdr));
-                if st.routes.len() as u32 >= st.count {
-                    let st = barriers.remove(&id).expect("present");
-                    drop(barriers);
-                    for route in st.routes {
-                        let _ = self.reply_bytes(ctx, route, &[0]);
-                    }
-                }
-                Ok(None)
-            }
-            other => Err(LiteError::UnknownRpc { func: other }),
-        }
-    }
-}
-
-// ---------------------------------------------------------------------
-// Helpers
-// ---------------------------------------------------------------------
-
-pub(crate) fn perm_to_byte(p: Perm) -> u8 {
-    (p.read as u8) | ((p.write as u8) << 1) | ((p.master as u8) << 2)
-}
-
-pub(crate) fn byte_to_perm(b: u8) -> Perm {
-    Perm {
-        read: b & 1 != 0,
-        write: b & 2 != 0,
-        master: b & 4 != 0,
-    }
-}
-
-/// Reconstructs a monotonic head position from its truncated 30-bit
-/// granule counter, relative to the current head (which it can only be
-/// ahead of, by less than the wrap period).
-fn reconstruct_head(cur: u64, granule30: u32) -> u64 {
-    let cur_g = (cur / RING_GRANULE) & ((1 << 30) - 1);
-    let delta = (granule30 as u64).wrapping_sub(cur_g) & ((1 << 30) - 1);
-    // Heads only move forward; a stale (reordered) update decodes as a
-    // huge delta — ignore it by treating > half the period as stale.
-    if delta > (1 << 29) {
-        return cur;
-    }
-    cur + delta * RING_GRANULE
-}
-
-pub(crate) fn read_chunks(mem: &PhysMem, chunks: &[Chunk], len: usize) -> LiteResult<Vec<u8>> {
-    let mut out = vec![0u8; len];
-    let mut off = 0usize;
-    for c in chunks {
-        if off >= len {
-            break;
-        }
-        let n = (c.len as usize).min(len - off);
-        mem.read(c.addr, &mut out[off..off + n])?;
-        off += n;
-    }
-    Ok(out)
-}
-
-pub(crate) fn write_chunks(mem: &PhysMem, chunks: &[Chunk], data: &[u8]) -> LiteResult<()> {
-    let mut off = 0usize;
-    for c in chunks {
-        if off >= data.len() {
-            break;
-        }
-        let n = (c.len as usize).min(data.len() - off);
-        mem.write(c.addr, &data[off..off + n])?;
-        off += n;
-    }
-    Ok(())
-}
-
-/// QPs this kernel should create towards each peer, honoring QoS needs:
-/// K RC QPs per peer (§6.1). Used by the cluster builder's tests and by
-/// external tooling that inspects the sharing scheme.
-#[allow(dead_code)]
-pub(crate) fn qp_plan(nodes: usize, me: NodeId, k: usize) -> Vec<(NodeId, usize)> {
-    (0..nodes).filter(|&p| p != me).map(|p| (p, k)).collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn codec_roundtrip() {
-        let v = Enc::new()
-            .u8(7)
-            .u32(0xAABBCCDD)
-            .u64(0x1122334455667788)
-            .bytes(b"hello")
-            .done();
-        let mut d = Dec::new(&v);
-        assert_eq!(d.u8().unwrap(), 7);
-        assert_eq!(d.u32().unwrap(), 0xAABBCCDD);
-        assert_eq!(d.u64().unwrap(), 0x1122334455667788);
-        assert_eq!(d.bytes().unwrap(), b"hello");
-        assert!(d.u8().is_err(), "exhausted");
-    }
-
-    #[test]
-    fn perm_byte_roundtrip() {
-        for p in [Perm::RO, Perm::RW, Perm::MASTER] {
-            assert_eq!(byte_to_perm(perm_to_byte(p)), p);
-        }
-    }
-
-    #[test]
-    fn head_reconstruction() {
-        // Simple forward movement.
-        assert_eq!(reconstruct_head(0, 10), 10 * RING_GRANULE);
-        let cur = 100 * RING_GRANULE;
-        assert_eq!(reconstruct_head(cur, 100), cur, "no movement");
-        assert_eq!(reconstruct_head(cur, 150), 150 * RING_GRANULE);
-        // Stale update (behind current) is ignored.
-        assert_eq!(reconstruct_head(cur, 50), cur);
-        // Across the 30-bit wrap.
-        let near_wrap = ((1u64 << 30) - 2) * RING_GRANULE;
-        let new = reconstruct_head(near_wrap, 3);
-        assert_eq!(new, near_wrap + 5 * RING_GRANULE);
-    }
-
-    #[test]
-    fn qp_plan_counts() {
-        let plan = qp_plan(4, 1, 2);
-        assert_eq!(plan, vec![(0, 2), (2, 2), (3, 2)]);
-        assert_eq!(plan.iter().map(|(_, k)| k).sum::<usize>(), 6);
     }
 }

@@ -1,0 +1,65 @@
+//! Gather/scatter between [`smem::PhysMem`] and chunk lists.
+//!
+//! LMRs are physically chunked (§4.1 splits large LMRs to dodge external
+//! fragmentation), so every local staging move walks a chunk list. These
+//! two helpers are the only place that walk lives.
+
+use smem::{Chunk, PhysMem};
+
+use crate::error::LiteResult;
+
+/// Reads `len` bytes spread over `chunks` into one contiguous buffer.
+pub(crate) fn read_chunks(mem: &PhysMem, chunks: &[Chunk], len: usize) -> LiteResult<Vec<u8>> {
+    let mut out = vec![0u8; len];
+    let mut off = 0usize;
+    for c in chunks {
+        if off >= len {
+            break;
+        }
+        let n = (c.len as usize).min(len - off);
+        mem.read(c.addr, &mut out[off..off + n])?;
+        off += n;
+    }
+    Ok(out)
+}
+
+/// Scatters `data` over `chunks`.
+pub(crate) fn write_chunks(mem: &PhysMem, chunks: &[Chunk], data: &[u8]) -> LiteResult<()> {
+    let mut off = 0usize;
+    for c in chunks {
+        if off >= data.len() {
+            break;
+        }
+        let n = (c.len as usize).min(data.len() - off);
+        mem.write(c.addr, &data[off..off + n])?;
+        off += n;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_roundtrip_spans_pieces() {
+        let mem = PhysMem::new(4096);
+        let chunks = [
+            Chunk { addr: 0, len: 5 },
+            Chunk { addr: 100, len: 11 },
+            Chunk {
+                addr: 1000,
+                len: 64,
+            },
+        ];
+        let data: Vec<u8> = (0..16u8).collect();
+        write_chunks(&mem, &chunks, &data).unwrap();
+        // 16 bytes span the first two chunks (5 + 11); the third is
+        // untouched.
+        let back = read_chunks(&mem, &chunks, 16).unwrap();
+        assert_eq!(back, data);
+        let mut third = [0u8; 1];
+        mem.read(1000, &mut third).unwrap();
+        assert_eq!(third[0], 0);
+    }
+}

@@ -1,0 +1,1090 @@
+//! The transport-agnostic datapath: op descriptors and their dispatch.
+//!
+//! The LITE kernel used to call `rnic` verbs directly from a dozen call
+//! sites. This module narrows all of that to one seam: callers describe
+//! work as [`Op`] descriptors and hand them to a [`DataPath`], which owns
+//! transport selection, QoS, QP choice, and posting. Two implementations
+//! exist:
+//!
+//! * [`RnicDataPath`] — the real thing: the global physical MR (§4.1),
+//!   K shared RC QPs per peer (§6.1), HW-Sep/SW-Pri QoS (§6.2), and
+//!   doorbell-batched posting ([`DataPath::post_many`]) that pays the
+//!   host post cost and QP-context touch once per chain.
+//! * [`TcpDataPath`] — the same descriptors over a modeled TCP/IPoIB
+//!   stack, so baselines and apps can swap transports without touching
+//!   their data plane.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rnic::{IbConfig, IbFabric, NodeId, Qp, RemoteAddr, Sge, WritePost};
+use simnet::{transfer_time, Ctx, Nanos, Resource};
+use smem::{PhysAllocator, PhysMem};
+use transport::TcpCostModel;
+
+use super::chunkio::{read_chunks, write_chunks};
+use super::LiteKernel;
+use crate::config::LiteConfig;
+use crate::error::{LiteError, LiteResult};
+use crate::qos::{Priority, QosMode, QosState};
+
+pub use smem::Chunk;
+
+/// Cost of a local atomic executed by the kernel (no NIC involved).
+const LOCAL_ATOMIC_NS: Nanos = 120;
+
+/// A one-sided datapath operation, described in terms of physical
+/// addresses under the global MR rather than verbs objects.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// RDMA-write `len` bytes gathered from local `src` chunks to
+    /// `(dst_node, dst_addr)`; optionally carries immediate data (which
+    /// consumes a receive credit and wakes the remote poller).
+    Write {
+        /// Destination node.
+        dst_node: NodeId,
+        /// Destination physical address.
+        dst_addr: u64,
+        /// Local source chunks (gather list).
+        src: Vec<Chunk>,
+        /// Bytes to move.
+        len: usize,
+        /// Encoded immediate value, if any.
+        imm: Option<u32>,
+    },
+    /// RDMA-read `len` bytes from `(src_node, src_addr)` scattered into
+    /// local `dst` chunks.
+    Read {
+        /// Source node.
+        src_node: NodeId,
+        /// Source physical address.
+        src_addr: u64,
+        /// Local destination chunks (scatter list).
+        dst: Vec<Chunk>,
+        /// Bytes to move.
+        len: usize,
+    },
+    /// One-sided atomic fetch-and-add on a remote u64.
+    FetchAdd {
+        /// Target node.
+        node: NodeId,
+        /// Physical address of the u64 cell.
+        addr: u64,
+        /// Addend.
+        delta: u64,
+    },
+    /// One-sided atomic compare-and-swap on a remote u64.
+    CmpSwap {
+        /// Target node.
+        node: NodeId,
+        /// Physical address of the u64 cell.
+        addr: u64,
+        /// Expected value.
+        expect: u64,
+        /// Replacement value.
+        new: u64,
+    },
+}
+
+impl Op {
+    /// Plain write descriptor (no immediate).
+    pub fn write(dst_node: NodeId, dst_addr: u64, src: Vec<Chunk>, len: usize) -> Op {
+        Op::Write {
+            dst_node,
+            dst_addr,
+            src,
+            len,
+            imm: None,
+        }
+    }
+
+    /// Plain read descriptor.
+    pub fn read(src_node: NodeId, src_addr: u64, dst: Vec<Chunk>, len: usize) -> Op {
+        Op::Read {
+            src_node,
+            src_addr,
+            dst,
+            len,
+        }
+    }
+
+    /// The remote node this op touches.
+    pub fn dst_node(&self) -> NodeId {
+        match self {
+            Op::Write { dst_node, .. } => *dst_node,
+            Op::Read { src_node, .. } => *src_node,
+            Op::FetchAdd { node, .. } | Op::CmpSwap { node, .. } => *node,
+        }
+    }
+
+    /// Payload bytes this op moves (8 for atomics).
+    pub fn bytes(&self) -> u64 {
+        match self {
+            Op::Write { len, .. } | Op::Read { len, .. } => *len as u64,
+            Op::FetchAdd { .. } | Op::CmpSwap { .. } => 8,
+        }
+    }
+}
+
+/// Outcome of a posted op.
+#[derive(Debug, Clone, Copy)]
+pub struct Completion {
+    /// Virtual time at which the op is complete (remotely visible for
+    /// writes, locally filled for reads, executed for atomics).
+    pub stamp: Nanos,
+    /// Returned value for atomics (the previous cell contents); 0 for
+    /// reads and writes.
+    pub value: u64,
+}
+
+/// A transport under the LITE data plane: posts [`Op`] descriptors and
+/// reports completion stamps.
+///
+/// Implementations own everything below the descriptor — QP/socket
+/// selection, QoS, retry — so consumers (the kernel itself, `lite-graph`
+/// backends, `lite-mr`) never special-case the transport.
+pub trait DataPath: Send + Sync {
+    /// The node this datapath instance posts from.
+    fn node(&self) -> NodeId;
+
+    /// The fabric whose physical memory the descriptors address (staging
+    /// buffers are filled through it; moving host bytes into simulated
+    /// memory carries no virtual-time cost).
+    fn fabric(&self) -> &Arc<IbFabric>;
+
+    /// Allocates `bytes` of remote-accessible physical memory on this
+    /// datapath's node; returns its physical address.
+    fn alloc(&self, bytes: u64) -> LiteResult<u64>;
+
+    /// Posts one op; returns its completion. The caller's clock advances
+    /// through the post path only (block with `ctx.wait_until` on the
+    /// stamp when needed); atomics are blocking, like their verbs.
+    fn post(&self, ctx: &mut Ctx, prio: Priority, op: &Op) -> LiteResult<Completion>;
+
+    /// Posts a chain of ops. The default issues them one by one;
+    /// implementations may amortize (doorbell batching). Completions are
+    /// returned in op order.
+    fn post_many(&self, ctx: &mut Ctx, prio: Priority, ops: &[Op]) -> LiteResult<Vec<Completion>> {
+        ops.iter().map(|op| self.post(ctx, prio, op)).collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// RNIC implementation
+// ---------------------------------------------------------------------
+
+/// The verbs-backed datapath of the LITE kernel.
+pub struct RnicDataPath {
+    fabric: Arc<IbFabric>,
+    node: NodeId,
+    map_check_ns: Nanos,
+    batch: bool,
+    global_lkey: u32,
+    global_rkeys: Vec<u32>,
+    qp_pools: Vec<Vec<Arc<Qp>>>,
+    rr: AtomicUsize,
+    qos: Arc<QosState>,
+    all_qos: Vec<Arc<QosState>>,
+    alloc: Arc<Mutex<PhysAllocator>>,
+}
+
+impl RnicDataPath {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        fabric: Arc<IbFabric>,
+        node: NodeId,
+        config: &LiteConfig,
+        global_lkey: u32,
+        global_rkeys: Vec<u32>,
+        qp_pools: Vec<Vec<Arc<Qp>>>,
+        qos: Arc<QosState>,
+        all_qos: Vec<Arc<QosState>>,
+        alloc: Arc<Mutex<PhysAllocator>>,
+    ) -> Self {
+        RnicDataPath {
+            fabric,
+            node,
+            map_check_ns: config.map_check_ns,
+            batch: config.batch_posting,
+            global_lkey,
+            global_rkeys,
+            qp_pools,
+            rr: AtomicUsize::new(0),
+            qos,
+            all_qos,
+            alloc,
+        }
+    }
+
+    pub(crate) fn num_qps(&self) -> usize {
+        self.qp_pools.iter().map(Vec::len).sum()
+    }
+
+    fn mem(&self) -> &Arc<PhysMem> {
+        self.fabric.mem(self.node)
+    }
+
+    /// Picks a QP towards `peer` (§6.1 sharing; §6.2 HW-Sep partitions
+    /// the pool between priorities).
+    pub(crate) fn qp_to(&self, peer: NodeId, prio: Priority) -> LiteResult<Arc<Qp>> {
+        let pool = self
+            .qp_pools
+            .get(peer)
+            .filter(|p| !p.is_empty())
+            .ok_or(LiteError::NodeDown { node: peer })?;
+        let k = pool.len();
+        let (lo, hi) = if self.qos.mode() == QosMode::HwSep {
+            let (h, _) = self.qos.hw_partition(k);
+            match prio {
+                Priority::High => (0, h),
+                Priority::Low => {
+                    if h < k {
+                        (h, k)
+                    } else {
+                        (0, k)
+                    }
+                }
+            }
+        } else {
+            (0, k)
+        };
+        let n = hi - lo;
+        let idx = lo + self.rr.fetch_add(1, Ordering::Relaxed) % n;
+        Ok(Arc::clone(&pool[idx]))
+    }
+
+    /// Applies QoS before an op of `bytes` towards `dst`: HW-Sep
+    /// partitions the sender; SW-Pri consults the *receiver's* monitor
+    /// (the paper's policy 3 explicitly uses receiver-side information).
+    fn qos_before(&self, ctx: &mut Ctx, prio: Priority, dst: NodeId, bytes: u64) {
+        match self.qos.mode() {
+            QosMode::SwPri => self.all_qos[dst].before_op(ctx, prio, bytes),
+            _ => self.qos.before_op(ctx, prio, bytes),
+        }
+    }
+
+    /// Records a completed high-priority op at the receiver's monitor.
+    fn qos_after_high(&self, dst: NodeId, finish: Nanos, bytes: u64, latency: Nanos) {
+        self.all_qos[dst].after_high_op(finish, bytes, latency);
+    }
+
+    /// Write-imm posts race with the remote poller's credit reposting;
+    /// RNR (exhausted credits) is transient, so retry briefly. The
+    /// batched variant is safe to retry whole: `post_write_many` claims
+    /// credits atomically and rolls back on failure.
+    fn write_many_rnr_retry(
+        &self,
+        ctx: &mut Ctx,
+        qp: &Qp,
+        posts: &[WritePost],
+    ) -> LiteResult<Vec<rnic::WriteOutcome>> {
+        let nic = self.fabric.nic(self.node);
+        let mut tries = 0;
+        loop {
+            match nic.post_write_many(ctx, qp, posts) {
+                Ok(outcomes) => return Ok(outcomes),
+                Err(rnic::VerbsError::ReceiverNotReady) if tries < 1000 => {
+                    tries += 1;
+                    std::thread::yield_now();
+                    ctx.clock.advance(200);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Posts a doorbell chain of writes towards one peer: per-op mapping
+    /// checks and QoS, then one `post_write_many` so the host post cost
+    /// and QP-context touch are paid once for the whole run.
+    fn post_write_batch(
+        &self,
+        ctx: &mut Ctx,
+        prio: Priority,
+        dst: NodeId,
+        ops: &[Op],
+    ) -> LiteResult<Vec<Completion>> {
+        let start = ctx.now();
+        let mut posts = Vec::with_capacity(ops.len());
+        let mut metas = Vec::with_capacity(ops.len());
+        for op in ops {
+            let Op::Write {
+                dst_addr,
+                src,
+                len,
+                imm,
+                ..
+            } = op
+            else {
+                unreachable!("batch runs contain only writes");
+            };
+            if imm.is_none() {
+                ctx.work(self.map_check_ns);
+            }
+            self.qos_before(ctx, prio, dst, *len as u64);
+            metas.push((*len as u64, imm.is_none()));
+            posts.push(WritePost {
+                wr_id: 0,
+                sge: Sge::Phys {
+                    lkey: self.global_lkey,
+                    chunks: src.clone(),
+                },
+                remote: RemoteAddr {
+                    rkey: self.global_rkeys[dst],
+                    addr: *dst_addr,
+                },
+                imm: *imm,
+                signaled: false,
+            });
+        }
+        let qp = self.qp_to(dst, prio)?;
+        let outcomes = self.write_many_rnr_retry(ctx, &qp, &posts)?;
+        let mut comps = Vec::with_capacity(outcomes.len());
+        for ((bytes, plain), o) in metas.into_iter().zip(outcomes) {
+            if plain && prio == Priority::High {
+                self.qos_after_high(dst, o.completion, bytes, o.completion.saturating_sub(start));
+            }
+            comps.push(Completion {
+                stamp: o.completion,
+                value: 0,
+            });
+        }
+        Ok(comps)
+    }
+}
+
+impl DataPath for RnicDataPath {
+    fn node(&self) -> NodeId {
+        self.node
+    }
+
+    fn fabric(&self) -> &Arc<IbFabric> {
+        &self.fabric
+    }
+
+    fn alloc(&self, bytes: u64) -> LiteResult<u64> {
+        Ok(self.alloc.lock().alloc(bytes)?)
+    }
+
+    fn post(&self, ctx: &mut Ctx, prio: Priority, op: &Op) -> LiteResult<Completion> {
+        match op {
+            Op::Write {
+                dst_node,
+                dst_addr,
+                src,
+                len,
+                imm,
+            } => {
+                if *dst_node == self.node {
+                    // Local LMR: plain memory copy, no NIC. (Loop-back
+                    // write-imm goes through the kernel's RPC layer, not
+                    // here — it must land in the shared receive CQ.)
+                    debug_assert!(imm.is_none(), "loopback imm handled by the RPC layer");
+                    ctx.work(self.map_check_ns);
+                    let cost = self.fabric.cost();
+                    let data = read_chunks(self.mem(), src, *len)?;
+                    self.mem().write(*dst_addr, &data)?;
+                    ctx.work(cost.memcpy_time(*len as u64));
+                    return Ok(Completion {
+                        stamp: ctx.now(),
+                        value: 0,
+                    });
+                }
+                let start = ctx.now();
+                if imm.is_none() {
+                    // Write-imm paths pay their (cheaper) mapping cost as
+                    // part of RPC metadata handling instead.
+                    ctx.work(self.map_check_ns);
+                }
+                self.qos_before(ctx, prio, *dst_node, *len as u64);
+                let qp = self.qp_to(*dst_node, prio)?;
+                let sge = Sge::Phys {
+                    lkey: self.global_lkey,
+                    chunks: src.clone(),
+                };
+                let remote = RemoteAddr {
+                    rkey: self.global_rkeys[*dst_node],
+                    addr: *dst_addr,
+                };
+                let comp = if imm.is_some() {
+                    let posts = [WritePost {
+                        wr_id: 0,
+                        sge,
+                        remote,
+                        imm: *imm,
+                        signaled: false,
+                    }];
+                    // Single-element chain: identical to a plain post, but
+                    // shares the RNR retry loop.
+                    self.write_many_rnr_retry(ctx, &qp, &posts)?[0].completion
+                } else {
+                    self.fabric
+                        .nic(self.node)
+                        .post_write(ctx, &qp, 0, &sge, remote, None, false)?
+                };
+                if imm.is_none() && prio == Priority::High {
+                    self.qos_after_high(*dst_node, comp, *len as u64, comp.saturating_sub(start));
+                }
+                Ok(Completion {
+                    stamp: comp,
+                    value: 0,
+                })
+            }
+            Op::Read {
+                src_node,
+                src_addr,
+                dst,
+                len,
+            } => {
+                let start = ctx.now();
+                ctx.work(self.map_check_ns);
+                if *src_node == self.node {
+                    let cost = self.fabric.cost();
+                    let mut data = vec![0u8; *len];
+                    self.mem().read(*src_addr, &mut data)?;
+                    write_chunks(self.mem(), dst, &data)?;
+                    ctx.work(cost.memcpy_time(*len as u64));
+                    return Ok(Completion {
+                        stamp: ctx.now(),
+                        value: 0,
+                    });
+                }
+                self.qos_before(ctx, prio, *src_node, *len as u64);
+                let qp = self.qp_to(*src_node, prio)?;
+                let sge = Sge::Phys {
+                    lkey: self.global_lkey,
+                    chunks: dst.clone(),
+                };
+                let comp = self.fabric.nic(self.node).post_read(
+                    ctx,
+                    &qp,
+                    0,
+                    &sge,
+                    RemoteAddr {
+                        rkey: self.global_rkeys[*src_node],
+                        addr: *src_addr,
+                    },
+                    false,
+                )?;
+                if prio == Priority::High {
+                    self.qos_after_high(*src_node, comp, *len as u64, comp.saturating_sub(start));
+                }
+                Ok(Completion {
+                    stamp: comp,
+                    value: 0,
+                })
+            }
+            Op::FetchAdd { node, addr, delta } => {
+                ctx.work(self.map_check_ns);
+                if *node == self.node {
+                    ctx.work(LOCAL_ATOMIC_NS);
+                    return Ok(Completion {
+                        stamp: ctx.now(),
+                        value: self.mem().fetch_add_u64(*addr, *delta)?,
+                    });
+                }
+                let qp = self.qp_to(*node, prio)?;
+                let value = self.fabric.nic(self.node).fetch_add(
+                    ctx,
+                    &qp,
+                    RemoteAddr {
+                        rkey: self.global_rkeys[*node],
+                        addr: *addr,
+                    },
+                    *delta,
+                )?;
+                Ok(Completion {
+                    stamp: ctx.now(),
+                    value,
+                })
+            }
+            Op::CmpSwap {
+                node,
+                addr,
+                expect,
+                new,
+            } => {
+                ctx.work(self.map_check_ns);
+                if *node == self.node {
+                    ctx.work(LOCAL_ATOMIC_NS);
+                    return Ok(Completion {
+                        stamp: ctx.now(),
+                        value: self.mem().cas_u64(*addr, *expect, *new)?,
+                    });
+                }
+                let qp = self.qp_to(*node, prio)?;
+                let value = self.fabric.nic(self.node).cmp_swap(
+                    ctx,
+                    &qp,
+                    RemoteAddr {
+                        rkey: self.global_rkeys[*node],
+                        addr: *addr,
+                    },
+                    *expect,
+                    *new,
+                )?;
+                Ok(Completion {
+                    stamp: ctx.now(),
+                    value,
+                })
+            }
+        }
+    }
+
+    /// Doorbell batching: consecutive remote writes towards the same peer
+    /// are chained through one `post_write_many` (one host post, one
+    /// QP-context touch, one engine batch — §6.1's sharing taken one step
+    /// further). Everything else falls back to sequential posts, as does
+    /// the whole chain when `batch_posting` is off.
+    fn post_many(&self, ctx: &mut Ctx, prio: Priority, ops: &[Op]) -> LiteResult<Vec<Completion>> {
+        if !self.batch || ops.len() < 2 {
+            return ops.iter().map(|op| self.post(ctx, prio, op)).collect();
+        }
+        let mut out = Vec::with_capacity(ops.len());
+        let mut i = 0;
+        while i < ops.len() {
+            let run_dst = match &ops[i] {
+                Op::Write { dst_node, .. } if *dst_node != self.node => *dst_node,
+                _ => {
+                    out.push(self.post(ctx, prio, &ops[i])?);
+                    i += 1;
+                    continue;
+                }
+            };
+            let mut j = i + 1;
+            while j < ops.len() {
+                match &ops[j] {
+                    Op::Write { dst_node, .. } if *dst_node == run_dst => j += 1,
+                    _ => break,
+                }
+            }
+            if j - i >= 2 {
+                out.extend(self.post_write_batch(ctx, prio, run_dst, &ops[i..j])?);
+            } else {
+                out.push(self.post(ctx, prio, &ops[i])?);
+            }
+            i = j;
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------
+// TCP implementation
+// ---------------------------------------------------------------------
+
+/// Per-node TCP/IPoIB stack resources (mirrors `transport::tcp`).
+struct TcpStack {
+    kernel: Resource,
+    wire: Resource,
+}
+
+/// The same op descriptors over a modeled kernel TCP stack on IPoIB.
+///
+/// One-sided semantics are emulated request/response style: writes push
+/// the bytes with one message, reads and atomics pay a round trip. Used
+/// by baselines that want LITE's data plane shape without its RDMA
+/// substrate — build a set of connected paths with
+/// [`TcpDataPath::mesh`].
+pub struct TcpDataPath {
+    fabric: Arc<IbFabric>,
+    node: NodeId,
+    cost: TcpCostModel,
+    stacks: Arc<Vec<TcpStack>>,
+    alloc: Mutex<PhysAllocator>,
+}
+
+/// Bytes of a read request / atomic request / atomic response message.
+const TCP_CTRL_BYTES: usize = 24;
+
+impl TcpDataPath {
+    /// Builds one connected datapath per node over a fresh memory fabric.
+    pub fn mesh(nodes: usize, cost: TcpCostModel) -> Vec<Arc<TcpDataPath>> {
+        let fabric = IbFabric::new(IbConfig::with_nodes(nodes));
+        let stacks = Arc::new(
+            (0..nodes)
+                .map(|_| TcpStack {
+                    kernel: Resource::with_slack("tcp-kernel", 40_000),
+                    wire: Resource::with_slack("ipoib-wire", 40_000),
+                })
+                .collect::<Vec<_>>(),
+        );
+        (0..nodes)
+            .map(|node| {
+                let size = fabric.mem(node).size();
+                Arc::new(TcpDataPath {
+                    fabric: Arc::clone(&fabric),
+                    node,
+                    cost: cost.clone(),
+                    stacks: Arc::clone(&stacks),
+                    alloc: Mutex::new(PhysAllocator::new(0, size)),
+                })
+            })
+            .collect()
+    }
+
+    fn segs(&self, len: usize) -> u64 {
+        len.max(1).div_ceil(self.cost.mss) as u64
+    }
+
+    fn copy_time(&self, len: usize) -> Nanos {
+        transfer_time(len as u64, self.cost.copy_bytes_per_sec)
+    }
+
+    fn wire_time(&self, len: usize) -> Nanos {
+        transfer_time(len as u64, self.cost.bytes_per_sec)
+    }
+
+    /// Send path from this node, charged to the caller's CPU; returns the
+    /// arrival stamp at the peer (post-wakeup, pre-copy).
+    fn send_leg(&self, ctx: &mut Ctx, len: usize) -> Nanos {
+        let c = &self.cost;
+        ctx.work(c.syscall_ns + self.copy_time(len));
+        let seg = self.stacks[self.node]
+            .kernel
+            .acquire(ctx.now(), c.segment_ns * self.segs(len));
+        let wire = self.stacks[self.node]
+            .wire
+            .acquire(seg.finish, self.wire_time(len));
+        wire.finish + c.propagation_ns + c.rx_wakeup_ns
+    }
+
+    /// Response path from `from`, starting at virtual time `start`
+    /// (remote CPU; nothing charged to the caller).
+    fn return_leg(&self, from: NodeId, start: Nanos, len: usize) -> Nanos {
+        let c = &self.cost;
+        let cpu = c.syscall_ns + self.copy_time(len);
+        let seg = self.stacks[from]
+            .kernel
+            .acquire(start + cpu, c.segment_ns * self.segs(len));
+        let wire = self.stacks[from]
+            .wire
+            .acquire(seg.finish, self.wire_time(len));
+        wire.finish + c.propagation_ns + c.rx_wakeup_ns
+    }
+
+    /// Receiver-side cost folded into the completion stamp.
+    fn rx_done(&self, arrive: Nanos, len: usize) -> Nanos {
+        arrive + self.cost.syscall_ns + self.copy_time(len)
+    }
+}
+
+impl DataPath for TcpDataPath {
+    fn node(&self) -> NodeId {
+        self.node
+    }
+
+    fn fabric(&self) -> &Arc<IbFabric> {
+        &self.fabric
+    }
+
+    fn alloc(&self, bytes: u64) -> LiteResult<u64> {
+        Ok(self.alloc.lock().alloc(bytes)?)
+    }
+
+    fn post(&self, ctx: &mut Ctx, _prio: Priority, op: &Op) -> LiteResult<Completion> {
+        let local_mem = self.fabric.mem(self.node);
+        match op {
+            Op::Write {
+                dst_node,
+                dst_addr,
+                src,
+                len,
+                ..
+            } => {
+                let data = read_chunks(local_mem, src, *len)?;
+                if *dst_node == self.node {
+                    local_mem.write(*dst_addr, &data)?;
+                    ctx.work(self.copy_time(*len));
+                    return Ok(Completion {
+                        stamp: ctx.now(),
+                        value: 0,
+                    });
+                }
+                let arrive = self.send_leg(ctx, *len);
+                self.fabric.mem(*dst_node).write(*dst_addr, &data)?;
+                Ok(Completion {
+                    stamp: self.rx_done(arrive, *len),
+                    value: 0,
+                })
+            }
+            Op::Read {
+                src_node,
+                src_addr,
+                dst,
+                len,
+            } => {
+                if *src_node == self.node {
+                    let mut data = vec![0u8; *len];
+                    local_mem.read(*src_addr, &mut data)?;
+                    write_chunks(local_mem, dst, &data)?;
+                    ctx.work(self.copy_time(*len));
+                    return Ok(Completion {
+                        stamp: ctx.now(),
+                        value: 0,
+                    });
+                }
+                let req_arrive = self.send_leg(ctx, TCP_CTRL_BYTES);
+                let mut data = vec![0u8; *len];
+                self.fabric.mem(*src_node).read(*src_addr, &mut data)?;
+                write_chunks(local_mem, dst, &data)?;
+                let back = self.return_leg(*src_node, req_arrive, *len);
+                Ok(Completion {
+                    stamp: self.rx_done(back, *len),
+                    value: 0,
+                })
+            }
+            Op::FetchAdd { node, addr, delta } => {
+                if *node == self.node {
+                    ctx.work(LOCAL_ATOMIC_NS);
+                    return Ok(Completion {
+                        stamp: ctx.now(),
+                        value: local_mem.fetch_add_u64(*addr, *delta)?,
+                    });
+                }
+                let req_arrive = self.send_leg(ctx, TCP_CTRL_BYTES);
+                let value = self.fabric.mem(*node).fetch_add_u64(*addr, *delta)?;
+                let back = self.return_leg(*node, req_arrive, TCP_CTRL_BYTES);
+                let stamp = self.rx_done(back, TCP_CTRL_BYTES);
+                ctx.wait_until(stamp); // atomics are blocking, like their verbs
+                Ok(Completion { stamp, value })
+            }
+            Op::CmpSwap {
+                node,
+                addr,
+                expect,
+                new,
+            } => {
+                if *node == self.node {
+                    ctx.work(LOCAL_ATOMIC_NS);
+                    return Ok(Completion {
+                        stamp: ctx.now(),
+                        value: local_mem.cas_u64(*addr, *expect, *new)?,
+                    });
+                }
+                let req_arrive = self.send_leg(ctx, TCP_CTRL_BYTES);
+                let value = self.fabric.mem(*node).cas_u64(*addr, *expect, *new)?;
+                let back = self.return_leg(*node, req_arrive, TCP_CTRL_BYTES);
+                let stamp = self.rx_done(back, TCP_CTRL_BYTES);
+                ctx.wait_until(stamp);
+                Ok(Completion { stamp, value })
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared synchronization helper
+// ---------------------------------------------------------------------
+
+/// A sense-free spin barrier built from nothing but [`Op`] descriptors:
+/// one cumulative counter cell on a home node, bumped with
+/// [`Op::FetchAdd`] and polled with one-sided reads. Lets any
+/// [`DataPath`] consumer (the graph and MapReduce apps) synchronize
+/// without a second transport-specific mechanism.
+///
+/// The counter is monotonic: the barrier with sequence `seq` releases
+/// once the cell reaches `(seq + 1) * parties`, so one cell serves every
+/// round of a run.
+pub struct DataPathBarrier {
+    dp: Arc<dyn DataPath>,
+    home: NodeId,
+    cell: u64,
+    parties: u64,
+    /// Local 8-byte landing pad the polls read into.
+    spin: u64,
+}
+
+impl DataPathBarrier {
+    /// Allocates and zeroes a counter cell on `home`'s node (call once,
+    /// share the address with every party).
+    pub fn alloc_cell(home: &Arc<dyn DataPath>) -> LiteResult<u64> {
+        let cell = home.alloc(8)?;
+        home.fabric().mem(home.node()).write(cell, &[0u8; 8])?;
+        Ok(cell)
+    }
+
+    /// A party's view of the barrier at `cell` on node `home`.
+    pub fn new(dp: Arc<dyn DataPath>, home: NodeId, cell: u64, parties: u64) -> LiteResult<Self> {
+        let spin = dp.alloc(8)?;
+        Ok(DataPathBarrier {
+            dp,
+            home,
+            cell,
+            parties,
+            spin,
+        })
+    }
+
+    /// Joins barrier `seq` (0, 1, 2, … over the life of the cell) and
+    /// blocks until all parties have.
+    pub fn wait(&self, ctx: &mut Ctx, seq: u64) -> LiteResult<()> {
+        let target = (seq + 1) * self.parties;
+        self.dp.post(
+            ctx,
+            Priority::High,
+            &Op::FetchAdd {
+                node: self.home,
+                addr: self.cell,
+                delta: 1,
+            },
+        )?;
+        let poll = Op::read(
+            self.home,
+            self.cell,
+            vec![Chunk {
+                addr: self.spin,
+                len: 8,
+            }],
+            8,
+        );
+        loop {
+            let comp = self.dp.post(ctx, Priority::High, &poll)?;
+            ctx.wait_until(comp.stamp);
+            let mut b = [0u8; 8];
+            self.dp
+                .fabric()
+                .mem(self.dp.node())
+                .read(self.spin, &mut b)?;
+            if u64::from_le_bytes(b) >= target {
+                return Ok(());
+            }
+            std::thread::yield_now();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Kernel wrappers: counters + delegation to the node's RnicDataPath.
+// ---------------------------------------------------------------------
+
+impl LiteKernel {
+    /// This node's datapath (available after cluster wiring).
+    pub(crate) fn datapath(&self) -> &Arc<RnicDataPath> {
+        self.datapath.get().expect("setup complete")
+    }
+
+    /// RDMA-writes `len` bytes from local physical `src_chunks` to
+    /// `(dst_node, dst_addr)`. Returns the completion stamp; the caller
+    /// decides whether to block on it (LT_write always does).
+    pub(crate) fn rdma_write(
+        &self,
+        ctx: &mut Ctx,
+        prio: Priority,
+        dst_node: NodeId,
+        dst_addr: u64,
+        src_chunks: &[Chunk],
+        len: usize,
+    ) -> LiteResult<Nanos> {
+        self.counters.count_write(len as u64);
+        let op = Op::write(dst_node, dst_addr, src_chunks.to_vec(), len);
+        Ok(self.datapath().post(ctx, prio, &op)?.stamp)
+    }
+
+    /// RDMA-reads `len` bytes from `(src_node, src_addr)` into local
+    /// physical `dst_chunks`.
+    pub(crate) fn rdma_read(
+        &self,
+        ctx: &mut Ctx,
+        prio: Priority,
+        src_node: NodeId,
+        src_addr: u64,
+        dst_chunks: &[Chunk],
+        len: usize,
+    ) -> LiteResult<Nanos> {
+        self.counters.count_read(len as u64);
+        let op = Op::read(src_node, src_addr, dst_chunks.to_vec(), len);
+        Ok(self.datapath().post(ctx, prio, &op)?.stamp)
+    }
+
+    /// Writes a scatter list of `(dst_node, dst_addr, src_chunk)` pieces,
+    /// chaining consecutive remote pieces towards the same node into one
+    /// doorbell batch. Returns the latest completion stamp.
+    pub(crate) fn rdma_write_vec(
+        &self,
+        ctx: &mut Ctx,
+        prio: Priority,
+        pieces: &[(NodeId, u64, Chunk)],
+    ) -> LiteResult<Nanos> {
+        let mut last = ctx.now();
+        let mut i = 0;
+        while i < pieces.len() {
+            let node = pieces[i].0;
+            let mut j = i + 1;
+            while j < pieces.len() && pieces[j].0 == node {
+                j += 1;
+            }
+            let run = &pieces[i..j];
+            if run.len() >= 2 && node != self.node {
+                let total: u64 = run.iter().map(|(_, _, c)| c.len).sum();
+                self.counters.count_writes(run.len() as u64, total);
+                let ops: Vec<Op> = run
+                    .iter()
+                    .map(|(n, addr, c)| Op::write(*n, *addr, vec![*c], c.len as usize))
+                    .collect();
+                for comp in self.datapath().post_many(ctx, prio, &ops)? {
+                    last = last.max(comp.stamp);
+                }
+            } else {
+                for (n, addr, c) in run {
+                    let comp = self.rdma_write(ctx, prio, *n, *addr, &[*c], c.len as usize)?;
+                    last = last.max(comp);
+                }
+            }
+            i = j;
+        }
+        Ok(last)
+    }
+
+    /// One-sided fetch-and-add on a u64 anywhere in the cluster.
+    pub(crate) fn fetch_add(
+        &self,
+        ctx: &mut Ctx,
+        prio: Priority,
+        node: NodeId,
+        addr: u64,
+        delta: u64,
+    ) -> LiteResult<u64> {
+        let op = Op::FetchAdd { node, addr, delta };
+        Ok(self.datapath().post(ctx, prio, &op)?.value)
+    }
+
+    /// One-sided compare-and-swap on a u64 anywhere in the cluster.
+    pub(crate) fn cmp_swap(
+        &self,
+        ctx: &mut Ctx,
+        prio: Priority,
+        node: NodeId,
+        addr: u64,
+        expect: u64,
+        new: u64,
+    ) -> LiteResult<u64> {
+        let op = Op::CmpSwap {
+            node,
+            addr,
+            expect,
+            new,
+        };
+        Ok(self.datapath().post(ctx, prio, &op)?.value)
+    }
+}
+
+/// QPs this kernel should create towards each peer, honoring QoS needs:
+/// K RC QPs per peer (§6.1). Used by the cluster builder's tests and by
+/// external tooling that inspects the sharing scheme.
+#[allow(dead_code)]
+pub(crate) fn qp_plan(nodes: usize, me: NodeId, k: usize) -> Vec<(NodeId, usize)> {
+    (0..nodes).filter(|&p| p != me).map(|p| (p, k)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qp_plan_counts() {
+        let plan = qp_plan(4, 1, 2);
+        assert_eq!(plan, vec![(0, 2), (2, 2), (3, 2)]);
+        assert_eq!(plan.iter().map(|(_, k)| k).sum::<usize>(), 6);
+    }
+
+    #[test]
+    fn op_descriptor_accessors() {
+        let w = Op::write(3, 0x1000, vec![Chunk { addr: 0, len: 64 }], 64);
+        assert_eq!(w.dst_node(), 3);
+        assert_eq!(w.bytes(), 64);
+        let r = Op::read(1, 0x2000, vec![Chunk { addr: 0, len: 9 }], 9);
+        assert_eq!(r.dst_node(), 1);
+        assert_eq!(r.bytes(), 9);
+        let fa = Op::FetchAdd {
+            node: 2,
+            addr: 8,
+            delta: 1,
+        };
+        assert_eq!((fa.dst_node(), fa.bytes()), (2, 8));
+        let cs = Op::CmpSwap {
+            node: 0,
+            addr: 8,
+            expect: 0,
+            new: 1,
+        };
+        assert_eq!((cs.dst_node(), cs.bytes()), (0, 8));
+    }
+
+    #[test]
+    fn tcp_mesh_moves_bytes_and_counts_time() {
+        let paths = TcpDataPath::mesh(2, TcpCostModel::default());
+        let dst = paths[1].alloc(4096).unwrap();
+        let src = paths[0].alloc(4096).unwrap();
+        paths[0]
+            .fabric()
+            .mem(0)
+            .write(src, b"over the socket")
+            .unwrap();
+        let mut ctx = Ctx::new();
+        let comp = paths[0]
+            .post(
+                &mut ctx,
+                Priority::High,
+                &Op::write(1, dst, vec![Chunk { addr: src, len: 15 }], 15),
+            )
+            .unwrap();
+        // Kernel TCP write-path: tens of microseconds end to end.
+        assert!(comp.stamp > 10_000, "stamp {}", comp.stamp);
+        let mut back = [0u8; 15];
+        paths[1].fabric().mem(1).read(dst, &mut back).unwrap();
+        assert_eq!(&back, b"over the socket");
+
+        // Round trip the same bytes with a read from the other side.
+        let hole = paths[0].alloc(64).unwrap();
+        let mut c0 = Ctx::new();
+        let rc = paths[0]
+            .post(
+                &mut c0,
+                Priority::High,
+                &Op::read(
+                    1,
+                    dst,
+                    vec![Chunk {
+                        addr: hole,
+                        len: 15,
+                    }],
+                    15,
+                ),
+            )
+            .unwrap();
+        assert!(rc.stamp > comp.stamp - comp.stamp / 2);
+        let mut got = [0u8; 15];
+        paths[0].fabric().mem(0).read(hole, &mut got).unwrap();
+        assert_eq!(&got, b"over the socket");
+
+        // Atomics return the previous value and block the caller.
+        let cell = paths[1].alloc(64).unwrap();
+        let fa = paths[0]
+            .post(
+                &mut c0,
+                Priority::High,
+                &Op::FetchAdd {
+                    node: 1,
+                    addr: cell,
+                    delta: 5,
+                },
+            )
+            .unwrap();
+        assert_eq!(fa.value, 0);
+        assert_eq!(c0.now(), fa.stamp);
+        let cs = paths[0]
+            .post(
+                &mut c0,
+                Priority::High,
+                &Op::CmpSwap {
+                    node: 1,
+                    addr: cell,
+                    expect: 5,
+                    new: 9,
+                },
+            )
+            .unwrap();
+        assert_eq!(cs.value, 5);
+    }
+}

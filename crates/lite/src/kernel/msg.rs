@@ -1,0 +1,429 @@
+//! Kernel-internal services: naming, mapping, master records, memory
+//! ops, locks, and barriers (§3.3's management plane plus §4.4/§4.5's
+//! synchronization primitives).
+//!
+//! Every handler here is *event-driven code executed by the polling
+//! thread* — none of them blocks, and multi-step operations are driven
+//! by the calling thread as a sequence of RPCs, so the poller can never
+//! deadlock.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::Ordering;
+
+use rnic::NodeId;
+use simnet::Ctx;
+use smem::Chunk;
+
+use super::rpc::ReplyRoute;
+use super::{
+    LiteKernel, FN_BARRIER, FN_FREE_CHUNKS, FN_GRANT, FN_INVALIDATE, FN_LOCK, FN_MALLOC, FN_MAP,
+    FN_MEMCPY, FN_MEMSET, FN_QUERYNAME, FN_REGNAME, FN_TAKE_RECORD, FN_UNMAP, FN_UNREGNAME,
+    LOCK_CELLS,
+};
+use crate::error::{LiteError, LiteResult};
+use crate::lmr::{LhEntry, LmrId, Location, MasterRecord, Perm};
+use crate::qos::Priority;
+use crate::wire::{Dec, Enc, MsgHeader};
+
+#[derive(Default)]
+pub(super) struct LockState {
+    waiters: VecDeque<ReplyRoute>,
+    credits: u32,
+}
+
+pub(super) struct BarrierState {
+    routes: Vec<ReplyRoute>,
+    count: u32,
+}
+
+pub(super) struct MasterTable {
+    records: HashMap<u32, MasterRecord>,
+    by_name: HashMap<String, u32>,
+    next_idx: u32,
+}
+
+impl MasterTable {
+    pub(super) fn new() -> Self {
+        MasterTable {
+            records: HashMap::new(),
+            by_name: HashMap::new(),
+            next_idx: 1,
+        }
+    }
+}
+
+pub(crate) fn perm_to_byte(p: Perm) -> u8 {
+    (p.read as u8) | ((p.write as u8) << 1) | ((p.master as u8) << 2)
+}
+
+pub(crate) fn byte_to_perm(b: u8) -> Perm {
+    Perm {
+        read: b & 1 != 0,
+        write: b & 2 != 0,
+        master: b & 4 != 0,
+    }
+}
+
+impl LiteKernel {
+    // ------------------------------------------------------------------
+    // lh table
+    // ------------------------------------------------------------------
+
+    /// Creates a process on this node; returns its pid.
+    pub(crate) fn alloc_pid(&self) -> u32 {
+        self.next_pid.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub(crate) fn install_lh(&self, pid: u32, entry: LhEntry) -> u64 {
+        let lh = self.next_lh.fetch_add(1, Ordering::Relaxed);
+        self.lhs.lock().insert((pid, lh), entry);
+        lh
+    }
+
+    pub(crate) fn lookup_lh(&self, pid: u32, lh: u64) -> LiteResult<LhEntry> {
+        self.lhs
+            .lock()
+            .get(&(pid, lh))
+            .cloned()
+            .ok_or(LiteError::BadLh { lh })
+    }
+
+    pub(crate) fn reinstall_lh(&self, pid: u32, lh: u64, entry: LhEntry) {
+        self.lhs.lock().insert((pid, lh), entry);
+    }
+
+    pub(crate) fn remove_lh(&self, pid: u32, lh: u64) -> LiteResult<LhEntry> {
+        self.lhs
+            .lock()
+            .remove(&(pid, lh))
+            .ok_or(LiteError::BadLh { lh })
+    }
+
+    fn invalidate_lmr(&self, id: LmrId) {
+        for entry in self.lhs.lock().values_mut() {
+            if entry.id == id {
+                entry.stale = true;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Master records
+    // ------------------------------------------------------------------
+
+    /// Removes a master record created on this node (rollback path).
+    pub(crate) fn remove_master_record(&self, idx: u32) {
+        let mut t = self.masters.lock();
+        if let Some(rec) = t.records.remove(&idx) {
+            if let Some(name) = rec.name {
+                t.by_name.remove(&name);
+            }
+        }
+    }
+
+    /// Swaps the physical location of a master record held on this node
+    /// (LT_move). Returns the old location, or `None` if the record is
+    /// gone or the requester lacks master rights.
+    pub(crate) fn swap_master_location(
+        &self,
+        name: &str,
+        requester: NodeId,
+        new_location: Location,
+    ) -> Option<(LmrId, Location, Vec<NodeId>)> {
+        let mut t = self.masters.lock();
+        let idx = *t.by_name.get(name)?;
+        let rec = t.records.get_mut(&idx)?;
+        if requester != self.node && !rec.perm_for(requester).master {
+            return None;
+        }
+        let old = std::mem::replace(&mut rec.location, new_location);
+        Some((rec.id, old, rec.mapped_by.clone()))
+    }
+
+    /// Installs a master record for a freshly allocated LMR.
+    pub(crate) fn create_master_record(
+        &self,
+        location: Location,
+        name: Option<String>,
+        default_perm: Perm,
+    ) -> LmrId {
+        let mut t = self.masters.lock();
+        let idx = t.next_idx;
+        t.next_idx += 1;
+        let id = LmrId {
+            node: self.node as u32,
+            idx,
+        };
+        if let Some(n) = &name {
+            t.by_name.insert(n.clone(), idx);
+        }
+        t.records.insert(
+            idx,
+            MasterRecord {
+                id,
+                location,
+                name,
+                default_perm,
+                grants: HashMap::new(),
+                mapped_by: vec![self.node],
+            },
+        );
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // Locks
+    // ------------------------------------------------------------------
+
+    /// Allocates a lock cell on this node; returns its physical address
+    /// and index.
+    pub(crate) fn alloc_lock_cell(&self) -> LiteResult<(u64, u64)> {
+        let idx = self.next_lock.fetch_add(1, Ordering::Relaxed);
+        if idx >= LOCK_CELLS {
+            return Err(LiteError::Mem(smem::MemError::OutOfMemory { requested: 8 }));
+        }
+        let addr = self.lock_cells + idx * 8;
+        self.mem().store_u64(addr, 0)?;
+        Ok((addr, idx))
+    }
+
+    // ------------------------------------------------------------------
+    // Kernel services (run on the poller; must never block)
+    // ------------------------------------------------------------------
+
+    pub(super) fn kernel_service(
+        &self,
+        ctx: &mut Ctx,
+        hdr: &MsgHeader,
+        payload: &[u8],
+    ) -> LiteResult<Option<Vec<u8>>> {
+        let mut d = Dec::new(payload);
+        match hdr.func {
+            FN_MALLOC => {
+                let size = d.u64()?;
+                let max_chunk = d.u64()?;
+                match self.alloc.lock().alloc_chunked(size, max_chunk) {
+                    Ok(chunks) => {
+                        let mut e = Enc::new().u8(0).u32(chunks.len() as u32);
+                        for c in &chunks {
+                            e = e.u64(c.addr).u64(c.len);
+                        }
+                        Ok(Some(e.done()))
+                    }
+                    Err(_) => Ok(Some(Enc::new().u8(1).done())),
+                }
+            }
+            FN_FREE_CHUNKS => {
+                let n = d.u32()?;
+                let mut a = self.alloc.lock();
+                let mut status = 0u8;
+                for _ in 0..n {
+                    let addr = d.u64()?;
+                    if a.free(addr).is_err() {
+                        status = 1;
+                    }
+                }
+                Ok(Some(Enc::new().u8(status).done()))
+            }
+            FN_INVALIDATE => {
+                let node = d.u32()?;
+                let idx = d.u32()?;
+                self.invalidate_lmr(LmrId { node, idx });
+                Ok(Some(Enc::new().u8(0).done()))
+            }
+            FN_REGNAME => {
+                let name = String::from_utf8_lossy(d.bytes()?).into_owned();
+                let master = d.u32()?;
+                let mut names = self.names.lock();
+                match names.entry(name) {
+                    std::collections::hash_map::Entry::Occupied(_) => {
+                        Ok(Some(Enc::new().u8(1).done()))
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(master);
+                        Ok(Some(Enc::new().u8(0).done()))
+                    }
+                }
+            }
+            FN_UNREGNAME => {
+                let name = String::from_utf8_lossy(d.bytes()?).into_owned();
+                self.names.lock().remove(&name);
+                Ok(Some(Enc::new().u8(0).done()))
+            }
+            FN_QUERYNAME => {
+                let name = String::from_utf8_lossy(d.bytes()?).into_owned();
+                match self.names.lock().get(&name) {
+                    Some(&node) => Ok(Some(Enc::new().u8(0).u32(node).done())),
+                    None => Ok(Some(Enc::new().u8(2).done())),
+                }
+            }
+            FN_MAP => {
+                let name = String::from_utf8_lossy(d.bytes()?).into_owned();
+                let mut t = self.masters.lock();
+                let Some(&idx) = t.by_name.get(&name) else {
+                    return Ok(Some(Enc::new().u8(2).done()));
+                };
+                let rec = t.records.get_mut(&idx).expect("indexed");
+                let perm = rec.perm_for(hdr.src_node as NodeId);
+                if !rec.mapped_by.contains(&(hdr.src_node as NodeId)) {
+                    rec.mapped_by.push(hdr.src_node as NodeId);
+                }
+                let mut e = Enc::new()
+                    .u8(0)
+                    .u32(rec.id.node)
+                    .u32(rec.id.idx)
+                    .u8(perm_to_byte(perm))
+                    .u32(rec.location.extents.len() as u32);
+                for (node, c) in &rec.location.extents {
+                    e = e.u32(*node as u32).u64(c.addr).u64(c.len);
+                }
+                Ok(Some(e.done()))
+            }
+            FN_UNMAP => {
+                let idx = d.u32()?;
+                let node = d.u32()?;
+                let mut t = self.masters.lock();
+                if let Some(rec) = t.records.get_mut(&idx) {
+                    rec.mapped_by.retain(|&n| n != node as NodeId);
+                }
+                Ok(Some(Enc::new().u8(0).done()))
+            }
+            FN_TAKE_RECORD => {
+                let name = String::from_utf8_lossy(d.bytes()?).into_owned();
+                let mut t = self.masters.lock();
+                let Some(&idx) = t.by_name.get(&name) else {
+                    return Ok(Some(Enc::new().u8(2).done()));
+                };
+                let rec = t.records.get(&idx).expect("indexed");
+                let requester = hdr.src_node as NodeId;
+                let is_master = requester == self.node || rec.perm_for(requester).master;
+                if !is_master {
+                    return Ok(Some(Enc::new().u8(3).done()));
+                }
+                let rec = t.records.remove(&idx).expect("present");
+                t.by_name.remove(&name);
+                let mut e = Enc::new()
+                    .u8(0)
+                    .u32(rec.id.node)
+                    .u32(rec.id.idx)
+                    .u32(rec.location.extents.len() as u32);
+                for (node, c) in &rec.location.extents {
+                    e = e.u32(*node as u32).u64(c.addr).u64(c.len);
+                }
+                e = e.u32(rec.mapped_by.len() as u32);
+                for n in &rec.mapped_by {
+                    e = e.u32(*n as u32);
+                }
+                Ok(Some(e.done()))
+            }
+            FN_GRANT => {
+                let name = String::from_utf8_lossy(d.bytes()?).into_owned();
+                let node = d.u32()?;
+                let perm = byte_to_perm(d.u8()?);
+                let mut t = self.masters.lock();
+                let Some(&idx) = t.by_name.get(&name) else {
+                    return Ok(Some(Enc::new().u8(2).done()));
+                };
+                let rec = t.records.get_mut(&idx).expect("indexed");
+                let requester = hdr.src_node as NodeId;
+                if requester != self.node && !rec.perm_for(requester).master {
+                    return Ok(Some(Enc::new().u8(3).done()));
+                }
+                rec.grants.insert(node as NodeId, perm);
+                Ok(Some(Enc::new().u8(0).done()))
+            }
+            FN_MEMSET => {
+                let addr = d.u64()?;
+                let len = d.u64()?;
+                let byte = d.u8()?;
+                self.mem().fill(addr, len as usize, byte)?;
+                ctx.work(self.fabric.cost().memcpy_time(len));
+                Ok(Some(Enc::new().u8(0).done()))
+            }
+            FN_MEMCPY => {
+                let op = d.u8()?;
+                let src = d.u64()?;
+                let len = d.u64()?;
+                let dst_node = d.u32()? as NodeId;
+                let dst = d.u64()?;
+                let mut data = vec![0u8; len as usize];
+                self.mem().read(src, &mut data)?;
+                if op == 0 || dst_node == self.node {
+                    self.mem().write(dst, &data)?;
+                    ctx.work(self.fabric.cost().memcpy_time(len));
+                } else {
+                    // Push to the destination node with a one-sided write;
+                    // LT_memcpy returns only once the copy is durable.
+                    let chunks = [Chunk { addr: src, len }];
+                    let comp =
+                        self.rdma_write(ctx, Priority::High, dst_node, dst, &chunks, len as usize)?;
+                    ctx.wait_until(comp);
+                }
+                Ok(Some(Enc::new().u8(0).done()))
+            }
+            FN_LOCK => {
+                let op = d.u8()?;
+                let idx = d.u64()?;
+                let mut locks = self.locks.lock();
+                let st = locks.entry(idx).or_default();
+                match op {
+                    1 => {
+                        // Enqueue a waiter; reply only when granted.
+                        if st.credits > 0 {
+                            st.credits -= 1;
+                            drop(locks);
+                            let _ = self.reply_bytes(ctx, ReplyRoute::of_hdr(hdr), &[0]);
+                        } else {
+                            st.waiters.push_back(ReplyRoute::of_hdr(hdr));
+                        }
+                        Ok(None)
+                    }
+                    2 => {
+                        // Grant the next waiter (one-way from the unlocker).
+                        let next = st.waiters.pop_front();
+                        match next {
+                            Some(route) => {
+                                drop(locks);
+                                let _ = self.reply_bytes(ctx, route, &[0]);
+                            }
+                            None => st.credits += 1,
+                        }
+                        Ok(None)
+                    }
+                    _ => Err(LiteError::Remote(1)),
+                }
+            }
+            FN_BARRIER => {
+                let id = d.u64()?;
+                let count = d.u32()?;
+                let mut barriers = self.barriers.lock();
+                let st = barriers.entry(id).or_insert(BarrierState {
+                    routes: Vec::new(),
+                    count,
+                });
+                st.routes.push(ReplyRoute::of_hdr(hdr));
+                if st.routes.len() as u32 >= st.count {
+                    let st = barriers.remove(&id).expect("present");
+                    drop(barriers);
+                    for route in st.routes {
+                        let _ = self.reply_bytes(ctx, route, &[0]);
+                    }
+                }
+                Ok(None)
+            }
+            other => Err(LiteError::UnknownRpc { func: other }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perm_byte_roundtrip() {
+        for p in [Perm::RO, Perm::RW, Perm::MASTER] {
+            assert_eq!(byte_to_perm(perm_to_byte(p)), p);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Kernel statistics: lock-free counters updated on the hot paths and
+//! the aggregate snapshot handed to benchmarks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Aggregate kernel statistics.
+#[derive(Debug, Default, Clone)]
+pub struct KernelStats {
+    /// RPC requests dispatched by the poller.
+    pub rpc_dispatched: u64,
+    /// One-sided writes issued through LITE.
+    pub lt_writes: u64,
+    /// One-sided reads issued through LITE.
+    pub lt_reads: u64,
+    /// Bytes moved by LITE one-sided ops.
+    pub lt_bytes: u64,
+    /// Total RC QPs this kernel created (K × (N-1)).
+    pub qps: usize,
+}
+
+/// The kernel's live counters (relaxed atomics; snapshot via
+/// [`KernelCounters::snapshot`]).
+#[derive(Debug, Default)]
+pub(crate) struct KernelCounters {
+    pub(crate) rpc: AtomicU64,
+    pub(crate) writes: AtomicU64,
+    pub(crate) reads: AtomicU64,
+    pub(crate) bytes: AtomicU64,
+}
+
+impl KernelCounters {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn count_write(&self, bytes: u64) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_writes(&self, n: u64, bytes: u64) {
+        self.writes.fetch_add(n, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_read(&self, bytes: u64) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_rpc(&self) {
+        self.rpc.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot with the QP count supplied by the kernel (which owns the
+    /// pool tables).
+    pub(crate) fn snapshot(&self, qps: usize) -> KernelStats {
+        KernelStats {
+            rpc_dispatched: self.rpc.load(Ordering::Relaxed),
+            lt_writes: self.writes.load(Ordering::Relaxed),
+            lt_reads: self.reads.load(Ordering::Relaxed),
+            lt_bytes: self.bytes.load(Ordering::Relaxed),
+            qps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_snapshot() {
+        let c = KernelCounters::new();
+        c.count_write(100);
+        c.count_writes(2, 50);
+        c.count_read(7);
+        c.count_rpc();
+        let s = c.snapshot(6);
+        assert_eq!(s.lt_writes, 3);
+        assert_eq!(s.lt_reads, 1);
+        assert_eq!(s.lt_bytes, 157);
+        assert_eq!(s.rpc_dispatched, 1);
+        assert_eq!(s.qps, 6);
+    }
+}

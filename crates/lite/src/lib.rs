@@ -61,6 +61,9 @@ pub use api::{Lh, LiteHandle, LockId, RpcCall};
 pub use cluster::LiteCluster;
 pub use config::LiteConfig;
 pub use error::{LiteError, LiteResult};
+pub use kernel::datapath::{
+    Chunk, Completion, DataPath, DataPathBarrier, Op, RnicDataPath, TcpDataPath,
+};
 pub use kernel::{KernelStats, LiteKernel, MANAGER_NODE, USER_FUNC_MIN};
 pub use lmr::{LmrId, Location, Perm};
 pub use qos::{Priority, QosConfig, QosMode, QosState};

@@ -207,12 +207,10 @@ impl QosState {
                 ctx.wait_until(g.finish);
             }
             QosMode::SwPri => {
-                if prio == Priority::Low {
-                    if self.low_should_throttle(ctx.now()) {
-                        let at = self.low_bucket.reserve(ctx.now(), bytes);
-                        ctx.wait_until(at);
-                    }
-                    // Policy 2: no/light high-priority traffic => no limit.
+                // Policy 2: no/light high-priority traffic => no limit.
+                if prio == Priority::Low && self.low_should_throttle(ctx.now()) {
+                    let at = self.low_bucket.reserve(ctx.now(), bytes);
+                    ctx.wait_until(at);
                 }
             }
         }

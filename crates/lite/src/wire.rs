@@ -138,6 +138,88 @@ pub fn round_granule(len: u64) -> u64 {
     len.div_ceil(RING_GRANULE) * RING_GRANULE
 }
 
+// ---------------------------------------------------------------------
+// Little-endian payload codec for kernel-service messages.
+// ---------------------------------------------------------------------
+
+/// Incremental little-endian writer for kernel-service payloads.
+///
+/// Builder-style: each method consumes and returns `self`, so payloads
+/// read as one chained expression ending in [`Enc::done`].
+#[derive(Default)]
+pub struct Enc(pub Vec<u8>);
+
+impl Enc {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Enc(Vec::new())
+    }
+    /// Appends one byte.
+    pub fn u8(mut self, v: u8) -> Self {
+        self.0.push(v);
+        self
+    }
+    /// Appends a little-endian u32.
+    pub fn u32(mut self, v: u32) -> Self {
+        self.0.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+    /// Appends a little-endian u64.
+    pub fn u64(mut self, v: u64) -> Self {
+        self.0.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+    /// Appends a length-prefixed byte string.
+    pub fn bytes(mut self, v: &[u8]) -> Self {
+        self = self.u32(v.len() as u32);
+        self.0.extend_from_slice(v);
+        self
+    }
+    /// Finishes, returning the encoded payload.
+    pub fn done(self) -> Vec<u8> {
+        self.0
+    }
+}
+
+/// Incremental reader matching [`Enc`]. Truncated input surfaces as
+/// `LiteError::Remote(0xFC)` — the same error a remote decoder raises.
+pub struct Dec<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// A decoder over `b`.
+    pub fn new(b: &'a [u8]) -> Self {
+        Dec { b, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> LiteResult<&'a [u8]> {
+        if self.pos + n > self.b.len() {
+            return Err(LiteError::Remote(0xFC));
+        }
+        let s = &self.b[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    /// Reads one byte.
+    pub fn u8(&mut self) -> LiteResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+    /// Reads a little-endian u32.
+    pub fn u32(&mut self) -> LiteResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+    /// Reads a little-endian u64.
+    pub fn u64(&mut self) -> LiteResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+    /// Reads a length-prefixed byte string.
+    pub fn bytes(&mut self) -> LiteResult<&'a [u8]> {
+        let n = self.u32()? as usize;
+        self.take(n)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,5 +266,21 @@ mod tests {
         assert_eq!(round_granule(64), 64);
         assert_eq!(round_granule(65), 128);
         assert_eq!(round_granule(0), 0);
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let v = Enc::new()
+            .u8(7)
+            .u32(0xAABBCCDD)
+            .u64(0x1122334455667788)
+            .bytes(b"hello")
+            .done();
+        let mut d = Dec::new(&v);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u32().unwrap(), 0xAABBCCDD);
+        assert_eq!(d.u64().unwrap(), 0x1122334455667788);
+        assert_eq!(d.bytes().unwrap(), b"hello");
+        assert!(d.u8().is_err(), "exhausted");
     }
 }

@@ -40,6 +40,6 @@ pub use cost::CostModel;
 pub use cq::Cq;
 pub use error::{VerbsError, VerbsResult};
 pub use fabric::{IbConfig, IbFabric, NodeId};
-pub use nic::{Mr, Nic, WriteOutcome};
+pub use nic::{Mr, Nic, WriteOutcome, WritePost};
 pub use qp::{Qp, QpId, QpType};
 pub use verbs::{Access, RemoteAddr, Sge, Wc, WcOpcode};

@@ -140,6 +140,22 @@ struct Resolved {
     penalty: Nanos,
 }
 
+/// One write work request inside a doorbell batch
+/// ([`Nic::post_write_many`]).
+#[derive(Debug, Clone)]
+pub struct WritePost {
+    /// Caller-chosen id returned in the (signaled) send completion.
+    pub wr_id: u64,
+    /// Local payload description.
+    pub sge: Sge,
+    /// Remote destination.
+    pub remote: RemoteAddr,
+    /// Immediate data (consumes a remote receive credit when present).
+    pub imm: Option<u32>,
+    /// Whether to generate a send-CQ completion.
+    pub signaled: bool,
+}
+
 /// Timing of a one-sided write, for baselines that detect incoming data
 /// by polling remote memory (HERD, FaRM) rather than a CQ.
 #[derive(Debug, Clone, Copy)]
@@ -546,6 +562,7 @@ impl Nic {
     /// caller's clock advances only by the post cost — poll the send CQ
     /// (if `signaled`) or [`simnet::ctx::Ctx::wait_until`] the returned
     /// stamp for blocking semantics.
+    #[allow(clippy::too_many_arguments)]
     pub fn post_write(
         &self,
         ctx: &mut Ctx,
@@ -633,6 +650,136 @@ impl Nic {
             completion: comp,
             remote_visible: done,
         })
+    }
+
+    /// Posts a chain of RDMA writes on one QP with a single doorbell.
+    ///
+    /// The host pays `post_wr_ns` and the QP-context lookup **once** for
+    /// the whole chain, and the WQE-engine charges are granted in one
+    /// batch ([`Resource::acquire_batch`]) — this is the amortization a
+    /// real NIC gets from doorbell batching. Everything downstream of the
+    /// engine (wire serialization, remote resolution, delivery ordering,
+    /// receive credits) is charged per WQE exactly as in
+    /// [`Nic::post_write_outcome`], so a one-element batch is
+    /// indistinguishable from a single post apart from the warm-QPC
+    /// difference being folded into the first element.
+    ///
+    /// The batch is atomic with respect to validation: every SGE, remote
+    /// address, and receive credit is checked/claimed before any memory
+    /// is written or any completion pushed. On failure the claimed
+    /// credits are re-posted and the error returned with no side effects.
+    pub fn post_write_many(
+        &self,
+        ctx: &mut Ctx,
+        qp: &Qp,
+        posts: &[WritePost],
+    ) -> VerbsResult<Vec<WriteOutcome>> {
+        if posts.is_empty() {
+            return Ok(Vec::new());
+        }
+        if !qp.supports_write() {
+            return Err(VerbsError::BadOpForQpType);
+        }
+        let fabric = self.fabric();
+        let (peer_node, peer_qp) = qp.peer()?;
+        self.check_up(&fabric, peer_node)?;
+        let rnic = fabric.try_nic(peer_node)?;
+
+        // Validation pass: resolve both sides of every WQE and claim all
+        // receive credits before touching memory, so a mid-batch failure
+        // cannot leave half the chain delivered.
+        let mut locals = Vec::with_capacity(posts.len());
+        let mut remotes = Vec::with_capacity(posts.len());
+        let qpc_pen = self.touch_qpc(qp.id);
+        let rqpc_pen = rnic.touch_qpc(peer_qp);
+        let mut validate = || -> VerbsResult<()> {
+            for (i, p) in posts.iter().enumerate() {
+                let len = p.sge.len();
+                let local = self.resolve_local(&p.sge)?;
+                let rres = rnic.resolve_remote(&p.remote, len, true, false, false)?;
+                // The doorbell chain touches the QP context once; only
+                // the first WQE can miss.
+                let lpen = local.penalty + if i == 0 { qpc_pen } else { 0 };
+                let rpen = rres.penalty + if i == 0 { rqpc_pen } else { 0 };
+                locals.push((local, lpen));
+                remotes.push((rres, rpen));
+            }
+            Ok(())
+        };
+        validate()?;
+        let rqp = rnic.qp(peer_qp)?;
+        let mut credits = Vec::new();
+        for p in posts {
+            if p.imm.is_some() {
+                match rqp.rq.consume() {
+                    Ok(entry) => credits.push(entry),
+                    Err(e) => {
+                        // Roll back: pure credits are interchangeable, so
+                        // re-posting in any order restores the queue.
+                        for entry in credits {
+                            rqp.rq.post(entry);
+                        }
+                        return Err(e);
+                    }
+                }
+            }
+        }
+
+        // One doorbell: a single host post charge, then the engine grants
+        // the whole WQE chain back-to-back.
+        ctx.work(self.cost.post_wr_ns);
+        let services: Vec<Nanos> = locals
+            .iter()
+            .map(|(_, lpen)| self.cost.nic_engine_ns + lpen)
+            .collect();
+        let engine_grants = self.engine.acquire_batch(ctx.now(), &services);
+
+        let mut outcomes = Vec::with_capacity(posts.len());
+        let mut credits = credits.into_iter();
+        let mut total_len = 0u64;
+        for (i, p) in posts.iter().enumerate() {
+            let len = p.sge.len();
+            let (local, _) = &locals[i];
+            let (rres, rpen) = &remotes[i];
+            let data = Self::read_fragments(&self.mem(), &local.chunks)?;
+            let g2 = self
+                .tx
+                .acquire(engine_grants[i].finish, self.cost.link_time(len as u64));
+            let arrive = rnic.rx_arrival(g2.start + self.cost.propagation_ns, len);
+            let g3 = rnic.engine.acquire(arrive, self.cost.nic_engine_ns + rpen);
+            Self::write_fragments(fabric.mem(peer_node), &rres.chunks, &data)?;
+            let done = qp.order_delivery(g3.finish);
+            if let Some(imm) = p.imm {
+                let entry = credits.next().expect("credit claimed per imm");
+                let mut wc = Wc::new(
+                    entry.wr_id,
+                    WcOpcode::RecvRdmaWithImm,
+                    len,
+                    done + self.cost.recv_handle_ns,
+                );
+                wc.imm = Some(imm);
+                wc.src = Some((self.node, qp.id));
+                rqp.recv_cq.push(wc);
+            }
+            let comp = match qp.typ {
+                QpType::Rc => done + self.cost.propagation_ns + self.cost.ack_ns,
+                _ => g2.finish,
+            };
+            if p.signaled {
+                let mut wc = Wc::new(p.wr_id, WcOpcode::RdmaWrite, len, comp);
+                wc.imm = p.imm;
+                qp.send_cq.push(wc);
+            }
+            total_len += len as u64;
+            outcomes.push(WriteOutcome {
+                completion: comp,
+                remote_visible: done,
+            });
+        }
+        self.one_sided_ops
+            .fetch_add(posts.len() as u64, Ordering::Relaxed);
+        self.bytes_tx.fetch_add(total_len, Ordering::Relaxed);
+        Ok(outcomes)
     }
 
     /// Posts a one-sided RDMA read. Data lands in the local SGE buffer.

@@ -21,7 +21,7 @@ pub fn transfer_time(bytes: u64, bytes_per_sec: u64) -> Nanos {
         return 0;
     }
     debug_assert!(bytes_per_sec > 0, "bandwidth must be positive");
-    (bytes.saturating_mul(GIGA) + bytes_per_sec - 1) / bytes_per_sec
+    bytes.saturating_mul(GIGA).div_ceil(bytes_per_sec)
 }
 
 /// A logical clock carried by one simulated execution context (one

@@ -124,7 +124,7 @@ impl PhysMem {
 
     fn atomic_cell(&self, addr: PhysAddr) -> Result<(Arc<Mutex<Page>>, usize), MemError> {
         self.check(addr, 8)?;
-        if addr % 8 != 0 || (addr & (PAGE_SIZE as u64 - 1)) as usize > PAGE_SIZE - 8 {
+        if !addr.is_multiple_of(8) || (addr & (PAGE_SIZE as u64 - 1)) as usize > PAGE_SIZE - 8 {
             return Err(MemError::BadAtomic { addr });
         }
         Ok((

@@ -9,8 +9,10 @@
 //!   verbs (the `RDMA-CM` lines of Fig 7): near-verbs performance, but
 //!   per-connection resources and none of LITE's management.
 
+pub mod mesh;
 pub mod rdma_cm;
 pub mod tcp;
 
+pub use mesh::{Mesh, MeshSock};
 pub use rdma_cm::RcmSock;
 pub use tcp::{TcpCostModel, TcpNet, TcpSock};

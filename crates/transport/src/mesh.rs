@@ -1,0 +1,87 @@
+//! Full-mesh socket wiring shared by the message-passing baselines.
+//!
+//! Every consumer of [`TcpNet`] used to hand-roll the same N×N matrix of
+//! connected socket pairs (one per unordered node pair, each end wrapped
+//! for sharing between the per-node actor threads). [`Mesh`] is that
+//! wiring, built once: node actors take their row and talk to peer `b`
+//! through `row[b]`.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::tcp::{TcpNet, TcpSock};
+
+/// One end of a mesh connection, shareable between threads.
+pub type MeshSock = Arc<Mutex<TcpSock>>;
+
+/// A full mesh of connected TCP sockets over a [`TcpNet`]: one socket
+/// pair per unordered node pair. `row(a)[b]` is `a`'s end of the `a↔b`
+/// connection (`None` on the diagonal — nodes do not connect to
+/// themselves).
+pub struct Mesh {
+    rows: Vec<Vec<Option<MeshSock>>>,
+}
+
+impl Mesh {
+    /// Connects every node pair of `net`.
+    pub fn full(net: &Arc<TcpNet>) -> Self {
+        let n = net.num_nodes();
+        let mut rows: Vec<Vec<Option<MeshSock>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        #[allow(clippy::needless_range_loop)]
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let (sa, sb) = net.connect(a, b);
+                rows[a][b] = Some(Arc::new(Mutex::new(sa)));
+                rows[b][a] = Some(Arc::new(Mutex::new(sb)));
+            }
+        }
+        Mesh { rows }
+    }
+
+    /// Number of nodes in the mesh.
+    pub fn num_nodes(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Clones node `a`'s row of socket handles.
+    pub fn row(&self, a: usize) -> Vec<Option<MeshSock>> {
+        self.rows[a].clone()
+    }
+
+    /// Moves node `a`'s row out of the mesh (cheaper than [`Mesh::row`]
+    /// when each row is claimed exactly once).
+    pub fn take_row(&mut self, a: usize) -> Vec<Option<MeshSock>> {
+        std::mem::take(&mut self.rows[a])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tcp::TcpCostModel;
+    use simnet::Ctx;
+
+    #[test]
+    fn mesh_connects_every_pair() {
+        let net = TcpNet::new(3, TcpCostModel::default());
+        let mesh = Mesh::full(&net);
+        assert_eq!(mesh.num_nodes(), 3);
+        for a in 0..3 {
+            let row = mesh.row(a);
+            for (b, sock) in row.iter().enumerate() {
+                assert_eq!(sock.is_some(), a != b, "row[{a}][{b}]");
+            }
+        }
+        // Messages flow both ways on one pair.
+        let mut ctx = Ctx::new();
+        mesh.row(0)[2]
+            .as_ref()
+            .unwrap()
+            .lock()
+            .send(&mut ctx, b"hi");
+        let got = mesh.row(2)[0].as_ref().unwrap().lock().recv(&mut ctx);
+        assert_eq!(got.as_deref(), Some(&b"hi"[..]));
+    }
+}
