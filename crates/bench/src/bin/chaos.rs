@@ -1,0 +1,10 @@
+//! Chaos report: the kernel recovery layer under seeded fault plans.
+fn main() {
+    let full = bench::full_mode();
+    let rows = bench::figs::chaos::chaos(full);
+    bench::print_table(
+        "Chaos: recovery layer under seeded fault plans",
+        "scenario",
+        &rows,
+    );
+}

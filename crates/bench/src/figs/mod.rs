@@ -2,6 +2,7 @@
 
 pub mod ablation;
 pub mod apps;
+pub mod chaos;
 pub mod micro;
 pub mod rpc;
 pub mod scale_qos;

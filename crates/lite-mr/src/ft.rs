@@ -1,0 +1,227 @@
+//! Fault-tolerant LITE-MR: WordCount that survives worker deaths.
+//!
+//! The plain runner ([`crate::litemr`]) separates phases with
+//! `LT_barrier`, which is the wrong tool once workers can die: a
+//! fixed-count barrier hangs forever when a participant crashes mid
+//! phase. This variant moves phase coordination to the host-side
+//! master, the way Hadoop's JobTracker does it: the master launches one
+//! thread per task, joins them, and **re-executes** any task whose
+//! thread came back with an error — on the next worker node in
+//! rotation, under a fresh attempt-tagged output name. Readers always
+//! address outputs by the *winning* attempt's name, so a half-finished
+//! failed attempt can never be confused with a completed one.
+//!
+//! Recovery layering (DESIGN.md "Fault model & recovery"):
+//!
+//! * transient faults (dropped WRs, broken QPs, a crashed node that
+//!   restarts) are absorbed *below* us by the kernel's retry /
+//!   reconnect layer — tasks simply run a little slower;
+//! * a task stuck on a peer past the kernel's patience surfaces as
+//!   `Timeout` / `PeerDead`, and *this* layer re-runs the task
+//!   elsewhere.
+//!
+//! The final merge runs on the master node itself (node 0), which the
+//! fault model never crashes — exactly the paper's (and Hadoop's)
+//! assumption that the job tracker outlives the job.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use lite::{LiteCluster, LiteError, LiteHandle, LiteResult};
+use simnet::Ctx;
+
+use crate::litemr::{read_pairs_lmr, write_pairs_lmr};
+use crate::model::{map_word_cost, MERGE_RECORD_NS};
+use crate::text::Text;
+use crate::{merge_sorted, WordCountResult};
+
+static RUN_NONCE: AtomicU64 = AtomicU64::new(1);
+
+/// Attempts per task before the job is abandoned. Each retry lands on
+/// the next worker node in rotation, so with `MAX_ATTEMPTS >=
+/// worker_nodes + 1` a single dead node can never exhaust a task.
+const MAX_ATTEMPTS: usize = 6;
+
+/// A task body: runs on `node` as attempt `attempt`, using an attached
+/// handle and its own virtual clock.
+type TaskFn = Arc<dyn Fn(&mut LiteHandle, &mut Ctx, usize, usize) -> LiteResult<()> + Send + Sync>;
+
+/// Launches every task in its own thread, joins them, and re-executes
+/// failures on rotated nodes. Returns the winning attempt per task and
+/// the slowest task clock (the phase span).
+fn run_phase(
+    cluster: &Arc<LiteCluster>,
+    worker_nodes: usize,
+    threads_per_node: usize,
+    tasks: &[TaskFn],
+) -> LiteResult<(Vec<usize>, u64)> {
+    let n = tasks.len();
+    let mut won = vec![usize::MAX; n];
+    let mut attempt = vec![0usize; n];
+    let mut span = 0u64;
+    let mut last_err = LiteError::Timeout;
+    while won.contains(&usize::MAX) {
+        let mut joins = Vec::new();
+        for (t, task) in tasks.iter().enumerate() {
+            if won[t] != usize::MAX {
+                continue;
+            }
+            if attempt[t] >= MAX_ATTEMPTS {
+                return Err(last_err);
+            }
+            let a = attempt[t];
+            // Home worker, rotated by attempt: a re-run never insists
+            // on the node that just failed it.
+            let node = 1 + (t / threads_per_node + a) % worker_nodes;
+            let cluster = Arc::clone(cluster);
+            let task = Arc::clone(task);
+            joins.push((
+                t,
+                std::thread::spawn(move || -> LiteResult<u64> {
+                    let mut h = cluster.attach(node)?;
+                    let mut ctx = Ctx::new();
+                    task(&mut h, &mut ctx, node, a)?;
+                    Ok(ctx.now())
+                }),
+            ));
+        }
+        for (t, j) in joins {
+            match j.join().expect("task thread") {
+                Ok(fin) => {
+                    won[t] = attempt[t];
+                    span = span.max(fin);
+                }
+                Err(e) => {
+                    last_err = e;
+                    attempt[t] += 1;
+                }
+            }
+        }
+    }
+    Ok((won, span))
+}
+
+/// Runs WordCount with master-driven task re-execution: node 0 is the
+/// master, nodes `1..=worker_nodes` host the tasks. Produces the same
+/// counts as [`crate::run_litemr`], but completes even when workers
+/// crash mid-phase (as long as crashed nodes eventually restart so
+/// their published map outputs become readable again, or the task that
+/// owned them is re-executed elsewhere).
+pub fn run_litemr_ft(
+    cluster: &Arc<LiteCluster>,
+    text: &Text,
+    worker_nodes: usize,
+    threads_per_node: usize,
+) -> LiteResult<WordCountResult> {
+    assert!(cluster.num_nodes() > worker_nodes, "need a master node");
+    let nonce = RUN_NONCE.fetch_add(1, Ordering::Relaxed);
+    let w_total = worker_nodes * threads_per_node;
+    let splits: Vec<Arc<Vec<u32>>> = text
+        .splits(w_total)
+        .iter()
+        .map(|s| Arc::new(s.to_vec()))
+        .collect();
+    let per_word = map_word_cost(threads_per_node);
+
+    // ---- Map phase: task w counts split w and publishes one LMR per
+    // reduce partition, named with its attempt tag. ----
+    let map_tasks: Vec<TaskFn> = (0..w_total)
+        .map(|w| {
+            let split = Arc::clone(&splits[w]);
+            let task: TaskFn = Arc::new(move |h, ctx, node, a| {
+                let mut counts: HashMap<u32, u64> = HashMap::new();
+                for &word in split.iter() {
+                    ctx.work(per_word);
+                    *counts.entry(word).or_insert(0) += 1;
+                }
+                let mut parts: Vec<Vec<(u32, u64)>> = vec![Vec::new(); w_total];
+                let mut sorted: Vec<(u32, u64)> = counts.into_iter().collect();
+                sorted.sort_unstable();
+                for (word, c) in sorted {
+                    parts[word as usize % w_total].push((word, c));
+                }
+                for (p, pairs) in parts.iter().enumerate() {
+                    write_pairs_lmr(
+                        h,
+                        ctx,
+                        node,
+                        &format!("mrft{nonce}.map.{w}.{p}.a{a}"),
+                        pairs,
+                    )?;
+                }
+                Ok(())
+            });
+            task
+        })
+        .collect();
+    let (map_won, map_span) = run_phase(cluster, worker_nodes, threads_per_node, &map_tasks)?;
+
+    // ---- Reduce phase: task w pulls partition w of every winning map
+    // attempt, merges, and publishes its run. ----
+    let map_won = Arc::new(map_won);
+    let reduce_tasks: Vec<TaskFn> = (0..w_total)
+        .map(|w| {
+            let map_won = Arc::clone(&map_won);
+            let task: TaskFn = Arc::new(move |h, ctx, node, a| {
+                let mut run: Vec<(u32, u64)> = Vec::new();
+                for src in 0..w_total {
+                    let name = format!("mrft{nonce}.map.{src}.{w}.a{}", map_won[src]);
+                    let pairs = read_pairs_lmr(h, ctx, &name)?;
+                    ctx.work(MERGE_RECORD_NS * (pairs.len() + run.len()) as u64);
+                    run = merge_sorted(&run, &pairs);
+                }
+                write_pairs_lmr(h, ctx, node, &format!("mrft{nonce}.red.{w}.a{a}"), &run)?;
+                Ok(())
+            });
+            task
+        })
+        .collect();
+    let (red_won, red_span) = run_phase(cluster, worker_nodes, threads_per_node, &reduce_tasks)?;
+
+    // ---- Final merge: on the master itself (node 0 never crashes in
+    // our fault model — the job tracker outlives the job). Kernel-level
+    // retries bridge reads from a restarting worker; a full failure
+    // here is retried like any task, just without node rotation. ----
+    let mut final_err = LiteError::Timeout;
+    for _ in 0..MAX_ATTEMPTS {
+        let outcome = (|| -> LiteResult<(Vec<(u32, u64)>, u64)> {
+            let mut h = cluster.attach(0)?;
+            let mut ctx = Ctx::new();
+            let mut counts: Vec<(u32, u64)> = Vec::new();
+            for (w, tag) in red_won.iter().enumerate() {
+                let name = format!("mrft{nonce}.red.{w}.a{tag}");
+                let pairs = read_pairs_lmr(&mut h, &mut ctx, &name)?;
+                ctx.work(MERGE_RECORD_NS * (pairs.len() + counts.len()) as u64);
+                counts = merge_sorted(&counts, &pairs);
+            }
+            Ok((counts, ctx.now()))
+        })();
+        match outcome {
+            Ok((counts, final_span)) => {
+                return Ok(WordCountResult {
+                    counts,
+                    runtime_ns: map_span + red_span + final_span,
+                    phases: [map_span, red_span, final_span],
+                });
+            }
+            Err(e) => final_err = e,
+        }
+    }
+    Err(final_err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference_counts;
+
+    #[test]
+    fn ft_counts_match_without_faults() {
+        let text = Text::generate(40_000, 400, 1.0, 17);
+        let cluster = LiteCluster::start(3).unwrap();
+        let r = run_litemr_ft(&cluster, &text, 2, 2).unwrap();
+        assert_eq!(r.counts, reference_counts(&text));
+        assert!(r.runtime_ns > 0);
+    }
+}

@@ -22,6 +22,7 @@
 //! tests); runtimes diverge exactly the way Figure 18 shows.
 
 pub mod datapath;
+pub mod ft;
 pub mod hadoop;
 pub mod litemr;
 pub mod model;
@@ -31,6 +32,7 @@ pub mod text;
 use std::collections::HashMap;
 
 pub use datapath::run_mr_datapath;
+pub use ft::run_litemr_ft;
 pub use hadoop::run_hadoop;
 pub use litemr::run_litemr;
 pub use phoenix::run_phoenix;

@@ -20,8 +20,13 @@ use crate::{decode_pairs, encode_pairs, merge_sorted, WordCountResult};
 
 static RUN_NONCE: AtomicU64 = AtomicU64::new(1);
 
-/// Reads a whole encoded-pairs LMR by name.
-fn read_pairs_lmr(h: &mut LiteHandle, ctx: &mut Ctx, name: &str) -> LiteResult<Vec<(u32, u64)>> {
+/// Reads a whole encoded-pairs LMR by name (shared with the
+/// fault-tolerant runner).
+pub(crate) fn read_pairs_lmr(
+    h: &mut LiteHandle,
+    ctx: &mut Ctx,
+    name: &str,
+) -> LiteResult<Vec<(u32, u64)>> {
     let lh = h.lt_map(ctx, name)?;
     let mut head = [0u8; 4];
     h.lt_read(ctx, lh, 0, &mut head)?;
@@ -32,8 +37,9 @@ fn read_pairs_lmr(h: &mut LiteHandle, ctx: &mut Ctx, name: &str) -> LiteResult<V
     Ok(decode_pairs(&body))
 }
 
-/// Writes encoded pairs into a fresh named LMR on `node`.
-fn write_pairs_lmr(
+/// Writes encoded pairs into a fresh named LMR on `node` (shared with
+/// the fault-tolerant runner).
+pub(crate) fn write_pairs_lmr(
     h: &mut LiteHandle,
     ctx: &mut Ctx,
     node: usize,

@@ -242,7 +242,7 @@ impl LiteHandle {
             addr: staged,
             len: msg.len() as u64,
         }];
-        let dst = self.kernel.ring_remote_addr(server, r.offset);
+        let dst = self.kernel.ring_remote_addr(server, r.offset)?;
         let imm = Imm::Request {
             granule: (r.offset / crate::wire::RING_GRANULE) as u32,
         };
@@ -1002,7 +1002,7 @@ impl LiteHandle {
                     len: input.len() as u64,
                 },
             ];
-            let dst = self.kernel.ring_remote_addr(server, r.offset);
+            let dst = self.kernel.ring_remote_addr(server, r.offset)?;
             let imm = Imm::Request {
                 granule: (r.offset / crate::wire::RING_GRANULE) as u32,
             };

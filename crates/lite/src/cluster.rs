@@ -1,12 +1,12 @@
 //! Cluster construction: fabric, kernels, shared QP mesh, RPC rings.
 
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 use rnic::{IbConfig, IbFabric, NodeId, QpType};
 
 use crate::api::LiteHandle;
 use crate::config::LiteConfig;
-use crate::error::LiteResult;
+use crate::error::{LiteError, LiteResult};
 use crate::kernel::LiteKernel;
 use crate::qos::{QosConfig, QosMode};
 use crate::ring::{ClientRing, ServerRing};
@@ -87,6 +87,54 @@ impl LiteCluster {
                 sinks.clone(),
                 all_qos.clone(),
             );
+        }
+
+        // Install the QP reconnector on every datapath. Re-establishing a
+        // broken shared QP touches *both* kernels' pools, so the closure
+        // lives here, where both ends are reachable (through weak refs —
+        // the kernels outlive the datapaths that hold these closures).
+        // One cluster-wide lock serializes repairs; the pool-membership
+        // check makes the repair idempotent when both ends of a broken
+        // pair race into their retry loops.
+        let reconnect_lock = Arc::new(parking_lot::Mutex::new(()));
+        for (node, kernel) in kernels.iter().enumerate() {
+            let peers: Vec<Weak<LiteKernel>> = kernels.iter().map(Arc::downgrade).collect();
+            let fab = Arc::clone(&fabric);
+            let lock = Arc::clone(&reconnect_lock);
+            let me = node;
+            kernel
+                .datapath()
+                .set_reconnector(Box::new(move |peer, broken| {
+                    let _g = lock.lock();
+                    let (Some(a), Some(b)) =
+                        (peers[me].upgrade(), peers.get(peer).and_then(Weak::upgrade))
+                    else {
+                        return Err(LiteError::NodeDown { node: peer });
+                    };
+                    // Already repaired from the other end?
+                    if !a.datapath().remove_qp(peer, broken) {
+                        return Ok(false);
+                    }
+                    // Tear down both halves of the broken pair...
+                    if let Ok(qp) = fab.nic(me).qp(broken) {
+                        if let Ok((_, peer_qp)) = qp.peer() {
+                            b.datapath().remove_qp(me, peer_qp);
+                            if let Ok(pqp) = fab.nic(peer).qp(peer_qp) {
+                                fab.nic(peer).destroy_qp(&pqp);
+                            }
+                        }
+                        fab.nic(me).destroy_qp(&qp);
+                    }
+                    // ...and wire a fresh one on the same shared queues.
+                    let (sa, ra, rqa) = a.shared_queues();
+                    let (sb, rb, rqb) = b.shared_queues();
+                    let qa = fab.nic(me).create_qp_with(QpType::Rc, sa, ra, rqa);
+                    let qb = fab.nic(peer).create_qp_with(QpType::Rc, sb, rb, rqb);
+                    fab.connect(&qa, &qb);
+                    a.datapath().add_qp(peer, qa);
+                    b.datapath().add_qp(me, qb);
+                    Ok(true)
+                }));
         }
 
         Ok(Arc::new(LiteCluster { fabric, kernels }))

@@ -36,6 +36,21 @@ pub struct LiteConfig {
     /// Liveness bound on any blocking LITE call, in host wall time.
     pub op_timeout: std::time::Duration,
 
+    // ---- fault recovery (DESIGN.md "Fault model & recovery") ----
+    /// `false` disables the kernel recovery layer: datapath ops fail on
+    /// the first transport fault instead of being retried, broken QPs
+    /// are never re-established, and peers are never declared dead.
+    pub retry_enabled: bool,
+    /// Initial retry backoff (virtual time); doubles per failed attempt.
+    pub retry_base_ns: Nanos,
+    /// Cap on the exponential backoff growth.
+    pub retry_max_backoff_ns: Nanos,
+    /// Consecutive deadline-exhausted ops towards one peer after which
+    /// the peer is declared dead; subsequent ops fail fast with
+    /// [`crate::LiteError::PeerDead`] until incoming traffic or a probe
+    /// revives it.
+    pub peer_dead_threshold: u32,
+
     // ---- ablation switches ----
     /// `false` reverts §5.2's crossing optimizations: every RPC pays
     /// 3 syscalls / 6 crossings instead of 2 crossings.
@@ -67,6 +82,10 @@ impl Default for LiteConfig {
             adaptive_spin_ns: 2_000,
             max_rpc_payload: 4 << 20,
             op_timeout: std::time::Duration::from_secs(5),
+            retry_enabled: true,
+            retry_base_ns: 2_000,
+            retry_max_backoff_ns: 1_000_000,
+            peer_dead_threshold: 3,
             fast_syscalls: true,
             adaptive_poll: true,
             use_global_mr: true,

@@ -64,6 +64,13 @@ pub enum LiteError {
         /// The unreachable node.
         node: usize,
     },
+    /// The liveness monitor declared the target node dead after repeated
+    /// exhausted deadlines; operations fail fast until traffic from the
+    /// peer (or a successful probe) revives it.
+    PeerDead {
+        /// The dead node.
+        node: usize,
+    },
     /// Underlying verbs failure.
     Verbs(VerbsError),
     /// Underlying memory failure.
@@ -89,6 +96,7 @@ impl fmt::Display for LiteError {
             LiteError::TooLarge { len, max } => write!(f, "payload {len} exceeds max {max}"),
             LiteError::ReservedFunc { func } => write!(f, "function id {func} is reserved"),
             LiteError::NodeDown { node } => write!(f, "node {node} is down"),
+            LiteError::PeerDead { node } => write!(f, "node {node} is presumed dead"),
             LiteError::Verbs(e) => write!(f, "verbs: {e}"),
             LiteError::Mem(e) => write!(f, "memory: {e}"),
             LiteError::Remote(code) => write!(f, "remote handler failed with status {code}"),

@@ -209,8 +209,12 @@ impl LiteKernel {
 
     /// Statistics snapshot.
     pub fn stats(&self) -> KernelStats {
-        self.counters
-            .snapshot(self.datapath.get().map_or(0, |d| d.num_qps()))
+        match self.datapath.get() {
+            Some(dp) => self
+                .counters
+                .snapshot(dp.num_qps(), Some(dp.retry_counters())),
+            None => self.counters.snapshot(0, None),
+        }
     }
 
     fn mem(&self) -> &Arc<PhysMem> {

@@ -14,16 +14,20 @@
 //!   stack, so baselines and apps can swap transports without touching
 //!   their data plane.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
-use rnic::{IbConfig, IbFabric, NodeId, Qp, RemoteAddr, Sge, WritePost};
+use rnic::{
+    FaultAction, IbConfig, IbFabric, NodeId, Qp, QpId, RemoteAddr, Sge, VerbsError, WritePost,
+};
 use simnet::{transfer_time, Ctx, Nanos, Resource};
 use smem::{PhysAllocator, PhysMem};
 use transport::TcpCostModel;
 
 use super::chunkio::{read_chunks, write_chunks};
+use super::stats::RetryCounters;
 use super::LiteKernel;
 use crate::config::LiteConfig;
 use crate::error::{LiteError, LiteResult};
@@ -174,6 +178,25 @@ pub trait DataPath: Send + Sync {
 // RNIC implementation
 // ---------------------------------------------------------------------
 
+/// Re-establishes one broken shared QP towards a peer. Installed by the
+/// cluster, which can reach both kernels' pools; returns whether this
+/// call actually rebuilt the pair (`false`: the other end's retry loop
+/// already repaired it).
+pub(crate) type ReconnectFn = Box<dyn Fn(NodeId, QpId) -> LiteResult<bool> + Send + Sync>;
+
+/// Liveness view of one peer node: consecutive deadline-exhausted ops
+/// are counted, and past [`LiteConfig::peer_dead_threshold`] the peer is
+/// declared dead — subsequent ops fail fast with [`LiteError::PeerDead`]
+/// instead of burning a full timeout each. Revival comes from incoming
+/// traffic (the poller marks the source alive) or from a rate-limited
+/// probe attempt.
+#[derive(Default)]
+struct PeerHealth {
+    consecutive_timeouts: AtomicU32,
+    dead: AtomicBool,
+    last_probe: Mutex<Option<Instant>>,
+}
+
 /// The verbs-backed datapath of the LITE kernel.
 pub struct RnicDataPath {
     fabric: Arc<IbFabric>,
@@ -182,11 +205,21 @@ pub struct RnicDataPath {
     batch: bool,
     global_lkey: u32,
     global_rkeys: Vec<u32>,
-    qp_pools: Vec<Vec<Arc<Qp>>>,
+    /// Per-peer shared QP pools; mutable so the recovery layer can swap
+    /// broken QPs for fresh ones underneath in-flight traffic.
+    qp_pools: Vec<Mutex<Vec<Arc<Qp>>>>,
     rr: AtomicUsize,
     qos: Arc<QosState>,
     all_qos: Vec<Arc<QosState>>,
     alloc: Arc<Mutex<PhysAllocator>>,
+    retry_enabled: bool,
+    retry_base_ns: Nanos,
+    retry_max_backoff_ns: Nanos,
+    peer_dead_threshold: u32,
+    op_timeout: Duration,
+    health: Vec<PeerHealth>,
+    reconnect: OnceLock<ReconnectFn>,
+    retry: RetryCounters,
 }
 
 impl RnicDataPath {
@@ -202,6 +235,7 @@ impl RnicDataPath {
         all_qos: Vec<Arc<QosState>>,
         alloc: Arc<Mutex<PhysAllocator>>,
     ) -> Self {
+        let peers = qp_pools.len();
         RnicDataPath {
             fabric,
             node,
@@ -209,16 +243,24 @@ impl RnicDataPath {
             batch: config.batch_posting,
             global_lkey,
             global_rkeys,
-            qp_pools,
+            qp_pools: qp_pools.into_iter().map(Mutex::new).collect(),
             rr: AtomicUsize::new(0),
             qos,
             all_qos,
             alloc,
+            retry_enabled: config.retry_enabled,
+            retry_base_ns: config.retry_base_ns.max(1),
+            retry_max_backoff_ns: config.retry_max_backoff_ns.max(1),
+            peer_dead_threshold: config.peer_dead_threshold.max(1),
+            op_timeout: config.op_timeout,
+            health: (0..peers).map(|_| PeerHealth::default()).collect(),
+            reconnect: OnceLock::new(),
+            retry: RetryCounters::default(),
         }
     }
 
     pub(crate) fn num_qps(&self) -> usize {
-        self.qp_pools.iter().map(Vec::len).sum()
+        self.qp_pools.iter().map(|p| p.lock().len()).sum()
     }
 
     fn mem(&self) -> &Arc<PhysMem> {
@@ -231,8 +273,13 @@ impl RnicDataPath {
         let pool = self
             .qp_pools
             .get(peer)
-            .filter(|p| !p.is_empty())
-            .ok_or(LiteError::NodeDown { node: peer })?;
+            .ok_or(LiteError::NodeDown { node: peer })?
+            .lock();
+        if pool.is_empty() {
+            // Transient while a reconnect swaps the pool contents, or
+            // permanent for an unwired peer — the retry layer decides.
+            return Err(LiteError::NodeDown { node: peer });
+        }
         let k = pool.len();
         let (lo, hi) = if self.qos.mode() == QosMode::HwSep {
             let (h, _) = self.qos.hw_partition(k);
@@ -252,6 +299,170 @@ impl RnicDataPath {
         let n = hi - lo;
         let idx = lo + self.rr.fetch_add(1, Ordering::Relaxed) % n;
         Ok(Arc::clone(&pool[idx]))
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery layer: retry/backoff, QP re-establishment, peer liveness.
+    // ------------------------------------------------------------------
+
+    /// Live recovery counters (folded into the kernel stats snapshot).
+    pub(crate) fn retry_counters(&self) -> &RetryCounters {
+        &self.retry
+    }
+
+    /// Installs the cluster's QP reconnector (once, at wiring time).
+    pub(crate) fn set_reconnector(&self, f: ReconnectFn) {
+        let _ = self.reconnect.set(f);
+    }
+
+    /// Removes a (broken) QP from the pool towards `peer`; `false` when
+    /// it was already gone — the peer's reconnect got there first.
+    pub(crate) fn remove_qp(&self, peer: NodeId, qp_id: QpId) -> bool {
+        let Some(pool) = self.qp_pools.get(peer) else {
+            return false;
+        };
+        let mut pool = pool.lock();
+        let before = pool.len();
+        pool.retain(|q| q.id != qp_id);
+        pool.len() != before
+    }
+
+    /// Adds a freshly connected QP to the pool towards `peer`.
+    pub(crate) fn add_qp(&self, peer: NodeId, qp: Arc<Qp>) {
+        if let Some(pool) = self.qp_pools.get(peer) {
+            pool.lock().push(qp);
+        }
+    }
+
+    /// Whether the liveness monitor currently considers `peer` dead.
+    pub(crate) fn peer_is_dead(&self, peer: NodeId) -> bool {
+        self.health
+            .get(peer)
+            .is_some_and(|h| h.dead.load(Ordering::Acquire))
+    }
+
+    /// Evidence of life from `peer` — a completed op or incoming traffic
+    /// (the poller calls this on every remote completion it dispatches).
+    pub(crate) fn mark_peer_alive(&self, peer: NodeId) {
+        let Some(h) = self.health.get(peer) else {
+            return;
+        };
+        h.consecutive_timeouts.store(0, Ordering::Relaxed);
+        if h.dead.swap(false, Ordering::AcqRel) {
+            *h.last_probe.lock() = None;
+        }
+    }
+
+    /// Records a deadline-exhausted op towards `peer`; past the threshold
+    /// the peer is declared dead.
+    fn note_peer_timeout(&self, peer: NodeId) {
+        let Some(h) = self.health.get(peer) else {
+            return;
+        };
+        let n = h.consecutive_timeouts.fetch_add(1, Ordering::AcqRel) + 1;
+        if n >= self.peer_dead_threshold && !h.dead.swap(true, Ordering::AcqRel) {
+            self.retry.peers_marked_dead.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// At most one probe per interval towards a dead peer: the winning
+    /// caller gets one real attempt, everyone else fails fast without
+    /// touching the fabric.
+    fn claim_probe(&self, peer: NodeId) -> bool {
+        let Some(h) = self.health.get(peer) else {
+            return false;
+        };
+        let interval = (self.op_timeout / 4).max(Duration::from_millis(5));
+        let mut last = h.last_probe.lock();
+        let due = last.is_none_or(|t| t.elapsed() >= interval);
+        if due {
+            *last = Some(Instant::now());
+        }
+        due
+    }
+
+    /// Tears down and re-establishes a broken shared QP through the
+    /// cluster-installed reconnector.
+    fn reconnect_qp(&self, peer: NodeId, qp: QpId) -> LiteResult<()> {
+        let f = self
+            .reconnect
+            .get()
+            .ok_or(LiteError::Verbs(VerbsError::QpBroken { qp }))?;
+        if f(peer, qp)? {
+            self.retry.qp_reconnects.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// The recovery wrapper around every remote post. Faults are injected
+    /// before any side effect, so a failed attempt is safe to repeat:
+    ///
+    /// * transient faults (drops, down nodes, pools mid-swap) retry with
+    ///   exponential virtual-time backoff, bounded by the `op_timeout`
+    ///   host-wall budget;
+    /// * a broken QP is torn down and re-established transparently, then
+    ///   the op is replayed;
+    /// * a peer past the liveness threshold fails fast with
+    ///   [`LiteError::PeerDead`], except for one rate-limited probe that
+    ///   can revive it after a restart.
+    fn with_retry<T>(
+        &self,
+        ctx: &mut Ctx,
+        peer: NodeId,
+        mut attempt: impl FnMut(&Self, &mut Ctx) -> LiteResult<T>,
+    ) -> LiteResult<T> {
+        if peer == self.node {
+            return attempt(self, ctx);
+        }
+        if !self.retry_enabled {
+            return attempt(self, ctx).inspect_err(|_| {
+                self.retry.ops_failed.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        if self.peer_is_dead(peer) {
+            if self.claim_probe(peer) {
+                if let Ok(v) = attempt(self, ctx) {
+                    self.mark_peer_alive(peer);
+                    return Ok(v);
+                }
+            }
+            self.retry.ops_failed.fetch_add(1, Ordering::Relaxed);
+            return Err(LiteError::PeerDead { node: peer });
+        }
+        let deadline = Instant::now() + self.op_timeout;
+        let mut backoff = self.retry_base_ns;
+        loop {
+            match attempt(self, ctx) {
+                Ok(v) => {
+                    self.mark_peer_alive(peer);
+                    return Ok(v);
+                }
+                Err(LiteError::Verbs(VerbsError::QpBroken { qp })) => {
+                    if let Err(e) = self.reconnect_qp(peer, qp) {
+                        self.retry.ops_failed.fetch_add(1, Ordering::Relaxed);
+                        return Err(e);
+                    }
+                    self.retry.retries.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e @ (LiteError::Timeout | LiteError::NodeDown { .. })) => {
+                    if Instant::now() >= deadline {
+                        self.note_peer_timeout(peer);
+                        self.retry.ops_failed.fetch_add(1, Ordering::Relaxed);
+                        return Err(e);
+                    }
+                    self.retry.retries.fetch_add(1, Ordering::Relaxed);
+                    ctx.wait_until(ctx.now() + backoff);
+                    // A little host-wall pacing so a down peer does not
+                    // turn the bounded wait into a hot spin.
+                    std::thread::sleep(Duration::from_nanos(backoff.min(100_000)));
+                    backoff = (backoff * 2).min(self.retry_max_backoff_ns);
+                }
+                Err(e) => {
+                    self.retry.ops_failed.fetch_add(1, Ordering::Relaxed);
+                    return Err(e);
+                }
+            }
+        }
     }
 
     /// Applies QoS before an op of `bytes` towards `dst`: HW-Sep
@@ -351,22 +562,12 @@ impl RnicDataPath {
         }
         Ok(comps)
     }
-}
 
-impl DataPath for RnicDataPath {
-    fn node(&self) -> NodeId {
-        self.node
-    }
-
-    fn fabric(&self) -> &Arc<IbFabric> {
-        &self.fabric
-    }
-
-    fn alloc(&self, bytes: u64) -> LiteResult<u64> {
-        Ok(self.alloc.lock().alloc(bytes)?)
-    }
-
-    fn post(&self, ctx: &mut Ctx, prio: Priority, op: &Op) -> LiteResult<Completion> {
+    /// A single posting attempt of one op — the body of `post` before
+    /// the recovery layer existed. Faults are injected before any side
+    /// effect, so the retry wrapper can replay this safely; local ops
+    /// cannot fault and never repeat.
+    fn post_once(&self, ctx: &mut Ctx, prio: Priority, op: &Op) -> LiteResult<Completion> {
         match op {
             Op::Write {
                 dst_node,
@@ -530,6 +731,27 @@ impl DataPath for RnicDataPath {
             }
         }
     }
+}
+
+impl DataPath for RnicDataPath {
+    fn node(&self) -> NodeId {
+        self.node
+    }
+
+    fn fabric(&self) -> &Arc<IbFabric> {
+        &self.fabric
+    }
+
+    fn alloc(&self, bytes: u64) -> LiteResult<u64> {
+        Ok(self.alloc.lock().alloc(bytes)?)
+    }
+
+    /// One op through the recovery layer — retry/backoff, transparent QP
+    /// re-establishment, and the peer-liveness fast path — around a
+    /// replayable [`RnicDataPath::post_once`] attempt.
+    fn post(&self, ctx: &mut Ctx, prio: Priority, op: &Op) -> LiteResult<Completion> {
+        self.with_retry(ctx, op.dst_node(), |dp, ctx| dp.post_once(ctx, prio, op))
+    }
 
     /// Doorbell batching: consecutive remote writes towards the same peer
     /// are chained through one `post_write_many` (one host post, one
@@ -559,7 +781,11 @@ impl DataPath for RnicDataPath {
                 }
             }
             if j - i >= 2 {
-                out.extend(self.post_write_batch(ctx, prio, run_dst, &ops[i..j])?);
+                // The whole chain retries as a unit: `post_write_batch`
+                // claims credits atomically and rolls back on failure.
+                out.extend(self.with_retry(ctx, run_dst, |dp, ctx| {
+                    dp.post_write_batch(ctx, prio, run_dst, &ops[i..j])
+                })?);
             } else {
                 out.push(self.post(ctx, prio, &ops[i])?);
             }
@@ -667,6 +893,23 @@ impl TcpDataPath {
     fn rx_done(&self, arrive: Nanos, len: usize) -> Nanos {
         arrive + self.cost.syscall_ns + self.copy_time(len)
     }
+
+    /// Mirror of the RNIC datapath's injection point: TCP ops consult
+    /// the fabric's fault plan and node-down state before touching the
+    /// wire, so both transports honor the same fault model. There is no
+    /// QP to break on a socket path, so `BreakQp` rules never match
+    /// (`fault_check` is called without a QP).
+    fn fault_gate(&self, ctx: &mut Ctx, dst: NodeId) -> LiteResult<()> {
+        match self.fabric.fault_check(self.node, dst, None) {
+            FaultAction::Delay(d) => ctx.wait_until(ctx.now() + d),
+            FaultAction::Drop => return Err(LiteError::Timeout),
+            _ => {}
+        }
+        if self.fabric.is_down(self.node) || self.fabric.is_down(dst) {
+            return Err(LiteError::Timeout);
+        }
+        Ok(())
+    }
 }
 
 impl DataPath for TcpDataPath {
@@ -701,6 +944,7 @@ impl DataPath for TcpDataPath {
                         value: 0,
                     });
                 }
+                self.fault_gate(ctx, *dst_node)?;
                 let arrive = self.send_leg(ctx, *len);
                 self.fabric.mem(*dst_node).write(*dst_addr, &data)?;
                 Ok(Completion {
@@ -724,6 +968,7 @@ impl DataPath for TcpDataPath {
                         value: 0,
                     });
                 }
+                self.fault_gate(ctx, *src_node)?;
                 let req_arrive = self.send_leg(ctx, TCP_CTRL_BYTES);
                 let mut data = vec![0u8; *len];
                 self.fabric.mem(*src_node).read(*src_addr, &mut data)?;
@@ -742,6 +987,7 @@ impl DataPath for TcpDataPath {
                         value: local_mem.fetch_add_u64(*addr, *delta)?,
                     });
                 }
+                self.fault_gate(ctx, *node)?;
                 let req_arrive = self.send_leg(ctx, TCP_CTRL_BYTES);
                 let value = self.fabric.mem(*node).fetch_add_u64(*addr, *delta)?;
                 let back = self.return_leg(*node, req_arrive, TCP_CTRL_BYTES);
@@ -762,6 +1008,7 @@ impl DataPath for TcpDataPath {
                         value: local_mem.cas_u64(*addr, *expect, *new)?,
                     });
                 }
+                self.fault_gate(ctx, *node)?;
                 let req_arrive = self.send_leg(ctx, TCP_CTRL_BYTES);
                 let value = self.fabric.mem(*node).cas_u64(*addr, *expect, *new)?;
                 let back = self.return_leg(*node, req_arrive, TCP_CTRL_BYTES);

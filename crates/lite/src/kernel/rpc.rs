@@ -165,16 +165,20 @@ fn reconstruct_head(cur: u64, granule30: u32) -> u64 {
 }
 
 impl LiteKernel {
-    pub(super) fn client_ring(&self, server: NodeId) -> &ClientRing {
-        self.client_rings.get().expect("setup")[server]
-            .as_ref()
-            .expect("ring exists")
+    pub(super) fn client_ring(&self, server: NodeId) -> LiteResult<&ClientRing> {
+        self.client_rings
+            .get()
+            .and_then(|rings| rings.get(server))
+            .and_then(Option::as_ref)
+            .ok_or(LiteError::NodeDown { node: server })
     }
 
-    pub(super) fn server_ring(&self, client: NodeId) -> &ServerRing {
-        self.server_rings.get().expect("setup")[client]
-            .as_ref()
-            .expect("ring exists")
+    pub(super) fn server_ring(&self, client: NodeId) -> LiteResult<&ServerRing> {
+        self.server_rings
+            .get()
+            .and_then(|rings| rings.get(client))
+            .and_then(Option::as_ref)
+            .ok_or(LiteError::NodeDown { node: client })
     }
 
     /// Posts a write-imm carrying `len` bytes from `src_chunks` to
@@ -222,7 +226,7 @@ impl LiteKernel {
         server: NodeId,
         total_len: u64,
     ) -> LiteResult<Reservation> {
-        let ring = self.client_ring(server);
+        let ring = self.client_ring(server)?;
         let deadline = std::time::Instant::now() + self.config.op_timeout;
         loop {
             match ring.try_reserve(total_len) {
@@ -241,8 +245,8 @@ impl LiteKernel {
     }
 
     /// Ring slot → physical address at the server.
-    pub(crate) fn ring_remote_addr(&self, server: NodeId, offset: u64) -> u64 {
-        self.client_ring(server).remote_base + offset
+    pub(crate) fn ring_remote_addr(&self, server: NodeId, offset: u64) -> LiteResult<u64> {
+        Ok(self.client_ring(server)?.remote_base + offset)
     }
 
     /// Registers a fresh completion slot.
@@ -317,7 +321,7 @@ impl LiteKernel {
 
     /// Copies a parked message's payload out of the ring.
     pub(crate) fn read_ring_payload(&self, client: NodeId, inc: &Incoming) -> LiteResult<Vec<u8>> {
-        let ring = self.server_ring(client);
+        let ring = self.server_ring(client)?;
         let mut buf = vec![0u8; inc.hdr.len as usize];
         self.mem()
             .read(ring.base + inc.ring_offset + HEADER_BYTES as u64, &mut buf)?;
@@ -333,9 +337,13 @@ impl LiteKernel {
         inc: &Incoming,
     ) -> LiteResult<()> {
         let total = HEADER_BYTES as u64 + inc.hdr.len as u64;
-        let ring = self.server_ring(client);
+        let ring = self.server_ring(client)?;
         if let Some(head) = ring.consume(inc.ring_offset, total, inc.hdr.skip as u64) {
-            let sink = self.head_sinks.get().expect("setup")[client];
+            let sink = *self
+                .head_sinks
+                .get()
+                .and_then(|s| s.get(client))
+                .ok_or(LiteError::NodeDown { node: client })?;
             let imm = Imm::Head {
                 granule: ((head / RING_GRANULE) & ((1 << 30) - 1)) as u32,
             };
@@ -353,21 +361,19 @@ impl LiteKernel {
     pub(crate) fn release_ring_op(&self, client: NodeId, inc: &Incoming) -> Option<Op> {
         debug_assert_ne!(client, self.node, "loopback releases are not deferrable");
         let total = HEADER_BYTES as u64 + inc.hdr.len as u64;
-        let ring = self.server_ring(client);
-        ring.consume(inc.ring_offset, total, inc.hdr.skip as u64)
-            .map(|head| {
-                let sink = self.head_sinks.get().expect("setup")[client];
-                let imm = Imm::Head {
-                    granule: ((head / RING_GRANULE) & ((1 << 30) - 1)) as u32,
-                };
-                Op::Write {
-                    dst_node: client,
-                    dst_addr: sink,
-                    src: Vec::new(),
-                    len: 0,
-                    imm: Some(imm.encode()),
-                }
-            })
+        let ring = self.server_ring(client).ok()?;
+        let head = ring.consume(inc.ring_offset, total, inc.hdr.skip as u64)?;
+        let sink = *self.head_sinks.get()?.get(client)?;
+        let imm = Imm::Head {
+            granule: ((head / RING_GRANULE) & ((1 << 30) - 1)) as u32,
+        };
+        Some(Op::Write {
+            dst_node: client,
+            dst_addr: sink,
+            src: Vec::new(),
+            len: 0,
+            imm: Some(imm.encode()),
+        })
     }
 
     /// Sends a reply (LT_replyRPC's kernel half): writes the payload to
@@ -439,7 +445,8 @@ impl LiteKernel {
         match head {
             Some(h) => {
                 let comps = self.datapath().post_many(ctx, prio, &[h, reply])?;
-                Ok(comps[1].stamp)
+                let stamp = comps.last().map(|c| c.stamp).unwrap_or_else(|| ctx.now());
+                Ok(stamp)
             }
             None => Ok(self.datapath().post(ctx, prio, &reply)?.stamp),
         }
@@ -489,6 +496,15 @@ impl LiteKernel {
                     sge: None,
                 });
                 ctx.work(cost.post_wr_ns);
+                if src_node != self.node {
+                    // Traffic from a peer is proof of life: revive it
+                    // for the liveness monitor without waiting for a
+                    // probe (a restarted node announces itself with its
+                    // first RPC).
+                    if let Some(dp) = self.datapath.get() {
+                        dp.mark_peer_alive(src_node);
+                    }
+                }
             }
             ctx.work(self.config.imm_dispatch_ns);
             match Imm::decode(wc.imm.unwrap_or(0)) {
@@ -516,8 +532,7 @@ impl LiteKernel {
                     }
                 }
                 Imm::Head { granule } => {
-                    let rings = self.client_rings.get().expect("setup");
-                    if let Some(ring) = rings.get(src_node).and_then(|r| r.as_ref()) {
+                    if let Ok(ring) = self.client_ring(src_node) {
                         let (cur, _) = ring.head();
                         ring.update_head(reconstruct_head(cur, granule), ctx.now());
                     }
@@ -527,7 +542,10 @@ impl LiteKernel {
     }
 
     fn handle_request(&self, ctx: &mut Ctx, client: NodeId, offset: u64, stamp: Nanos) {
-        let ring_base = self.server_ring(client).base;
+        let Ok(ring) = self.server_ring(client) else {
+            return;
+        };
+        let ring_base = ring.base;
         let mut hbuf = [0u8; HEADER_BYTES];
         if self.mem().read(ring_base + offset, &mut hbuf).is_err() {
             return;

@@ -16,6 +16,16 @@ pub struct KernelStats {
     pub lt_bytes: u64,
     /// Total RC QPs this kernel created (K × (N-1)).
     pub qps: usize,
+    /// Datapath attempts repeated by the recovery layer (backoff retries
+    /// plus post-reconnect replays).
+    pub retries: u64,
+    /// Broken shared QPs this node tore down and re-established.
+    pub qp_reconnects: u64,
+    /// Peers this node's liveness monitor declared dead.
+    pub peers_marked_dead: u64,
+    /// Datapath ops that failed after recovery gave up (deadline
+    /// exhausted, dead peer, or a non-retryable fault).
+    pub ops_failed: u64,
 }
 
 /// The kernel's live counters (relaxed atomics; snapshot via
@@ -26,6 +36,16 @@ pub(crate) struct KernelCounters {
     pub(crate) writes: AtomicU64,
     pub(crate) reads: AtomicU64,
     pub(crate) bytes: AtomicU64,
+}
+
+/// Recovery-layer counters, owned by the node's datapath (the retry
+/// wrapper is the only writer).
+#[derive(Debug, Default)]
+pub(crate) struct RetryCounters {
+    pub(crate) retries: AtomicU64,
+    pub(crate) qp_reconnects: AtomicU64,
+    pub(crate) peers_marked_dead: AtomicU64,
+    pub(crate) ops_failed: AtomicU64,
 }
 
 impl KernelCounters {
@@ -52,15 +72,20 @@ impl KernelCounters {
         self.rpc.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Snapshot with the QP count supplied by the kernel (which owns the
-    /// pool tables).
-    pub(crate) fn snapshot(&self, qps: usize) -> KernelStats {
+    /// Snapshot with the QP count and recovery counters supplied by the
+    /// kernel (which owns the pool tables and the datapath).
+    pub(crate) fn snapshot(&self, qps: usize, retry: Option<&RetryCounters>) -> KernelStats {
+        let r = |c: &AtomicU64| c.load(Ordering::Relaxed);
         KernelStats {
-            rpc_dispatched: self.rpc.load(Ordering::Relaxed),
-            lt_writes: self.writes.load(Ordering::Relaxed),
-            lt_reads: self.reads.load(Ordering::Relaxed),
-            lt_bytes: self.bytes.load(Ordering::Relaxed),
+            rpc_dispatched: r(&self.rpc),
+            lt_writes: r(&self.writes),
+            lt_reads: r(&self.reads),
+            lt_bytes: r(&self.bytes),
             qps,
+            retries: retry.map_or(0, |c| r(&c.retries)),
+            qp_reconnects: retry.map_or(0, |c| r(&c.qp_reconnects)),
+            peers_marked_dead: retry.map_or(0, |c| r(&c.peers_marked_dead)),
+            ops_failed: retry.map_or(0, |c| r(&c.ops_failed)),
         }
     }
 }
@@ -76,11 +101,27 @@ mod tests {
         c.count_writes(2, 50);
         c.count_read(7);
         c.count_rpc();
-        let s = c.snapshot(6);
+        let s = c.snapshot(6, None);
         assert_eq!(s.lt_writes, 3);
         assert_eq!(s.lt_reads, 1);
         assert_eq!(s.lt_bytes, 157);
         assert_eq!(s.rpc_dispatched, 1);
         assert_eq!(s.qps, 6);
+        assert_eq!(s.retries, 0);
+    }
+
+    #[test]
+    fn retry_counters_fold_into_snapshot() {
+        let c = KernelCounters::new();
+        let r = RetryCounters::default();
+        r.retries.fetch_add(4, Ordering::Relaxed);
+        r.qp_reconnects.fetch_add(1, Ordering::Relaxed);
+        r.peers_marked_dead.fetch_add(2, Ordering::Relaxed);
+        r.ops_failed.fetch_add(3, Ordering::Relaxed);
+        let s = c.snapshot(0, Some(&r));
+        assert_eq!(s.retries, 4);
+        assert_eq!(s.qp_reconnects, 1);
+        assert_eq!(s.peers_marked_dead, 2);
+        assert_eq!(s.ops_failed, 3);
     }
 }

@@ -57,6 +57,12 @@ pub enum VerbsError {
     },
     /// Underlying (simulated) memory fault.
     Mem(MemError),
+    /// The QP is in the error state (broken by a fault); it must be
+    /// destroyed and re-established before further use.
+    QpBroken {
+        /// The broken QP's number.
+        qp: u64,
+    },
     /// The remote side closed / the fabric was shut down.
     Disconnected,
     /// Operation timed out (used by layers above for failure detection).
@@ -85,6 +91,7 @@ impl fmt::Display for VerbsError {
             }
             VerbsError::BadNode { node } => write!(f, "no such node {node}"),
             VerbsError::Mem(e) => write!(f, "memory fault: {e}"),
+            VerbsError::QpBroken { qp } => write!(f, "QP {qp} is in the error state"),
             VerbsError::Disconnected => write!(f, "peer disconnected"),
             VerbsError::Timeout => write!(f, "operation timed out"),
         }

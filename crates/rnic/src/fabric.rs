@@ -4,10 +4,12 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
+use parking_lot::Mutex;
 use smem::PhysMem;
 
 use crate::cost::CostModel;
 use crate::error::{VerbsError, VerbsResult};
+use crate::fault::{FaultAction, FaultPlan, FaultState, FaultStats};
 use crate::nic::Nic;
 use crate::qp::{Qp, QpType};
 
@@ -58,6 +60,14 @@ pub struct IbFabric {
     pub(crate) nodes: Vec<NodeHw>,
     next_qp: AtomicU64,
     next_key: AtomicU64,
+    /// Installed fault plan, if any (`fault_active` is its lock-free
+    /// fast-path mirror: the hot path pays one relaxed load when no plan
+    /// is installed).
+    fault: Mutex<Option<FaultState>>,
+    fault_active: AtomicBool,
+    /// Fabric-wide count of work requests that passed the injection
+    /// point; drives the scheduled (`at_op`) fault rules.
+    fault_ops: AtomicU64,
 }
 
 impl IbFabric {
@@ -77,6 +87,9 @@ impl IbFabric {
                 nodes,
                 next_qp: AtomicU64::new(1),
                 next_key: AtomicU64::new(1),
+                fault: Mutex::new(None),
+                fault_active: AtomicBool::new(false),
+                fault_ops: AtomicU64::new(0),
             }
         })
     }
@@ -119,6 +132,78 @@ impl IbFabric {
     /// Whether node `n` is marked down.
     pub fn is_down(&self, n: NodeId) -> bool {
         self.nodes[n].down.load(Ordering::Acquire)
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// Installs a fault plan; replaces any previous plan and resets the
+    /// fabric-wide operation counter its schedule runs on.
+    pub fn install_fault_plan(&self, plan: FaultPlan) {
+        self.fault_ops.store(0, Ordering::Relaxed);
+        *self.fault.lock() = Some(FaultState::new(plan));
+        self.fault_active.store(true, Ordering::Release);
+    }
+
+    /// Removes the installed fault plan (in-flight breakage — broken QPs,
+    /// down nodes — stays; only future injections stop).
+    pub fn clear_fault_plan(&self) {
+        self.fault_active.store(false, Ordering::Release);
+        *self.fault.lock() = None;
+    }
+
+    /// Counts of faults the installed plan has fired so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault
+            .lock()
+            .as_ref()
+            .map(|s| s.stats())
+            .unwrap_or_default()
+    }
+
+    /// The injection point: every verb calls this once per work request
+    /// `src → dst` (posted on `qp` when one is identified), *before* any
+    /// side effect. Applies scheduled node crash/restart transitions and
+    /// marks the victim QP pair broken for [`FaultAction::BreakQp`].
+    pub fn fault_check(&self, src: NodeId, dst: NodeId, qp: Option<&Qp>) -> FaultAction {
+        if !self.fault_active.load(Ordering::Acquire) {
+            return FaultAction::None;
+        }
+        let (action, power) = {
+            let mut guard = self.fault.lock();
+            let Some(state) = guard.as_mut() else {
+                return FaultAction::None;
+            };
+            state.check(&self.fault_ops, src, dst, qp.map(|q| q.id))
+        };
+        for n in power.crash {
+            self.set_down(n, true);
+        }
+        for n in power.restart {
+            self.set_down(n, false);
+        }
+        if action == FaultAction::BreakQp {
+            if let Some(qp) = qp {
+                self.break_qp_pair(qp);
+            }
+        }
+        action
+    }
+
+    /// Moves a QP and its connected peer into the error state; further
+    /// posts on either end fail with
+    /// [`VerbsError::QpBroken`](crate::VerbsError::QpBroken) until the
+    /// layer above re-establishes the connection.
+    pub fn break_qp_pair(&self, qp: &Qp) {
+        qp.set_broken(true);
+        if let Some((peer_node, peer_qp)) = *qp.peer.lock() {
+            if let Ok(nic) = self.try_nic(peer_node) {
+                if let Ok(p) = nic.qp(peer_qp) {
+                    p.set_broken(true);
+                }
+            }
+        }
     }
 
     /// Allocates a fabric-unique QP number.

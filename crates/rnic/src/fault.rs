@@ -1,0 +1,381 @@
+//! Deterministic fault injection for the fabric.
+//!
+//! A [`FaultPlan`] is a seeded schedule of failures attached to an
+//! [`IbFabric`](crate::IbFabric): individual work requests can be
+//! dropped or delayed, a specific QP can be broken (moved to the error
+//! state, as a real RC QP does after retry exhaustion), and whole nodes
+//! can crash and later restart. It generalizes the boolean
+//! `set_down` hook into first-class, testable failure scenarios.
+//!
+//! Determinism: probabilistic rules draw from one `SmallRng` seeded by
+//! the plan, and scheduled rules (`BreakQp`, `CrashNode`) trigger on a
+//! fabric-wide *operation counter* — the number of work requests that
+//! have passed the injection point — rather than on wall or virtual
+//! time. Same plan + same workload interleaving ⇒ same faults. The
+//! counter keeps advancing while nodes are down (failed attempts and
+//! retries count), so a `CrashNode` restart scheduled in operations is
+//! always reached.
+//!
+//! Injection happens at the *top* of every verb, before any side effect
+//! (no memory written, no receive credit consumed, no completion
+//! pushed), so a layer above can safely retry a faulted work request.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use simnet::Nanos;
+
+use crate::fabric::NodeId;
+use crate::qp::QpId;
+
+/// One rule of a [`FaultPlan`].
+#[derive(Debug, Clone)]
+pub enum FaultRule {
+    /// Drop matching work requests with probability `prob` (they vanish
+    /// before any side effect; the verb reports
+    /// [`VerbsError::Timeout`](crate::VerbsError::Timeout), like an RC
+    /// QP whose retransmissions were lost). At most `max_drops` fire.
+    DropWr {
+        /// Only WRs posted by this node match (any if `None`).
+        src: Option<NodeId>,
+        /// Only WRs towards this node match (any if `None`).
+        dst: Option<NodeId>,
+        /// Per-WR drop probability in `[0, 1]`.
+        prob: f64,
+        /// Upper bound on fired drops (`u64::MAX` for unlimited).
+        max_drops: u64,
+    },
+    /// Delay matching work requests by `delay_ns` of virtual time with
+    /// probability `prob` (congestion / retransmission stand-in).
+    DelayWr {
+        /// Only WRs posted by this node match (any if `None`).
+        src: Option<NodeId>,
+        /// Only WRs towards this node match (any if `None`).
+        dst: Option<NodeId>,
+        /// Per-WR delay probability in `[0, 1]`.
+        prob: f64,
+        /// Added latency in virtual nanoseconds.
+        delay_ns: Nanos,
+    },
+    /// Move the first QP carrying a `src → dst` work request at or after
+    /// fabric-wide operation `at_op` into the error state (both ends).
+    /// Fires once.
+    BreakQp {
+        /// Posting node of the victim QP.
+        src: NodeId,
+        /// Peer node of the victim QP.
+        dst: NodeId,
+        /// Operation count that arms the rule.
+        at_op: u64,
+    },
+    /// Crash `node` (mark it down) at fabric-wide operation `at_op`,
+    /// restarting it `restart_after_ops` operations later
+    /// (`u64::MAX` = never). Memory contents survive the outage, as on
+    /// a machine whose NIC/link died and came back.
+    CrashNode {
+        /// The victim node.
+        node: NodeId,
+        /// Operation count at which the node goes down.
+        at_op: u64,
+        /// Operations after `at_op` until the node comes back.
+        restart_after_ops: u64,
+    },
+}
+
+/// A seeded schedule of faults to install on a fabric.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// RNG seed for the probabilistic rules.
+    pub seed: u64,
+    /// The rules, evaluated in order for every work request.
+    pub rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given seed.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Adds a rule (builder style).
+    pub fn with(mut self, rule: FaultRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+}
+
+/// What the injection point decided for one work request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Proceed normally.
+    None,
+    /// Drop the WR before any side effect (surface a timeout).
+    Drop,
+    /// Proceed, but add this much virtual latency first.
+    Delay(Nanos),
+    /// Break the posting QP (both ends) and fail the WR.
+    BreakQp,
+}
+
+/// Counts of faults actually fired (for assertions and reports).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Work requests seen by the injection point.
+    pub ops_seen: u64,
+    /// WRs dropped.
+    pub drops: u64,
+    /// WRs delayed.
+    pub delays: u64,
+    /// QPs broken.
+    pub qp_breaks: u64,
+    /// Node crashes fired.
+    pub crashes: u64,
+    /// Node restarts fired.
+    pub restarts: u64,
+}
+
+/// Per-rule mutable trigger state.
+#[derive(Debug, Clone, Copy)]
+enum RuleState {
+    Drop { fired: u64 },
+    Delay,
+    Break { fired: bool },
+    Crash { crashed: bool, restarted: bool },
+}
+
+/// What the fabric must do about node power state after an injection
+/// decision (applied by the caller, outside the plan lock).
+pub(crate) struct PowerTransitions {
+    pub(crate) crash: Vec<NodeId>,
+    pub(crate) restart: Vec<NodeId>,
+}
+
+/// The live state of an installed plan. Owned by the fabric behind a
+/// mutex; every injection point funnels through [`FaultState::check`].
+pub(crate) struct FaultState {
+    rules: Vec<FaultRule>,
+    states: Vec<RuleState>,
+    rng: SmallRng,
+    stats: FaultStats,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan) -> Self {
+        let states = plan
+            .rules
+            .iter()
+            .map(|r| match r {
+                FaultRule::DropWr { .. } => RuleState::Drop { fired: 0 },
+                FaultRule::DelayWr { .. } => RuleState::Delay,
+                FaultRule::BreakQp { .. } => RuleState::Break { fired: false },
+                FaultRule::CrashNode { .. } => RuleState::Crash {
+                    crashed: false,
+                    restarted: false,
+                },
+            })
+            .collect();
+        FaultState {
+            rules: plan.rules,
+            states,
+            rng: SmallRng::seed_from_u64(plan.seed),
+            stats: FaultStats::default(),
+        }
+    }
+
+    pub(crate) fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Evaluates one work request `src → dst` posted on `qp` (QPs are
+    /// breakable only when identified). Returns the action plus any node
+    /// power transitions the fabric must apply.
+    pub(crate) fn check(
+        &mut self,
+        op_counter: &AtomicU64,
+        src: NodeId,
+        dst: NodeId,
+        qp: Option<QpId>,
+    ) -> (FaultAction, PowerTransitions) {
+        let op = op_counter.fetch_add(1, Ordering::Relaxed);
+        self.stats.ops_seen = op + 1;
+        let mut power = PowerTransitions {
+            crash: Vec::new(),
+            restart: Vec::new(),
+        };
+        let mut action = FaultAction::None;
+        for (rule, state) in self.rules.iter().zip(self.states.iter_mut()) {
+            match (rule, state) {
+                (
+                    FaultRule::CrashNode {
+                        node,
+                        at_op,
+                        restart_after_ops,
+                    },
+                    RuleState::Crash { crashed, restarted },
+                ) => {
+                    if !*crashed && op >= *at_op {
+                        *crashed = true;
+                        self.stats.crashes += 1;
+                        power.crash.push(*node);
+                    }
+                    if *crashed
+                        && !*restarted
+                        && *restart_after_ops != u64::MAX
+                        && op >= at_op.saturating_add(*restart_after_ops)
+                    {
+                        *restarted = true;
+                        self.stats.restarts += 1;
+                        power.restart.push(*node);
+                    }
+                }
+                (
+                    FaultRule::BreakQp {
+                        src: rs,
+                        dst: rd,
+                        at_op,
+                    },
+                    RuleState::Break { fired },
+                ) => {
+                    if action == FaultAction::None
+                        && !*fired
+                        && qp.is_some()
+                        && *rs == src
+                        && *rd == dst
+                        && op >= *at_op
+                    {
+                        *fired = true;
+                        self.stats.qp_breaks += 1;
+                        action = FaultAction::BreakQp;
+                    }
+                }
+                (
+                    FaultRule::DropWr {
+                        src: rs,
+                        dst: rd,
+                        prob,
+                        max_drops,
+                    },
+                    RuleState::Drop { fired },
+                ) => {
+                    if action == FaultAction::None
+                        && rs.is_none_or(|n| n == src)
+                        && rd.is_none_or(|n| n == dst)
+                        && *fired < *max_drops
+                        && self.rng.gen_bool(*prob)
+                    {
+                        *fired += 1;
+                        self.stats.drops += 1;
+                        action = FaultAction::Drop;
+                    }
+                }
+                (
+                    FaultRule::DelayWr {
+                        src: rs,
+                        dst: rd,
+                        prob,
+                        delay_ns,
+                    },
+                    RuleState::Delay,
+                ) => {
+                    if action == FaultAction::None
+                        && rs.is_none_or(|n| n == src)
+                        && rd.is_none_or(|n| n == dst)
+                        && self.rng.gen_bool(*prob)
+                    {
+                        self.stats.delays += 1;
+                        action = FaultAction::Delay(*delay_ns);
+                    }
+                }
+                _ => unreachable!("rule/state vectors built together"),
+            }
+        }
+        (action, power)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(
+        st: &mut FaultState,
+        ctr: &AtomicU64,
+        src: NodeId,
+        dst: NodeId,
+        qp: Option<QpId>,
+    ) -> FaultAction {
+        st.check(ctr, src, dst, qp).0
+    }
+
+    #[test]
+    fn drop_rule_is_deterministic_and_bounded() {
+        let plan = FaultPlan::seeded(7).with(FaultRule::DropWr {
+            src: None,
+            dst: Some(1),
+            prob: 0.5,
+            max_drops: 3,
+        });
+        let run = |plan: FaultPlan| {
+            let mut st = FaultState::new(plan);
+            let ctr = AtomicU64::new(0);
+            (0..64)
+                .map(|_| check(&mut st, &ctr, 0, 1, None))
+                .collect::<Vec<_>>()
+        };
+        let a = run(plan.clone());
+        let b = run(plan);
+        assert_eq!(a, b, "same seed, same schedule");
+        let drops = a.iter().filter(|&&x| x == FaultAction::Drop).count();
+        assert_eq!(drops, 3, "capped at max_drops");
+        // WRs towards other nodes never match.
+        let mut st = FaultState::new(FaultPlan::seeded(7).with(FaultRule::DropWr {
+            src: None,
+            dst: Some(1),
+            prob: 1.0,
+            max_drops: u64::MAX,
+        }));
+        let ctr = AtomicU64::new(0);
+        assert_eq!(check(&mut st, &ctr, 0, 2, None), FaultAction::None);
+    }
+
+    #[test]
+    fn break_rule_fires_once_on_matching_qp_traffic() {
+        let mut st = FaultState::new(FaultPlan::seeded(1).with(FaultRule::BreakQp {
+            src: 0,
+            dst: 1,
+            at_op: 2,
+        }));
+        let ctr = AtomicU64::new(0);
+        assert_eq!(check(&mut st, &ctr, 0, 1, Some(9)), FaultAction::None); // op 0
+        assert_eq!(check(&mut st, &ctr, 0, 1, None), FaultAction::None); // op 1, no QP
+        assert_eq!(check(&mut st, &ctr, 1, 0, Some(9)), FaultAction::None); // op 2, wrong dir
+        assert_eq!(check(&mut st, &ctr, 0, 1, Some(9)), FaultAction::BreakQp); // op 3
+        assert_eq!(check(&mut st, &ctr, 0, 1, Some(9)), FaultAction::None); // fired once
+        assert_eq!(st.stats().qp_breaks, 1);
+    }
+
+    #[test]
+    fn crash_and_restart_trigger_on_op_counts() {
+        let mut st = FaultState::new(FaultPlan::seeded(1).with(FaultRule::CrashNode {
+            node: 2,
+            at_op: 1,
+            restart_after_ops: 3,
+        }));
+        let ctr = AtomicU64::new(0);
+        let (_, p0) = st.check(&ctr, 0, 1, None); // op 0
+        assert!(p0.crash.is_empty());
+        let (_, p1) = st.check(&ctr, 0, 1, None); // op 1: crash
+        assert_eq!(p1.crash, vec![2]);
+        assert!(p1.restart.is_empty());
+        let (_, _) = st.check(&ctr, 0, 1, None); // op 2
+        let (_, _) = st.check(&ctr, 0, 1, None); // op 3
+        let (_, p4) = st.check(&ctr, 0, 1, None); // op 4: restart
+        assert_eq!(p4.restart, vec![2]);
+        assert_eq!((st.stats().crashes, st.stats().restarts), (1, 1));
+    }
+}

@@ -32,6 +32,7 @@ pub mod cost;
 pub mod cq;
 pub mod error;
 pub mod fabric;
+pub mod fault;
 pub mod nic;
 pub mod qp;
 pub mod verbs;
@@ -40,6 +41,7 @@ pub use cost::CostModel;
 pub use cq::Cq;
 pub use error::{VerbsError, VerbsResult};
 pub use fabric::{IbConfig, IbFabric, NodeId};
+pub use fault::{FaultAction, FaultPlan, FaultRule, FaultStats};
 pub use nic::{Mr, Nic, WriteOutcome, WritePost};
 pub use qp::{Qp, QpId, QpType};
 pub use verbs::{Access, RemoteAddr, Sge, Wc, WcOpcode};

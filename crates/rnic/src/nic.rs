@@ -13,6 +13,7 @@ use crate::cost::CostModel;
 use crate::cq::Cq;
 use crate::error::{VerbsError, VerbsResult};
 use crate::fabric::{IbFabric, NodeId};
+use crate::fault::FaultAction;
 use crate::qp::{Qp, QpId, QpType, RecvEntry, RecvQueue};
 use crate::verbs::{Access, RemoteAddr, Sge, Wc, WcOpcode};
 
@@ -552,6 +553,32 @@ impl Nic {
         Ok(())
     }
 
+    /// The per-WR fault gate, run before any side effect: broken-QP
+    /// check, the installed fault plan, then node liveness. Injected
+    /// delays advance the caller's virtual clock; drops surface as
+    /// [`VerbsError::Timeout`] (RC retry exhaustion), breaks as
+    /// [`VerbsError::QpBroken`]. Runs *before* `check_up` so the plan's
+    /// operation counter keeps advancing while nodes are down — that is
+    /// what makes scheduled restarts reachable under retry traffic.
+    fn fault_gate(
+        &self,
+        ctx: &mut Ctx,
+        fabric: &IbFabric,
+        qp: &Qp,
+        peer: NodeId,
+    ) -> VerbsResult<()> {
+        if qp.is_broken() {
+            return Err(VerbsError::QpBroken { qp: qp.id });
+        }
+        match fabric.fault_check(self.node, peer, Some(qp)) {
+            FaultAction::None => {}
+            FaultAction::Delay(d) => ctx.wait_until(ctx.now() + d),
+            FaultAction::Drop => return Err(VerbsError::Timeout),
+            FaultAction::BreakQp => return Err(VerbsError::QpBroken { qp: qp.id }),
+        }
+        self.check_up(fabric, peer)
+    }
+
     // ------------------------------------------------------------------
     // One-sided verbs
     // ------------------------------------------------------------------
@@ -595,7 +622,7 @@ impl Nic {
         }
         let fabric = self.fabric();
         let (peer_node, peer_qp) = qp.peer()?;
-        self.check_up(&fabric, peer_node)?;
+        self.fault_gate(ctx, &fabric, qp, peer_node)?;
         ctx.work(self.cost.post_wr_ns);
         let len = sge.len();
 
@@ -682,7 +709,7 @@ impl Nic {
         }
         let fabric = self.fabric();
         let (peer_node, peer_qp) = qp.peer()?;
-        self.check_up(&fabric, peer_node)?;
+        self.fault_gate(ctx, &fabric, qp, peer_node)?;
         let rnic = fabric.try_nic(peer_node)?;
 
         // Validation pass: resolve both sides of every WQE and claim all
@@ -797,7 +824,7 @@ impl Nic {
         }
         let fabric = self.fabric();
         let (peer_node, peer_qp) = qp.peer()?;
-        self.check_up(&fabric, peer_node)?;
+        self.fault_gate(ctx, &fabric, qp, peer_node)?;
         ctx.work(self.cost.post_wr_ns);
         let len = sge.len();
 
@@ -867,7 +894,7 @@ impl Nic {
         }
         let fabric = self.fabric();
         let (peer_node, peer_qp) = qp.peer()?;
-        self.check_up(&fabric, peer_node)?;
+        self.fault_gate(ctx, &fabric, qp, peer_node)?;
         ctx.work(self.cost.post_wr_ns);
         let lpen = self.touch_qpc(qp.id);
         let g1 = self
@@ -958,7 +985,7 @@ impl Nic {
         extra: Nanos,
     ) -> VerbsResult<Nanos> {
         let fabric = self.fabric();
-        self.check_up(&fabric, peer_node)?;
+        self.fault_gate(ctx, &fabric, qp, peer_node)?;
         ctx.work(self.cost.post_wr_ns);
         let len = sge.len();
         let local = self.resolve_local(sge)?;

@@ -1,7 +1,7 @@
 //! Queue pairs and receive queues.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -90,6 +90,11 @@ pub struct Qp {
     pub rq: Arc<RecvQueue>,
     /// Connected peer, for RC/UC.
     pub peer: Mutex<Option<(NodeId, QpId)>>,
+    /// Error state: a broken QP rejects every post with
+    /// [`VerbsError::QpBroken`] until destroyed and replaced (real RC
+    /// QPs enter the error state after retry exhaustion and must be
+    /// torn down and reconnected).
+    broken: AtomicBool,
     /// Last remote-delivery stamp issued on this QP (RC/UC process WQEs
     /// of one QP strictly in order; the fluid resource model alone would
     /// let a cheap later WQE overtake an expensive earlier one).
@@ -115,8 +120,19 @@ impl Qp {
             recv_cq,
             rq,
             peer: Mutex::new(None),
+            broken: AtomicBool::new(false),
             last_delivery: AtomicU64::new(0),
         }
+    }
+
+    /// Moves the QP into (or out of) the error state.
+    pub fn set_broken(&self, broken: bool) {
+        self.broken.store(broken, Ordering::Release);
+    }
+
+    /// Whether the QP is in the error state.
+    pub fn is_broken(&self) -> bool {
+        self.broken.load(Ordering::Acquire)
     }
 
     /// Window within which per-QP FIFO ordering is enforced. Ops whose

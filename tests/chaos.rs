@@ -1,0 +1,182 @@
+//! Chaos acceptance test: a seeded fault plan — random drops, a QP
+//! break, and a whole-node crash with a delayed restart — runs under a
+//! mixed workload (one-sided reads/writes, RPC, and a full MapReduce
+//! job) and everything still completes with correct results. A second
+//! scenario turns the kernel recovery layer off and shows the same
+//! class of fault surfacing, proving recovery is load-bearing rather
+//! than decorative.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use lite::{LiteCluster, LiteConfig, Perm, QosConfig, USER_FUNC_MIN};
+use rnic::{FaultPlan, FaultRule, IbConfig};
+use simnet::Ctx;
+
+/// The full stack survives drops + a QP break + a crash/restart of a
+/// worker node, deterministically scheduled on the fabric op counter.
+#[test]
+fn chaos_workload_completes_under_seeded_faults() {
+    const FN_ECHO: u8 = USER_FUNC_MIN + 9;
+    let config = LiteConfig {
+        // Short deadlines so failover paths run quickly under faults.
+        op_timeout: Duration::from_millis(400),
+        ..Default::default()
+    };
+    let cluster =
+        LiteCluster::start_with(IbConfig::with_nodes(4), config, QosConfig::default()).unwrap();
+
+    // Node 0 is the master / job tracker and is never crashed; node 2
+    // (a MapReduce worker) dies mid-run and comes back.
+    cluster.fabric().install_fault_plan(
+        FaultPlan::seeded(2017)
+            .with(FaultRule::DropWr {
+                src: None,
+                dst: None,
+                prob: 0.02,
+                max_drops: 100,
+            })
+            .with(FaultRule::BreakQp {
+                src: 0,
+                dst: 1,
+                at_op: 50,
+            })
+            .with(FaultRule::CrashNode {
+                node: 2,
+                at_op: 300,
+                restart_after_ops: 600,
+            }),
+    );
+
+    // RPC echo server on node 3 (no faults target it directly; it still
+    // sees dropped WRs, which the datapath must absorb).
+    cluster.attach(3).unwrap().register_rpc(FN_ECHO).unwrap();
+    let rpc_calls = 100usize;
+    let server = {
+        let cluster = Arc::clone(&cluster);
+        std::thread::spawn(move || {
+            let mut h = cluster.attach(3).unwrap();
+            let mut ctx = Ctx::new();
+            for _ in 0..rpc_calls {
+                let call = h.lt_recv_rpc(&mut ctx, FN_ECHO).unwrap();
+                let out: Vec<u8> = call.input.iter().rev().copied().collect();
+                h.lt_reply_rpc(&mut ctx, &call, &out).unwrap();
+            }
+        })
+    };
+
+    // Raw one-sided traffic 0 → 1: crosses the QP that the plan breaks,
+    // and keeps the fabric op counter moving so the scheduled crash and
+    // restart are always reached.
+    let raw = {
+        let cluster = Arc::clone(&cluster);
+        std::thread::spawn(move || {
+            let mut h = cluster.attach(0).unwrap();
+            let mut ctx = Ctx::new();
+            let lh = h
+                .lt_malloc(&mut ctx, 1, 1 << 16, "chaos.raw", Perm::RW)
+                .unwrap();
+            for i in 0..300u64 {
+                h.lt_write(&mut ctx, lh, (i % 512) * 8, &i.to_le_bytes())
+                    .unwrap();
+                let mut buf = [0u8; 8];
+                h.lt_read(&mut ctx, lh, (i % 512) * 8, &mut buf).unwrap();
+                assert_eq!(u64::from_le_bytes(buf), i);
+            }
+        })
+    };
+
+    // RPC client on node 0.
+    let rpc = {
+        let cluster = Arc::clone(&cluster);
+        std::thread::spawn(move || {
+            let mut h = cluster.attach(0).unwrap();
+            let mut ctx = Ctx::new();
+            for i in 0..rpc_calls {
+                let input = [i as u8, (i >> 8) as u8, 0xab];
+                let reply = h.lt_rpc(&mut ctx, 3, FN_ECHO, &input, 64).unwrap();
+                assert_eq!(reply, vec![0xab, (i >> 8) as u8, i as u8]);
+            }
+        })
+    };
+
+    // The MapReduce job over workers 1..=3 — worker 2 crashes mid-run;
+    // the fault-tolerant runner re-executes its tasks and the kernel
+    // retry layer bridges reads from the restarting node.
+    let text = lite_mr::Text::generate(20_000, 300, 1.0, 23);
+    let mr = lite_mr::run_litemr_ft(&cluster, &text, 3, 2).unwrap();
+    assert_eq!(mr.counts, lite_mr::reference_counts(&text));
+
+    raw.join().unwrap();
+    rpc.join().unwrap();
+    server.join().unwrap();
+
+    // Every planned fault actually fired...
+    let fired = cluster.fabric().fault_stats();
+    assert!(fired.drops > 0, "no drops fired: {fired:?}");
+    assert_eq!(fired.qp_breaks, 1, "QP break must fire: {fired:?}");
+    assert_eq!(fired.crashes, 1, "crash must fire: {fired:?}");
+    assert_eq!(fired.restarts, 1, "restart must fire: {fired:?}");
+    // ...and the recovery layer did real work to mask it.
+    let totals = (0..4)
+        .map(|n| cluster.kernel(n).stats())
+        .fold((0u64, 0u64), |(r, q), s| {
+            (r + s.retries, q + s.qp_reconnects)
+        });
+    assert!(totals.0 > 0, "faults fired but nothing was retried");
+    assert!(totals.1 >= 1, "the broken QP was never re-established");
+    cluster.fabric().clear_fault_plan();
+
+    // Post-chaos health: the cluster still serves plain traffic.
+    let mut h = cluster.attach(0).unwrap();
+    let mut ctx = Ctx::new();
+    let lh = h
+        .lt_malloc(&mut ctx, 2, 4096, "chaos.after", Perm::RW)
+        .unwrap();
+    h.lt_write(&mut ctx, lh, 0, b"healthy").unwrap();
+    let mut buf = [0u8; 7];
+    h.lt_read(&mut ctx, lh, 0, &mut buf).unwrap();
+    assert_eq!(&buf, b"healthy");
+}
+
+/// The same QP-break fault with the recovery layer disabled: the broken
+/// QP is never repaired, the fault reaches the application, and no
+/// reconnect is attempted — recovery is what made the scenario above
+/// pass.
+#[test]
+fn chaos_without_recovery_layer_fails() {
+    let config = LiteConfig {
+        retry_enabled: false,
+        op_timeout: Duration::from_millis(400),
+        ..Default::default()
+    };
+    let cluster =
+        LiteCluster::start_with(IbConfig::with_nodes(2), config, QosConfig::default()).unwrap();
+    cluster
+        .fabric()
+        .install_fault_plan(FaultPlan::seeded(2017).with(FaultRule::BreakQp {
+            src: 0,
+            dst: 1,
+            at_op: 10,
+        }));
+
+    let mut h = cluster.attach(0).unwrap();
+    let mut ctx = Ctx::new();
+    let lh = h
+        .lt_malloc(&mut ctx, 1, 1 << 16, "chaos.naked", Perm::RW)
+        .unwrap();
+    let mut failures = 0;
+    for i in 0..40u64 {
+        if h.lt_write(&mut ctx, lh, i * 8, &i.to_le_bytes()).is_err() {
+            failures += 1;
+        }
+    }
+    assert!(
+        failures > 0,
+        "without recovery, a broken QP must surface to the application"
+    );
+    let stats = cluster.kernel(0).stats();
+    assert!(stats.ops_failed > 0);
+    assert_eq!(stats.qp_reconnects, 0, "recovery disabled means no repairs");
+    cluster.fabric().clear_fault_plan();
+}

@@ -108,10 +108,20 @@ fn qp_sharing_beats_per_thread_connections() {
 }
 
 /// Failure injection through the whole stack: a down node makes LITE ops
-/// time out with typed errors; recovery restores service.
+/// time out with typed errors; recovery restores service. (A short
+/// deadline keeps the test quick — the retry layer otherwise spends the
+/// full default `op_timeout` re-posting towards the dead node.)
 #[test]
 fn node_failure_and_recovery() {
-    let cluster = LiteCluster::start(3).unwrap();
+    let cluster = LiteCluster::start_with(
+        rnic::IbConfig::with_nodes(3),
+        lite::LiteConfig {
+            op_timeout: std::time::Duration::from_millis(200),
+            ..Default::default()
+        },
+        lite::QosConfig::default(),
+    )
+    .unwrap();
     let mut h = cluster.attach(0).unwrap();
     let mut ctx = Ctx::new();
     let lh = h.lt_malloc(&mut ctx, 1, 4096, "flaky", Perm::RW).unwrap();
