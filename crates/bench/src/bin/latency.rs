@@ -1,0 +1,26 @@
+//! Per-op latency percentiles from the kernel's own observability
+//! layer (`lt_stats()`), after a mixed read/write/RPC/lock/barrier
+//! workload. `--json <path>` also writes every node's full structured
+//! report as a JSON array — the CI artifact.
+
+fn main() {
+    let full = bench::full_mode();
+    let json_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--json")
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+
+    let report = bench::figs::latency::latency(full);
+    bench::print_table(
+        "Kernel observability: per-class op latency (lt_stats)",
+        "class.prio",
+        &report.rows,
+    );
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, report.to_json()).expect("write JSON report");
+        println!("wrote per-node stats reports to {path}");
+    }
+}

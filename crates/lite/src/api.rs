@@ -39,6 +39,7 @@ use crate::kernel::{
     FN_TAKE_RECORD, FN_UNMAP, FN_UNREGNAME, MANAGER_NODE, USER_FUNC_MIN,
 };
 use crate::lmr::{LhEntry, LmrId, Location, Perm};
+use crate::observe::{EventKind, OpClass, StatsReport};
 use crate::qos::Priority;
 use crate::wire::{Dec, Enc, Imm, MsgHeader, HEADER_BYTES};
 
@@ -136,6 +137,29 @@ impl LiteHandle {
         &self.kernel
     }
 
+    /// Structured observability report for this node: per-class latency
+    /// percentiles, per-peer gauges and liveness, trace-ring occupancy,
+    /// and QoS state (see DESIGN.md "Observability").
+    pub fn lt_stats(&self) -> StatsReport {
+        self.kernel.lt_stats()
+    }
+
+    /// Records a completed API-level round trip (RPC/lock/barrier) into
+    /// the class histograms and — when sampled — the trace ring. Spans
+    /// feed only the class view; the datapath posts underneath them
+    /// already account per-peer traffic.
+    fn span(&self, class: OpClass, peer: NodeId, start: Nanos, end: Nanos) {
+        let Some(obs) = self.kernel.observe() else {
+            return;
+        };
+        obs.record_span(class, self.prio, end.saturating_sub(start));
+        if obs.sample() {
+            let id = obs.next_op_id();
+            obs.trace(id, class, EventKind::Posted, self.prio, peer, start);
+            obs.trace(id, class, EventKind::Completed, self.prio, peer, end);
+        }
+    }
+
     // ------------------------------------------------------------------
     // syscall model
     // ------------------------------------------------------------------
@@ -214,6 +238,7 @@ impl LiteHandle {
             });
         }
         ctx.work(cfg.rpc_meta_ns);
+        let span_start = ctx.now();
         let total = HEADER_BYTES as u64 + payload.len() as u64;
         let r = self.kernel.reserve_ring(ctx, server, total)?;
         let (slot_id, slot) = if oneway {
@@ -256,6 +281,7 @@ impl LiteHandle {
         let result = post.and_then(|_| slot.wait(ctx, &cfg, cfg.op_timeout));
         self.kernel.free_slot(slot_id);
         let res = result?;
+        self.span(OpClass::Rpc, server, span_start, res.stamp);
         if !res.ok {
             return Err(LiteError::UnknownRpc { func });
         }
@@ -1062,6 +1088,7 @@ impl LiteHandle {
     /// LT_lock: fetch-add fast path; FIFO enqueue at the owner otherwise.
     pub fn lt_lock(&mut self, ctx: &mut Ctx, lock: LockId) -> LiteResult<()> {
         self.enter(ctx);
+        let start = ctx.now();
         let old = self
             .kernel
             .fetch_add(ctx, self.prio, lock.node, lock.addr, 1)?;
@@ -1074,6 +1101,7 @@ impl LiteHandle {
                 Enc::new().u8(1).u64(lock.addr).done(),
             )?;
         }
+        self.span(OpClass::Lock, lock.node, start, ctx.now());
         self.exit(ctx);
         Ok(())
     }
@@ -1103,12 +1131,14 @@ impl LiteHandle {
     /// `id` (coordinated by the manager node).
     pub fn lt_barrier(&mut self, ctx: &mut Ctx, id: u64, count: u32) -> LiteResult<()> {
         self.enter(ctx);
+        let start = ctx.now();
         self.kcall(
             ctx,
             MANAGER_NODE,
             FN_BARRIER,
             Enc::new().u64(id).u32(count).done(),
         )?;
+        self.span(OpClass::Barrier, MANAGER_NODE, start, ctx.now());
         self.exit(ctx);
         Ok(())
     }

@@ -86,7 +86,7 @@ impl LiteCluster {
                 rkeys.clone(),
                 sinks.clone(),
                 all_qos.clone(),
-            );
+            )?;
         }
 
         // Install the QP reconnector on every datapath. Re-establishing a
@@ -151,26 +151,37 @@ impl LiteCluster {
     }
 
     /// The kernel on `node`.
+    ///
+    /// Panics if `node` is out of range; use [`LiteCluster::try_kernel`]
+    /// for a fallible lookup.
     pub fn kernel(&self, node: NodeId) -> &Arc<LiteKernel> {
-        &self.kernels[node]
+        self.try_kernel(node).expect("node id within the cluster")
+    }
+
+    /// The kernel on `node`, or [`LiteError::NodeDown`] for an id
+    /// outside the cluster.
+    pub fn try_kernel(&self, node: NodeId) -> LiteResult<&Arc<LiteKernel>> {
+        self.kernels.get(node).ok_or(LiteError::NodeDown { node })
     }
 
     /// The transport-agnostic datapath of `node` — the same op plane the
     /// kernel posts through, exposed for consumers that select backends
     /// via the [`DataPath`](crate::kernel::datapath::DataPath) trait.
+    ///
+    /// Panics if `node` is out of range.
     pub fn datapath(&self, node: NodeId) -> Arc<dyn crate::kernel::datapath::DataPath> {
-        Arc::clone(self.kernels[node].datapath()) as _
+        Arc::clone(self.kernel(node).datapath()) as _
     }
 
     /// Attaches a user-level process on `node` (LT_join).
     pub fn attach(&self, node: NodeId) -> LiteResult<LiteHandle> {
-        LiteHandle::new(Arc::clone(&self.kernels[node]), true)
+        LiteHandle::new(Arc::clone(self.try_kernel(node)?), true)
     }
 
     /// Attaches a kernel-level user on `node` (LITE serves kernel
     /// applications too, without syscall crossings — LITE-DSM uses this).
     pub fn attach_kernel(&self, node: NodeId) -> LiteResult<LiteHandle> {
-        LiteHandle::new(Arc::clone(&self.kernels[node]), false)
+        LiteHandle::new(Arc::clone(self.try_kernel(node)?), false)
     }
 
     /// Switches the QoS mode on every node.

@@ -51,6 +51,19 @@ pub struct LiteConfig {
     /// revives it.
     pub peer_dead_threshold: u32,
 
+    // ---- observability (DESIGN.md "Observability") ----
+    /// Record 1 in `stats_sample_rate` op latencies into the kernel
+    /// histograms (and their posted/completed trace events). Lifecycle
+    /// *error* events — retried, reconnected, failed — are always
+    /// recorded regardless of the rate, so recovery accounting stays
+    /// exact. 1 (the default) records everything; recording costs host
+    /// cycles only and never advances virtual clocks.
+    pub stats_sample_rate: u32,
+    /// Capacity of the per-node op-lifecycle trace ring, in events
+    /// (rounded up to a power of two, minimum 64). Oldest events are
+    /// evicted once full.
+    pub trace_ring_slots: usize,
+
     // ---- ablation switches ----
     /// `false` reverts §5.2's crossing optimizations: every RPC pays
     /// 3 syscalls / 6 crossings instead of 2 crossings.
@@ -86,6 +99,8 @@ impl Default for LiteConfig {
             retry_base_ns: 2_000,
             retry_max_backoff_ns: 1_000_000,
             peer_dead_threshold: 3,
+            stats_sample_rate: 1,
+            trace_ring_slots: 4_096,
             fast_syscalls: true,
             adaptive_poll: true,
             use_global_mr: true,

@@ -77,6 +77,11 @@ pub enum LiteError {
     Mem(MemError),
     /// A remote handler reported a failure (encoded status byte).
     Remote(u8),
+    /// A kernel invariant was violated (formerly a panic site); the
+    /// message names the broken invariant. Returned instead of unwinding
+    /// so a wedged node degrades to failed ops rather than a crashed
+    /// poller mid-recovery.
+    Internal(&'static str),
 }
 
 impl fmt::Display for LiteError {
@@ -100,6 +105,7 @@ impl fmt::Display for LiteError {
             LiteError::Verbs(e) => write!(f, "verbs: {e}"),
             LiteError::Mem(e) => write!(f, "memory: {e}"),
             LiteError::Remote(code) => write!(f, "remote handler failed with status {code}"),
+            LiteError::Internal(what) => write!(f, "kernel invariant violated: {what}"),
         }
     }
 }

@@ -28,7 +28,8 @@ use simnet::{CpuMeter, Ctx};
 use smem::{PhysAllocator, PhysMem};
 
 use crate::config::LiteConfig;
-use crate::error::LiteResult;
+use crate::error::{LiteError, LiteResult};
+use crate::observe::{self, Observability, QosReport, StatsReport};
 use crate::qos::{QosConfig, QosState};
 use crate::ring::{ClientRing, ServerRing};
 
@@ -217,6 +218,41 @@ impl LiteKernel {
         }
     }
 
+    /// Structured observability report: per-class × priority latency
+    /// percentiles, per-peer gauges and liveness, trace-ring occupancy,
+    /// and QoS state. Before cluster wiring the report is empty (no
+    /// classes, no peers, zero-capacity ring).
+    pub fn lt_stats(&self) -> StatsReport {
+        let qos = QosReport {
+            mode: self.qos.mode(),
+            rtt_ewma_ns: self.qos.rtt_estimate(),
+        };
+        match self.datapath.get() {
+            Some(dp) => observe::build_report(
+                self.node,
+                self.stats(),
+                dp.observer(),
+                |peer| !dp.peer_is_dead(peer),
+                qos,
+            ),
+            None => StatsReport {
+                node: self.node,
+                kernel: self.stats(),
+                classes: Vec::new(),
+                peers: Vec::new(),
+                trace: Default::default(),
+                qos,
+                sample_rate: self.config.stats_sample_rate,
+            },
+        }
+    }
+
+    /// The node's observability state (op traces + histograms), once the
+    /// cluster has wired the datapath.
+    pub fn observe(&self) -> Option<&Arc<Observability>> {
+        self.datapath.get().map(|dp| dp.observer())
+    }
+
     fn mem(&self) -> &Arc<PhysMem> {
         self.fabric.mem(self.node)
     }
@@ -227,7 +263,9 @@ impl LiteKernel {
 
     /// Second-phase setup, run once by the cluster: the datapath (QP
     /// pools, global rkeys, QoS views), rings, head sinks, initial
-    /// receive credits, and the poller.
+    /// receive credits, and the poller. Running it twice (or failing to
+    /// spawn the poller) is reported as [`LiteError::Internal`] instead
+    /// of panicking, so a misused builder degrades to a failed start.
     pub(crate) fn finish_setup(
         self: &Arc<Self>,
         qp_pools: Vec<Vec<Arc<Qp>>>,
@@ -236,7 +274,7 @@ impl LiteKernel {
         global_rkeys: Vec<u32>,
         head_sinks: Vec<u64>,
         all_qos: Vec<Arc<QosState>>,
-    ) {
+    ) -> LiteResult<()> {
         let dp = Arc::new(RnicDataPath::new(
             Arc::clone(&self.fabric),
             self.node,
@@ -248,16 +286,15 @@ impl LiteKernel {
             all_qos,
             Arc::clone(&self.alloc),
         ));
-        self.datapath.set(dp).ok().expect("setup once");
+        let once = LiteError::Internal("cluster setup ran twice on one node");
+        self.datapath.set(dp).map_err(|_| once.clone())?;
         self.client_rings
             .set(client_rings)
-            .ok()
-            .expect("setup once");
+            .map_err(|_| once.clone())?;
         self.server_rings
             .set(server_rings)
-            .ok()
-            .expect("setup once");
-        assert!(self.head_sinks.set(head_sinks).is_ok(), "setup once");
+            .map_err(|_| once.clone())?;
+        self.head_sinks.set(head_sinks).map_err(|_| once)?;
         // Pre-post receive credits for write-imm (the paper's background
         // IMM-buffer posting).
         for _ in 0..self.config.recv_credits {
@@ -270,8 +307,9 @@ impl LiteKernel {
         let handle = std::thread::Builder::new()
             .name(format!("lite-poller-{}", self.node))
             .spawn(move || me.poll_loop())
-            .expect("spawn poller");
+            .map_err(|_| LiteError::Internal("could not spawn the polling thread"))?;
         *self.poller.lock() = Some(handle);
+        Ok(())
     }
 
     /// Gives the cluster what it needs to wire this node: the shared CQs

@@ -31,6 +31,7 @@ use super::stats::RetryCounters;
 use super::LiteKernel;
 use crate::config::LiteConfig;
 use crate::error::{LiteError, LiteResult};
+use crate::observe::{EventKind, Observability, OpClass};
 use crate::qos::{Priority, QosMode, QosState};
 
 pub use smem::Chunk;
@@ -119,6 +120,15 @@ impl Op {
             Op::Write { dst_node, .. } => *dst_node,
             Op::Read { src_node, .. } => *src_node,
             Op::FetchAdd { node, .. } | Op::CmpSwap { node, .. } => *node,
+        }
+    }
+
+    /// The observability class this op records under.
+    pub fn class(&self) -> OpClass {
+        match self {
+            Op::Write { .. } => OpClass::Write,
+            Op::Read { .. } => OpClass::Read,
+            Op::FetchAdd { .. } | Op::CmpSwap { .. } => OpClass::Atomic,
         }
     }
 
@@ -220,6 +230,17 @@ pub struct RnicDataPath {
     health: Vec<PeerHealth>,
     reconnect: OnceLock<ReconnectFn>,
     retry: RetryCounters,
+    obs: Arc<Observability>,
+}
+
+/// Observability identity of one in-flight op, threaded through the
+/// recovery layer so lifecycle events land in the trace ring at exactly
+/// the points where the matching counters increment.
+#[derive(Clone, Copy)]
+struct OpTrace {
+    op_id: u64,
+    class: OpClass,
+    prio: Priority,
 }
 
 impl RnicDataPath {
@@ -256,7 +277,17 @@ impl RnicDataPath {
             health: (0..peers).map(|_| PeerHealth::default()).collect(),
             reconnect: OnceLock::new(),
             retry: RetryCounters::default(),
+            obs: Arc::new(Observability::new(
+                peers,
+                config.stats_sample_rate,
+                config.trace_ring_slots,
+            )),
         }
+    }
+
+    /// This node's observability surface (histograms + trace ring).
+    pub(crate) fn observer(&self) -> &Arc<Observability> {
+        &self.obs
     }
 
     pub(crate) fn num_qps(&self) -> usize {
@@ -382,16 +413,18 @@ impl RnicDataPath {
     }
 
     /// Tears down and re-establishes a broken shared QP through the
-    /// cluster-installed reconnector.
-    fn reconnect_qp(&self, peer: NodeId, qp: QpId) -> LiteResult<()> {
+    /// cluster-installed reconnector. Returns whether this call actually
+    /// rebuilt the pair (`false`: the other end got there first).
+    fn reconnect_qp(&self, peer: NodeId, qp: QpId) -> LiteResult<bool> {
         let f = self
             .reconnect
             .get()
             .ok_or(LiteError::Verbs(VerbsError::QpBroken { qp }))?;
-        if f(peer, qp)? {
+        let rebuilt = f(peer, qp)?;
+        if rebuilt {
             self.retry.qp_reconnects.fetch_add(1, Ordering::Relaxed);
         }
-        Ok(())
+        Ok(rebuilt)
     }
 
     /// The recovery wrapper around every remote post. Faults are injected
@@ -409,8 +442,17 @@ impl RnicDataPath {
         &self,
         ctx: &mut Ctx,
         peer: NodeId,
+        trace: Option<OpTrace>,
         mut attempt: impl FnMut(&Self, &mut Ctx) -> LiteResult<T>,
     ) -> LiteResult<T> {
+        // Lifecycle *error* events are recorded unsampled, exactly where
+        // the matching counter increments — the chaos tests assert that
+        // trace-ring `Retried` events equal `KernelStats.retries`.
+        let trace_retry = |t: &OpTrace, at: Nanos| {
+            self.obs
+                .trace(t.op_id, t.class, EventKind::Retried, t.prio, peer, at);
+            self.obs.record_retry(peer);
+        };
         if peer == self.node {
             return attempt(self, ctx);
         }
@@ -438,11 +480,30 @@ impl RnicDataPath {
                     return Ok(v);
                 }
                 Err(LiteError::Verbs(VerbsError::QpBroken { qp })) => {
-                    if let Err(e) = self.reconnect_qp(peer, qp) {
-                        self.retry.ops_failed.fetch_add(1, Ordering::Relaxed);
-                        return Err(e);
+                    match self.reconnect_qp(peer, qp) {
+                        Ok(rebuilt) => {
+                            if rebuilt {
+                                if let Some(t) = &trace {
+                                    self.obs.trace(
+                                        t.op_id,
+                                        t.class,
+                                        EventKind::Reconnected,
+                                        t.prio,
+                                        peer,
+                                        ctx.now(),
+                                    );
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            self.retry.ops_failed.fetch_add(1, Ordering::Relaxed);
+                            return Err(e);
+                        }
                     }
                     self.retry.retries.fetch_add(1, Ordering::Relaxed);
+                    if let Some(t) = &trace {
+                        trace_retry(t, ctx.now());
+                    }
                 }
                 Err(e @ (LiteError::Timeout | LiteError::NodeDown { .. })) => {
                     if Instant::now() >= deadline {
@@ -451,6 +512,9 @@ impl RnicDataPath {
                         return Err(e);
                     }
                     self.retry.retries.fetch_add(1, Ordering::Relaxed);
+                    if let Some(t) = &trace {
+                        trace_retry(t, ctx.now());
+                    }
                     ctx.wait_until(ctx.now() + backoff);
                     // A little host-wall pacing so a down peer does not
                     // turn the bounded wait into a hot spin.
@@ -465,19 +529,33 @@ impl RnicDataPath {
         }
     }
 
+    /// The global rkey of `node`, or a graceful [`LiteError::NodeDown`]
+    /// for an id outside the cluster (formerly an indexing panic).
+    fn rkey(&self, node: NodeId) -> LiteResult<u32> {
+        self.global_rkeys
+            .get(node)
+            .copied()
+            .ok_or(LiteError::NodeDown { node })
+    }
+
     /// Applies QoS before an op of `bytes` towards `dst`: HW-Sep
     /// partitions the sender; SW-Pri consults the *receiver's* monitor
     /// (the paper's policy 3 explicitly uses receiver-side information).
+    /// An unknown `dst` falls back to the sender's own state — the op
+    /// itself will fail cleanly at the rkey/QP lookup.
     fn qos_before(&self, ctx: &mut Ctx, prio: Priority, dst: NodeId, bytes: u64) {
-        match self.qos.mode() {
-            QosMode::SwPri => self.all_qos[dst].before_op(ctx, prio, bytes),
-            _ => self.qos.before_op(ctx, prio, bytes),
-        }
+        let state = match self.qos.mode() {
+            QosMode::SwPri => self.all_qos.get(dst).unwrap_or(&self.qos),
+            _ => &self.qos,
+        };
+        state.before_op(ctx, prio, bytes);
     }
 
     /// Records a completed high-priority op at the receiver's monitor.
     fn qos_after_high(&self, dst: NodeId, finish: Nanos, bytes: u64, latency: Nanos) {
-        self.all_qos[dst].after_high_op(finish, bytes, latency);
+        if let Some(q) = self.all_qos.get(dst) {
+            q.after_high_op(finish, bytes, latency);
+        }
     }
 
     /// Write-imm posts race with the remote poller's credit reposting;
@@ -541,7 +619,7 @@ impl RnicDataPath {
                     chunks: src.clone(),
                 },
                 remote: RemoteAddr {
-                    rkey: self.global_rkeys[dst],
+                    rkey: self.rkey(dst)?,
                     addr: *dst_addr,
                 },
                 imm: *imm,
@@ -604,7 +682,7 @@ impl RnicDataPath {
                     chunks: src.clone(),
                 };
                 let remote = RemoteAddr {
-                    rkey: self.global_rkeys[*dst_node],
+                    rkey: self.rkey(*dst_node)?,
                     addr: *dst_addr,
                 };
                 let comp = if imm.is_some() {
@@ -662,7 +740,7 @@ impl RnicDataPath {
                     0,
                     &sge,
                     RemoteAddr {
-                        rkey: self.global_rkeys[*src_node],
+                        rkey: self.rkey(*src_node)?,
                         addr: *src_addr,
                     },
                     false,
@@ -689,7 +767,7 @@ impl RnicDataPath {
                     ctx,
                     &qp,
                     RemoteAddr {
-                        rkey: self.global_rkeys[*node],
+                        rkey: self.rkey(*node)?,
                         addr: *addr,
                     },
                     *delta,
@@ -718,7 +796,7 @@ impl RnicDataPath {
                     ctx,
                     &qp,
                     RemoteAddr {
-                        rkey: self.global_rkeys[*node],
+                        rkey: self.rkey(*node)?,
                         addr: *addr,
                     },
                     *expect,
@@ -748,9 +826,46 @@ impl DataPath for RnicDataPath {
 
     /// One op through the recovery layer — retry/backoff, transparent QP
     /// re-establishment, and the peer-liveness fast path — around a
-    /// replayable [`RnicDataPath::post_once`] attempt.
+    /// replayable [`RnicDataPath::post_once`] attempt. The op's lifecycle
+    /// (posted/retried/reconnected/completed/failed) is traced and its
+    /// post→completion latency recorded per class, priority, and peer.
     fn post(&self, ctx: &mut Ctx, prio: Priority, op: &Op) -> LiteResult<Completion> {
-        self.with_retry(ctx, op.dst_node(), |dp, ctx| dp.post_once(ctx, prio, op))
+        let peer = op.dst_node();
+        let class = op.class();
+        let start = ctx.now();
+        let sampled = self.obs.sample();
+        let op_id = self.obs.next_op_id();
+        if sampled {
+            self.obs
+                .trace(op_id, class, EventKind::Posted, prio, peer, start);
+        }
+        let trace = OpTrace { op_id, class, prio };
+        match self.with_retry(ctx, peer, Some(trace), |dp, ctx| {
+            dp.post_once(ctx, prio, op)
+        }) {
+            Ok(c) => {
+                self.obs.record_completion(
+                    class,
+                    prio,
+                    peer,
+                    op.bytes(),
+                    c.stamp.saturating_sub(start),
+                    c.stamp,
+                    sampled,
+                );
+                if sampled {
+                    self.obs
+                        .trace(op_id, class, EventKind::Completed, prio, peer, c.stamp);
+                }
+                Ok(c)
+            }
+            Err(e) => {
+                self.obs.record_failure(peer);
+                self.obs
+                    .trace(op_id, class, EventKind::Failed, prio, peer, ctx.now());
+                Err(e)
+            }
+        }
     }
 
     /// Doorbell batching: consecutive remote writes towards the same peer
@@ -781,11 +896,73 @@ impl DataPath for RnicDataPath {
                 }
             }
             if j - i >= 2 {
+                let start = ctx.now();
+                let sampled = self.obs.sample();
+                // One op id per chained write; the chain retries as a
+                // unit, so retry/failure events carry the first op's id.
+                let ids: Vec<u64> = (i..j).map(|_| self.obs.next_op_id()).collect();
+                if sampled {
+                    for &id in &ids {
+                        self.obs
+                            .trace(id, OpClass::Write, EventKind::Posted, prio, run_dst, start);
+                        self.obs.trace(
+                            id,
+                            OpClass::Write,
+                            EventKind::Batched,
+                            prio,
+                            run_dst,
+                            start,
+                        );
+                    }
+                }
+                let trace = OpTrace {
+                    op_id: ids[0],
+                    class: OpClass::Write,
+                    prio,
+                };
                 // The whole chain retries as a unit: `post_write_batch`
                 // claims credits atomically and rolls back on failure.
-                out.extend(self.with_retry(ctx, run_dst, |dp, ctx| {
+                let res = self.with_retry(ctx, run_dst, Some(trace), |dp, ctx| {
                     dp.post_write_batch(ctx, prio, run_dst, &ops[i..j])
-                })?);
+                });
+                match res {
+                    Ok(comps) => {
+                        for (k, c) in comps.iter().enumerate() {
+                            self.obs.record_completion(
+                                OpClass::Write,
+                                prio,
+                                run_dst,
+                                ops[i + k].bytes(),
+                                c.stamp.saturating_sub(start),
+                                c.stamp,
+                                sampled,
+                            );
+                            if sampled {
+                                self.obs.trace(
+                                    ids[k],
+                                    OpClass::Write,
+                                    EventKind::Completed,
+                                    prio,
+                                    run_dst,
+                                    c.stamp,
+                                );
+                            }
+                        }
+                        out.extend(comps);
+                    }
+                    Err(e) => {
+                        self.obs.record_failure(run_dst);
+                        self.obs.trace(
+                            ids[0],
+                            OpClass::Write,
+                            EventKind::Failed,
+                            prio,
+                            run_dst,
+                            ctx.now(),
+                        );
+                        return Err(e);
+                    }
+                }
             } else {
                 out.push(self.post(ctx, prio, &ops[i])?);
             }
@@ -1107,8 +1284,19 @@ impl DataPathBarrier {
 
 impl LiteKernel {
     /// This node's datapath (available after cluster wiring).
+    ///
+    /// Panics when wiring never ran; op paths use
+    /// [`LiteKernel::try_datapath`] so a half-built kernel fails ops
+    /// instead of crashing.
     pub(crate) fn datapath(&self) -> &Arc<RnicDataPath> {
         self.datapath.get().expect("setup complete")
+    }
+
+    /// Fallible [`LiteKernel::datapath`] for op paths.
+    pub(crate) fn try_datapath(&self) -> LiteResult<&Arc<RnicDataPath>> {
+        self.datapath
+            .get()
+            .ok_or(LiteError::Internal("op posted before cluster wiring"))
     }
 
     /// RDMA-writes `len` bytes from local physical `src_chunks` to
@@ -1125,7 +1313,7 @@ impl LiteKernel {
     ) -> LiteResult<Nanos> {
         self.counters.count_write(len as u64);
         let op = Op::write(dst_node, dst_addr, src_chunks.to_vec(), len);
-        Ok(self.datapath().post(ctx, prio, &op)?.stamp)
+        Ok(self.try_datapath()?.post(ctx, prio, &op)?.stamp)
     }
 
     /// RDMA-reads `len` bytes from `(src_node, src_addr)` into local
@@ -1141,7 +1329,7 @@ impl LiteKernel {
     ) -> LiteResult<Nanos> {
         self.counters.count_read(len as u64);
         let op = Op::read(src_node, src_addr, dst_chunks.to_vec(), len);
-        Ok(self.datapath().post(ctx, prio, &op)?.stamp)
+        Ok(self.try_datapath()?.post(ctx, prio, &op)?.stamp)
     }
 
     /// Writes a scatter list of `(dst_node, dst_addr, src_chunk)` pieces,
@@ -1169,7 +1357,7 @@ impl LiteKernel {
                     .iter()
                     .map(|(n, addr, c)| Op::write(*n, *addr, vec![*c], c.len as usize))
                     .collect();
-                for comp in self.datapath().post_many(ctx, prio, &ops)? {
+                for comp in self.try_datapath()?.post_many(ctx, prio, &ops)? {
                     last = last.max(comp.stamp);
                 }
             } else {
@@ -1193,7 +1381,7 @@ impl LiteKernel {
         delta: u64,
     ) -> LiteResult<u64> {
         let op = Op::FetchAdd { node, addr, delta };
-        Ok(self.datapath().post(ctx, prio, &op)?.value)
+        Ok(self.try_datapath()?.post(ctx, prio, &op)?.value)
     }
 
     /// One-sided compare-and-swap on a u64 anywhere in the cluster.
@@ -1212,7 +1400,7 @@ impl LiteKernel {
             expect,
             new,
         };
-        Ok(self.datapath().post(ctx, prio, &op)?.value)
+        Ok(self.try_datapath()?.post(ctx, prio, &op)?.value)
     }
 }
 

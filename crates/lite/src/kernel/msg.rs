@@ -263,7 +263,10 @@ impl LiteKernel {
                 let Some(&idx) = t.by_name.get(&name) else {
                     return Ok(Some(Enc::new().u8(2).done()));
                 };
-                let rec = t.records.get_mut(&idx).expect("indexed");
+                let rec = t
+                    .records
+                    .get_mut(&idx)
+                    .ok_or(LiteError::Internal("master table lost an indexed record"))?;
                 let perm = rec.perm_for(hdr.src_node as NodeId);
                 if !rec.mapped_by.contains(&(hdr.src_node as NodeId)) {
                     rec.mapped_by.push(hdr.src_node as NodeId);
@@ -294,13 +297,19 @@ impl LiteKernel {
                 let Some(&idx) = t.by_name.get(&name) else {
                     return Ok(Some(Enc::new().u8(2).done()));
                 };
-                let rec = t.records.get(&idx).expect("indexed");
+                let rec = t
+                    .records
+                    .get(&idx)
+                    .ok_or(LiteError::Internal("master table lost an indexed record"))?;
                 let requester = hdr.src_node as NodeId;
                 let is_master = requester == self.node || rec.perm_for(requester).master;
                 if !is_master {
                     return Ok(Some(Enc::new().u8(3).done()));
                 }
-                let rec = t.records.remove(&idx).expect("present");
+                let rec = t
+                    .records
+                    .remove(&idx)
+                    .ok_or(LiteError::Internal("master table lost an indexed record"))?;
                 t.by_name.remove(&name);
                 let mut e = Enc::new()
                     .u8(0)
@@ -324,7 +333,10 @@ impl LiteKernel {
                 let Some(&idx) = t.by_name.get(&name) else {
                     return Ok(Some(Enc::new().u8(2).done()));
                 };
-                let rec = t.records.get_mut(&idx).expect("indexed");
+                let rec = t
+                    .records
+                    .get_mut(&idx)
+                    .ok_or(LiteError::Internal("master table lost an indexed record"))?;
                 let requester = hdr.src_node as NodeId;
                 if requester != self.node && !rec.perm_for(requester).master {
                     return Ok(Some(Enc::new().u8(3).done()));
@@ -403,7 +415,9 @@ impl LiteKernel {
                 });
                 st.routes.push(ReplyRoute::of_hdr(hdr));
                 if st.routes.len() as u32 >= st.count {
-                    let st = barriers.remove(&id).expect("present");
+                    let Some(st) = barriers.remove(&id) else {
+                        return Ok(None); // raced: another waiter released it
+                    };
                     drop(barriers);
                     for route in st.routes {
                         let _ = self.reply_bytes(ctx, route, &[0]);

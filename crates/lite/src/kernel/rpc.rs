@@ -64,12 +64,16 @@ impl CallSlot {
         timeout: Duration,
     ) -> LiteResult<SlotResult> {
         let mut st = self.state.lock();
-        while st.is_none() {
-            if self.cv.wait_for(&mut st, timeout).timed_out() && st.is_none() {
-                return Err(LiteError::Timeout);
+        let r = loop {
+            match *st {
+                Some(r) => break r,
+                None => {
+                    if self.cv.wait_for(&mut st, timeout).timed_out() && st.is_none() {
+                        return Err(LiteError::Timeout);
+                    }
+                }
             }
-        }
-        let r = st.expect("checked above");
+        };
         drop(st);
         let gap = r.stamp.saturating_sub(ctx.now());
         if cfg.adaptive_poll {
@@ -215,7 +219,7 @@ impl LiteKernel {
             len,
             imm: Some(imm.encode()),
         };
-        Ok(self.datapath().post(ctx, prio, &op)?.stamp)
+        Ok(self.try_datapath()?.post(ctx, prio, &op)?.stamp)
     }
 
     /// Reserves ring space towards `server`, waiting (bounded) for head
@@ -406,7 +410,7 @@ impl LiteKernel {
             // One-way message: nothing to send (deferral never happens
             // for slot-0 traffic; flush defensively).
             if let Some(h) = head {
-                self.datapath().post(ctx, Priority::High, &h)?;
+                self.try_datapath()?.post(ctx, Priority::High, &h)?;
             }
             return Ok(ctx.now());
         }
@@ -414,7 +418,7 @@ impl LiteKernel {
             // The reply fails, but the ring span was consumed: the head
             // update must still reach the client.
             if let Some(h) = head {
-                self.datapath().post(ctx, Priority::High, &h)?;
+                self.try_datapath()?.post(ctx, Priority::High, &h)?;
             }
             return Err(LiteError::TooLarge {
                 len,
@@ -444,11 +448,11 @@ impl LiteKernel {
         };
         match head {
             Some(h) => {
-                let comps = self.datapath().post_many(ctx, prio, &[h, reply])?;
+                let comps = self.try_datapath()?.post_many(ctx, prio, &[h, reply])?;
                 let stamp = comps.last().map(|c| c.stamp).unwrap_or_else(|| ctx.now());
                 Ok(stamp)
             }
-            None => Ok(self.datapath().post(ctx, prio, &reply)?.stamp),
+            None => Ok(self.try_datapath()?.post(ctx, prio, &reply)?.stamp),
         }
     }
 

@@ -1,5 +1,18 @@
 //! Kernel statistics: lock-free counters updated on the hot paths and
 //! the aggregate snapshot handed to benchmarks.
+//!
+//! # Snapshot consistency contract
+//!
+//! Each counter is updated independently, so a snapshot is **not** a
+//! point-in-time cut across all of them. The one cross-counter invariant
+//! readers may rely on is `bytes` vs the op counters: every hot-path
+//! update bumps the op counter (relaxed) *before* adding to `bytes` with
+//! `Release`, and the snapshot loads `bytes` first with `Acquire` before
+//! the op counters. Every byte visible in a snapshot therefore belongs
+//! to an op already visible in it — derived rates like bytes/op can
+//! *under*-estimate in-flight traffic but never attribute bytes to ops
+//! the snapshot has not counted. All remaining counters are monotonic
+//! relaxed totals with no ordering relative to one another.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -53,19 +66,22 @@ impl KernelCounters {
         Self::default()
     }
 
+    // Op counter (relaxed) strictly before bytes (release) — see the
+    // module-level snapshot consistency contract.
+
     pub(crate) fn count_write(&self, bytes: u64) {
         self.writes.fetch_add(1, Ordering::Relaxed);
-        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Release);
     }
 
     pub(crate) fn count_writes(&self, n: u64, bytes: u64) {
         self.writes.fetch_add(n, Ordering::Relaxed);
-        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Release);
     }
 
     pub(crate) fn count_read(&self, bytes: u64) {
         self.reads.fetch_add(1, Ordering::Relaxed);
-        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Release);
     }
 
     pub(crate) fn count_rpc(&self) {
@@ -76,11 +92,15 @@ impl KernelCounters {
     /// kernel (which owns the pool tables and the datapath).
     pub(crate) fn snapshot(&self, qps: usize, retry: Option<&RetryCounters>) -> KernelStats {
         let r = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        // Bytes first (acquire): pairs with the release adds so the op
+        // counters read afterwards can only be ahead of, never behind,
+        // the ops that produced these bytes.
+        let lt_bytes = self.bytes.load(Ordering::Acquire);
         KernelStats {
             rpc_dispatched: r(&self.rpc),
             lt_writes: r(&self.writes),
             lt_reads: r(&self.reads),
-            lt_bytes: r(&self.bytes),
+            lt_bytes,
             qps,
             retries: retry.map_or(0, |c| r(&c.retries)),
             qp_reconnects: retry.map_or(0, |c| r(&c.qp_reconnects)),

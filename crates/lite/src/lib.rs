@@ -53,6 +53,7 @@ pub mod config;
 pub mod error;
 pub mod kernel;
 pub mod lmr;
+pub mod observe;
 pub mod qos;
 pub mod ring;
 pub mod wire;
@@ -66,4 +67,8 @@ pub use kernel::datapath::{
 };
 pub use kernel::{KernelStats, LiteKernel, MANAGER_NODE, USER_FUNC_MIN};
 pub use lmr::{LmrId, Location, Perm};
+pub use observe::{
+    ClassStats, ConcurrentHistogram, EventKind, LatencySummary, Observability, OpClass, PeerReport,
+    QosReport, StatsReport, TraceEvent, TraceRing, TraceStats,
+};
 pub use qos::{Priority, QosConfig, QosMode, QosState};

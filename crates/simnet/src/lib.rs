@@ -45,5 +45,5 @@ pub use lru::Lru;
 pub use ratelimit::TokenBucket;
 pub use resource::{Grant, Resource, ResourcePool};
 pub use rng::{DiscreteSampler, Zipf};
-pub use stats::{Histogram, Summary, TimeSeries};
+pub use stats::{bucket_floor, bucket_of, Histogram, Summary, TimeSeries, HIST_BUCKETS};
 pub use time::{transfer_time, Nanos, VClock, GIGA, MICROS, MILLIS, SECONDS};

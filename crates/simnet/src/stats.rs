@@ -78,17 +78,29 @@ impl Summary {
 /// A log-scaled histogram of `u64` samples supporting percentile queries.
 ///
 /// Buckets are `[2^k, 2^(k+1))` subdivided linearly 16 ways, giving ~6 %
-/// relative error — plenty for latency reporting.
+/// relative error — plenty for latency reporting. The exact minimum and
+/// maximum are tracked on the side so `percentile(0.0)` and
+/// `percentile(100.0)` report the true extremes rather than a bucket
+/// floor (which would under-report the max by up to one bucket).
 #[derive(Debug, Clone)]
 pub struct Histogram {
     buckets: Vec<u64>,
     count: u64,
+    min: u64,
+    max: u64,
 }
 
-const SUB: usize = 16;
+/// Linear subdivisions per power-of-two bucket.
+pub const HIST_SUB: usize = 16;
+const SUB: usize = HIST_SUB;
 const SUB_BITS: u32 = 4;
+/// Total number of buckets a [`Histogram`] holds.
+pub const HIST_BUCKETS: usize = 64 * SUB;
 
-fn bucket_of(v: u64) -> usize {
+/// Index of the bucket containing `v` (shared with the concurrent
+/// histogram in `lite`, which reconstructs a [`Histogram`] from sharded
+/// per-bucket counts).
+pub fn bucket_of(v: u64) -> usize {
     if v < SUB as u64 {
         return v as usize;
     }
@@ -97,7 +109,9 @@ fn bucket_of(v: u64) -> usize {
     (exp as usize - SUB_BITS as usize + 1) * SUB + sub
 }
 
-fn bucket_floor(idx: usize) -> u64 {
+/// Smallest value that falls in bucket `idx` (inverse of [`bucket_of`]:
+/// `bucket_of(bucket_floor(i)) == i`).
+pub fn bucket_floor(idx: usize) -> u64 {
     if idx < SUB {
         return idx as u64;
     }
@@ -110,15 +124,39 @@ impl Histogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
         Histogram {
-            buckets: vec![0; 64 * SUB],
+            buckets: vec![0; HIST_BUCKETS],
             count: 0,
+            min: u64::MAX,
+            max: 0,
         }
     }
 
     /// Records one sample.
     pub fn record(&mut self, v: u64) {
-        self.buckets[bucket_of(v)] += 1;
-        self.count += 1;
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` identical samples at once (bulk reconstruction from
+    /// pre-bucketed counts; `record_n(bucket_floor(i), c)` lands all `c`
+    /// samples back in bucket `i`).
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[bucket_of(v)] += n;
+        self.count += n;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Overrides the tracked exact extremes. Used when reconstructing a
+    /// histogram from bucket counts whose true min/max were tracked
+    /// elsewhere (bucket floors under-report both).
+    pub fn set_bounds(&mut self, min: u64, max: u64) {
+        if self.count > 0 {
+            self.min = min;
+            self.max = max;
+        }
     }
 
     /// Number of samples.
@@ -126,26 +164,62 @@ impl Histogram {
         self.count
     }
 
+    /// Exact smallest sample, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
     /// Returns the approximate `p`-th percentile (0.0..=100.0), or 0 if
-    /// empty.
+    /// empty. Interior percentiles carry the ~6 % bucket error; the
+    /// result is clamped to the exact observed `[min, max]`, so
+    /// `percentile(0.0) == min()` and `percentile(100.0) == max()`.
     pub fn percentile(&self, p: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
         let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        if target >= self.count {
+            // The rank of the largest sample: report it exactly.
+            return self.max;
+        }
         let mut seen = 0;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return bucket_floor(i);
+                // The last bucket's floor can only under-report (every
+                // sample in it is >= the floor); clamping to the exact
+                // extremes fixes p0/p100 and tightens the tails.
+                return bucket_floor(i).clamp(self.min, self.max);
             }
         }
-        bucket_floor(self.buckets.len() - 1)
+        self.max
     }
 
     /// Median shortcut.
     pub fn median(&self) -> u64 {
         self.percentile(50.0)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (dst, src) in self.buckets.iter_mut().zip(&other.buckets) {
+            *dst += *src;
+        }
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
     }
 }
 
@@ -242,7 +316,49 @@ mod tests {
         let p99 = h.percentile(99.0);
         assert!((4500..=5500).contains(&p50), "p50={p50}");
         assert!((9200..=10_000).contains(&p99), "p99={p99}");
-        assert!(h.percentile(100.0) >= 9300);
+        // Exact at the extremes: no bucket-floor under-reporting.
+        assert_eq!(h.percentile(100.0), 10_000);
+        assert_eq!(h.percentile(0.0), 1);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 10_000);
+    }
+
+    #[test]
+    fn histogram_extremes_are_exact() {
+        let mut h = Histogram::new();
+        // 1000 falls in a bucket whose floor is 992: the old
+        // `percentile(100.0)` returned 992, under-reporting the max.
+        h.record(1000);
+        h.record(7);
+        assert_eq!(bucket_floor(bucket_of(1000)), 992);
+        assert_eq!(h.percentile(100.0), 1000);
+        assert_eq!(h.percentile(0.0), 7);
+        assert_eq!(h.median(), 7);
+        let mut other = Histogram::new();
+        other.record(3);
+        other.record(2000);
+        h.merge(&other);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.percentile(0.0), 3);
+        assert_eq!(h.percentile(100.0), 2000);
+    }
+
+    #[test]
+    fn histogram_record_n_reconstruction() {
+        // Reconstructing from bucket counts + set_bounds matches the
+        // original at the extremes.
+        let mut orig = Histogram::new();
+        for v in [13u64, 999, 1000, 54_321] {
+            orig.record(v);
+        }
+        let mut rebuilt = Histogram::new();
+        for v in [13u64, 999, 1000, 54_321] {
+            rebuilt.record_n(bucket_floor(bucket_of(v)), 1);
+        }
+        rebuilt.set_bounds(orig.min(), orig.max());
+        assert_eq!(rebuilt.count(), orig.count());
+        assert_eq!(rebuilt.percentile(0.0), orig.percentile(0.0));
+        assert_eq!(rebuilt.percentile(100.0), orig.percentile(100.0));
     }
 
     #[test]

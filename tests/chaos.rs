@@ -9,7 +9,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use lite::{LiteCluster, LiteConfig, Perm, QosConfig, USER_FUNC_MIN};
+use lite::{EventKind, LiteCluster, LiteConfig, Perm, QosConfig, USER_FUNC_MIN};
 use rnic::{FaultPlan, FaultRule, IbConfig};
 use simnet::Ctx;
 
@@ -21,6 +21,11 @@ fn chaos_workload_completes_under_seeded_faults() {
     let config = LiteConfig {
         // Short deadlines so failover paths run quickly under faults.
         op_timeout: Duration::from_millis(400),
+        // Sample op lifecycles sparsely but keep a roomy trace ring:
+        // error events (retried/reconnected/failed) are recorded
+        // unsampled, and the assertions below need them all to survive.
+        stats_sample_rate: 1_000,
+        trace_ring_slots: 1 << 16,
         ..Default::default()
     };
     let cluster =
@@ -125,6 +130,29 @@ fn chaos_workload_completes_under_seeded_faults() {
         });
     assert!(totals.0 > 0, "faults fired but nothing was retried");
     assert!(totals.1 >= 1, "the broken QP was never re-established");
+
+    // The trace ring is the recovery layer's flight recorder: error
+    // events bypass sampling and pair 1:1 with the counters, so each
+    // node's surviving Retried / Reconnected events must equal its
+    // kernel counters exactly.
+    for n in 0..4 {
+        let report = cluster.kernel(n).lt_stats();
+        let stats = cluster.kernel(n).stats();
+        assert_eq!(
+            report.trace_count(EventKind::Retried),
+            stats.retries,
+            "node {n}: trace-ring retry events diverge from KernelStats.retries"
+        );
+        assert_eq!(
+            report.trace_count(EventKind::Reconnected),
+            stats.qp_reconnects,
+            "node {n}: trace-ring reconnect events diverge from qp_reconnects"
+        );
+        assert!(
+            report.trace.occupancy <= report.trace.capacity,
+            "node {n}: ring occupancy above capacity"
+        );
+    }
     cluster.fabric().clear_fault_plan();
 
     // Post-chaos health: the cluster still serves plain traffic.
