@@ -1,0 +1,72 @@
+//! Linearizability sweep: runs the canonical mixed synchronization
+//! workload across seeded interleavings, feeds every recorded history
+//! through the Wing–Gong checker, and prints a JSON summary. Failing
+//! histories are dumped to `verify-failures/seed-<seed>.json` for
+//! offline replay with `History::check`.
+//!
+//! Usage: `verify [--full]` — 40 seeds by default, 200 with `--full`.
+
+use lite::verify::{explore, run_mixed, MixedWorkload};
+
+fn main() {
+    let full = bench::full_mode();
+    let seeds = if full { 200u64 } else { 40 };
+
+    let delays_only = MixedWorkload::default();
+    let with_drops = MixedWorkload {
+        drop_prob: 0.02,
+        max_drops: 4,
+        ..MixedWorkload::default()
+    };
+
+    let report = explore(0..seeds, |seed| {
+        let w = if seed % 3 == 2 {
+            &with_drops
+        } else {
+            &delays_only
+        };
+        run_mixed(seed, w)
+    });
+
+    let mut checked = 0usize;
+    let mut skipped = 0usize;
+    let mut ops = 0usize;
+    for r in &report.reports {
+        checked += r.outcome.checked;
+        skipped += r.outcome.skipped;
+        ops += r.history.ops.len();
+    }
+    let failing = report.failing_seeds();
+
+    let mut dumped = Vec::new();
+    if !failing.is_empty() {
+        let dir = std::path::Path::new("verify-failures");
+        if std::fs::create_dir_all(dir).is_ok() {
+            for r in &report.reports {
+                if r.outcome.is_linearizable() {
+                    continue;
+                }
+                let path = dir.join(format!("seed-{}.json", r.seed));
+                if std::fs::write(&path, r.history.to_json()).is_ok() {
+                    dumped.push(path.display().to_string());
+                }
+            }
+        }
+    }
+
+    println!(
+        "{{\"seeds\":{},\"ops\":{},\"partitions_checked\":{},\"partitions_skipped\":{},\
+         \"run_errors\":{},\"failing_seeds\":{:?},\"dumped\":{:?}}}",
+        seeds,
+        ops,
+        checked,
+        skipped,
+        report.run_errors.len(),
+        failing,
+        dumped,
+    );
+
+    if !report.run_errors.is_empty() || !failing.is_empty() {
+        std::process::exit(1);
+    }
+}

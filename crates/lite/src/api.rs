@@ -160,6 +160,32 @@ impl LiteHandle {
         }
     }
 
+    /// Appends one op to the linearizability history, when recording is
+    /// armed (see [`crate::LiteCluster::record_history`]). One `OnceLock`
+    /// load when unarmed.
+    fn record_hist(
+        &self,
+        key: crate::verify::Key,
+        kind: crate::verify::OpKind,
+        ret: u64,
+        ok: bool,
+        invoke: Nanos,
+        response: Nanos,
+    ) {
+        let Some(log) = self.kernel.observe().and_then(|obs| obs.history().cloned()) else {
+            return;
+        };
+        log.record(crate::verify::HistOp {
+            proc: crate::verify::proc_id(self.kernel.node(), self.pid),
+            key,
+            kind,
+            ret,
+            ok,
+            invoke,
+            response,
+        });
+    }
+
     // ------------------------------------------------------------------
     // syscall model
     // ------------------------------------------------------------------
@@ -366,7 +392,14 @@ impl LiteHandle {
             for (_, c) in &location.extents {
                 free = free.u64(c.addr);
             }
-            let _ = self.kcall(ctx, target, FN_FREE_CHUNKS, free.done());
+            if self
+                .kcall(ctx, target, FN_FREE_CHUNKS, free.done())
+                .is_err()
+            {
+                // Rollback failed: the chunks on `target` are leaked.
+                // Count it and trace it instead of swallowing it.
+                self.kernel.note_cleanup_failure(target, ctx.now());
+            }
             let mapped = matches!(e, LiteError::Remote(1));
             self.exit(ctx);
             return Err(if mapped {
@@ -683,14 +716,45 @@ impl LiteHandle {
     /// LMR. Returns when the data is remotely visible (§4.2).
     pub fn lt_write(&mut self, ctx: &mut Ctx, lh: Lh, offset: u64, data: &[u8]) -> LiteResult<()> {
         self.enter(ctx);
+        // Lookup/permission/bounds failures return before any side
+        // effect and are not recorded in the history (a no-effect op
+        // adds no constraint); failures past this point may have
+        // partially applied and are recorded as failed writes.
         let entry = self.kernel.lookup_lh(self.pid, lh)?;
         let pieces = entry.check(offset, data.len(), Perm::RW)?;
+        let start = ctx.now();
+        let result = self.write_pieces(ctx, &pieces, data);
+        self.record_hist(
+            crate::verify::Key::Reg {
+                node: entry.id.node,
+                idx: entry.id.idx,
+                offset,
+                len: data.len() as u64,
+            },
+            crate::verify::OpKind::Write {
+                fp: crate::verify::fingerprint(data),
+            },
+            0,
+            result.is_ok(),
+            start,
+            ctx.now(),
+        );
+        self.exit(ctx);
+        result
+    }
+
+    fn write_pieces(
+        &mut self,
+        ctx: &mut Ctx,
+        pieces: &[(NodeId, Chunk)],
+        data: &[u8],
+    ) -> LiteResult<()> {
         let staged = self.stage(data)?;
         let mut off = 0u64;
         let mut vec_pieces = Vec::with_capacity(pieces.len());
         for (node, c) in pieces {
             vec_pieces.push((
-                node,
+                *node,
                 c.addr,
                 Chunk {
                     addr: staged + off,
@@ -703,7 +767,6 @@ impl LiteHandle {
         // doorbell batch; single-extent writes post as before.
         let last = self.kernel.rdma_write_vec(ctx, self.prio, &vec_pieces)?;
         self.finish_blocking(ctx, last);
-        self.exit(ctx);
         Ok(())
     }
 
@@ -718,6 +781,39 @@ impl LiteHandle {
         self.enter(ctx);
         let entry = self.kernel.lookup_lh(self.pid, lh)?;
         let pieces = entry.check(offset, buf.len(), Perm::RO)?;
+        let start = ctx.now();
+        let result = self.read_pieces(ctx, &pieces, buf);
+        self.record_hist(
+            crate::verify::Key::Reg {
+                node: entry.id.node,
+                idx: entry.id.idx,
+                offset,
+                len: buf.len() as u64,
+            },
+            crate::verify::OpKind::Read {
+                // Failed reads are excluded by the checker; fp is
+                // meaningful only on the ok path.
+                fp: if result.is_ok() {
+                    crate::verify::fingerprint(buf)
+                } else {
+                    0
+                },
+            },
+            0,
+            result.is_ok(),
+            start,
+            ctx.now(),
+        );
+        self.exit(ctx);
+        result
+    }
+
+    fn read_pieces(
+        &mut self,
+        ctx: &mut Ctx,
+        pieces: &[(NodeId, Chunk)],
+        buf: &mut [u8],
+    ) -> LiteResult<()> {
         Self::ensure(&self.kernel, &mut self.staging, buf.len())?;
         let staged = self.staging.addr;
         let mut off = 0u64;
@@ -727,15 +823,14 @@ impl LiteHandle {
                 addr: staged + off,
                 len: c.len,
             }];
-            let comp = self
-                .kernel
-                .rdma_read(ctx, self.prio, node, c.addr, &dst, c.len as usize)?;
+            let comp =
+                self.kernel
+                    .rdma_read(ctx, self.prio, *node, c.addr, &dst, c.len as usize)?;
             last = last.max(comp);
             off += c.len;
         }
         self.finish_blocking(ctx, last);
         self.unstage(staged, buf)?;
-        self.exit(ctx);
         Ok(())
     }
 
@@ -1086,45 +1181,200 @@ impl LiteHandle {
     }
 
     /// LT_lock: fetch-add fast path; FIFO enqueue at the owner otherwise.
+    ///
+    /// Fault behavior: an `Err` means this handle does **not** hold the
+    /// lock and the lock word has been restored (unwound) whenever the
+    /// owner was reachable; retrying `lt_lock` is always safe. The one
+    /// unrecoverable case — the owner unreachable with our enqueue fate
+    /// unknown — is counted in [`crate::KernelStats::sync_leaks`].
     pub fn lt_lock(&mut self, ctx: &mut Ctx, lock: LockId) -> LiteResult<()> {
         self.enter(ctx);
         let start = ctx.now();
+        let result = self.lock_inner(ctx, lock);
+        let end = ctx.now();
+        self.record_hist(
+            crate::verify::Key::Lock {
+                node: lock.node,
+                addr: lock.addr,
+            },
+            crate::verify::OpKind::Lock,
+            0,
+            result.is_ok(),
+            start,
+            end,
+        );
+        if result.is_ok() {
+            self.span(OpClass::Lock, lock.node, start, end);
+        }
+        self.exit(ctx);
+        result
+    }
+
+    fn lock_inner(&mut self, ctx: &mut Ctx, lock: LockId) -> LiteResult<()> {
         let old = self
             .kernel
             .fetch_add(ctx, self.prio, lock.node, lock.addr, 1)?;
-        if old != 0 {
-            // Contended: wait in the owner's FIFO queue (reply == grant).
-            self.kcall(
-                ctx,
-                lock.node,
-                FN_LOCK,
-                Enc::new().u8(1).u64(lock.addr).done(),
-            )?;
+        if old == 0 {
+            return Ok(());
         }
-        self.span(OpClass::Lock, lock.node, start, ctx.now());
-        self.exit(ctx);
-        Ok(())
+        // Contended: wait in the owner's FIFO queue (reply == grant).
+        // The token names this enqueue attempt; on failure it lets the
+        // abort ask the owner what actually happened.
+        let token = self.kernel.next_sync_token();
+        match self.kcall(
+            ctx,
+            lock.node,
+            FN_LOCK,
+            Enc::new().u8(1).u64(lock.addr).u64(token).done(),
+        ) {
+            Ok(_) => Ok(()),
+            Err(e) => {
+                // The enqueue's fate is unknown: the request or the
+                // grant may have been dropped, or we may merely have
+                // timed out while still queued. The per-pair ring is
+                // FIFO and drops are terminal, so by the time the abort
+                // runs the enqueue either ran or never will.
+                match self.lock_abort(ctx, lock, token) {
+                    // The grant won the race — we hold the lock.
+                    Ok(1) => Ok(()),
+                    // Dequeued (0) or never arrived (2): we don't hold
+                    // it; roll our fetch_add back so the word stays
+                    // consistent.
+                    Ok(_) => {
+                        self.unwind_lock_word(ctx, lock);
+                        Err(e)
+                    }
+                    // Owner unreachable: our queue entry (if any) is
+                    // stranded and the word may stay elevated.
+                    Err(_) => {
+                        self.kernel.note_sync_leak(lock.node, ctx.now());
+                        Err(e)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Asks the lock owner to cancel enqueue `token`; returns the
+    /// owner's answer (0 = dequeued, 1 = already granted, 2 = never
+    /// arrived). The owner memoizes the answer per token, so the
+    /// bounded retries here are idempotent.
+    fn lock_abort(&mut self, ctx: &mut Ctx, lock: LockId, token: u64) -> LiteResult<u8> {
+        let payload = Enc::new().u8(3).u64(lock.addr).u64(token).done();
+        let mut last = LiteError::Timeout;
+        for _ in 0..3 {
+            match self.kcall(ctx, lock.node, FN_LOCK, payload.clone()) {
+                Ok(resp) => return resp.first().copied().ok_or(LiteError::Remote(0xFB)),
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
+    }
+
+    /// Best-effort rollback of a failed acquire's `fetch_add`.
+    fn unwind_lock_word(&mut self, ctx: &mut Ctx, lock: LockId) {
+        match self
+            .kernel
+            .fetch_add(ctx, self.prio, lock.node, lock.addr, u64::MAX)
+        {
+            Ok(_) => self.kernel.note_lock_unwind(),
+            Err(_) => self.kernel.note_sync_leak(lock.node, ctx.now()),
+        }
     }
 
     /// LT_unlock: fetch-sub; hands the lock to the next waiter if any.
+    ///
+    /// Fault behavior: the release carries a token the owner dedups on,
+    /// so the handover is retried internally without ever granting two
+    /// waiters. An `Err` means the release state is indeterminate — the
+    /// lock is poisoned and the caller must **not** call `lt_unlock`
+    /// again (the internal retries are already exhausted; another call
+    /// would decrement the lock word a second time). Counted in
+    /// [`crate::KernelStats::sync_leaks`].
     pub fn lt_unlock(&mut self, ctx: &mut Ctx, lock: LockId) -> LiteResult<()> {
         self.enter(ctx);
+        let start = ctx.now();
+        let result = self.unlock_inner(ctx, lock);
+        self.record_hist(
+            crate::verify::Key::Lock {
+                node: lock.node,
+                addr: lock.addr,
+            },
+            crate::verify::OpKind::Unlock,
+            0,
+            result.is_ok(),
+            start,
+            ctx.now(),
+        );
+        self.exit(ctx);
+        result
+    }
+
+    fn unlock_inner(&mut self, ctx: &mut Ctx, lock: LockId) -> LiteResult<()> {
         let old = self
             .kernel
             .fetch_add(ctx, self.prio, lock.node, lock.addr, u64::MAX)?; // -1
-        if old > 1 {
-            // Waiters exist: tell the owner to grant the next (one-way).
-            self.call_raw(
-                ctx,
-                lock.node,
-                FN_LOCK,
-                &Enc::new().u8(2).u64(lock.addr).done(),
-                0,
-                true,
-            )?;
+        if old == 0 {
+            // Unlock of a free lock (app bug or a forbidden retry after
+            // a poisoned unlock): restore the word — leaving it at
+            // `u64::MAX` would let every subsequent acquire fast-path.
+            let _ = self
+                .kernel
+                .fetch_add(ctx, self.prio, lock.node, lock.addr, 1);
+            return Err(LiteError::Internal("unlock of a free lock"));
         }
-        self.exit(ctx);
-        Ok(())
+        if old == 1 {
+            return Ok(()); // no waiters
+        }
+        // Another increment is outstanding: hand the lock over. The
+        // release token is generated once and reused verbatim across
+        // retries — the owner's dedup on consumed tokens is what makes
+        // the retries safe (a release whose ack was lost cannot grant a
+        // second waiter). "No waiter yet" (sub-code 3) means the
+        // winner's enqueue is still in flight *or* its increment was
+        // unwound by an abort; re-reading the word tells the two apart
+        // (0 = nothing outstanding, the lock is simply free).
+        let token = self.kernel.next_sync_token();
+        let payload = Enc::new().u8(2).u64(lock.addr).u64(token).done();
+        // Each failed kcall already burns up to one op_timeout, so the
+        // attempt budget (not the deadline) bounds the error path; the
+        // deadline bounds the fast "no waiter yet" polling loop.
+        let deadline = std::time::Instant::now() + self.kernel.config.op_timeout * 4;
+        let mut errs = 0;
+        let mut last = None;
+        loop {
+            match self.kcall(ctx, lock.node, FN_LOCK, payload.clone()) {
+                Ok(resp) if resp.first() == Some(&3) => {
+                    match self
+                        .kernel
+                        .fetch_add(ctx, self.prio, lock.node, lock.addr, 0)
+                    {
+                        Ok(0) => return Ok(()),
+                        Ok(_) => {}
+                        Err(e) => last = Some(e),
+                    }
+                }
+                Ok(_) => return Ok(()),
+                Err(e) => {
+                    errs += 1;
+                    last = Some(e);
+                    if errs >= 3 {
+                        break;
+                    }
+                }
+            }
+            if std::time::Instant::now() >= deadline {
+                break;
+            }
+            // Back off before re-asking: the in-flight enqueue (or the
+            // aborting waiter's unwind) needs time to land.
+            ctx.work(2_000);
+            std::thread::yield_now();
+        }
+        // The word is already decremented but the handover may or may
+        // not have been processed: indeterminate — poisoned.
+        self.kernel.note_sync_leak(lock.node, ctx.now());
+        Err(last.unwrap_or(LiteError::Timeout))
     }
 
     /// LT_barrier: blocks until `count` participants arrive at barrier
@@ -1132,15 +1382,28 @@ impl LiteHandle {
     pub fn lt_barrier(&mut self, ctx: &mut Ctx, id: u64, count: u32) -> LiteResult<()> {
         self.enter(ctx);
         let start = ctx.now();
-        self.kcall(
-            ctx,
-            MANAGER_NODE,
-            FN_BARRIER,
-            Enc::new().u64(id).u32(count).done(),
-        )?;
-        self.span(OpClass::Barrier, MANAGER_NODE, start, ctx.now());
+        let result = self
+            .kcall(
+                ctx,
+                MANAGER_NODE,
+                FN_BARRIER,
+                Enc::new().u64(id).u32(count).done(),
+            )
+            .map(|_| ());
+        let end = ctx.now();
+        self.record_hist(
+            crate::verify::Key::Barrier { id },
+            crate::verify::OpKind::Barrier { count },
+            0,
+            result.is_ok(),
+            start,
+            end,
+        );
+        if result.is_ok() {
+            self.span(OpClass::Barrier, MANAGER_NODE, start, end);
+        }
         self.exit(ctx);
-        Ok(())
+        result
     }
 
     /// LT_fetch-add on a u64 inside an LMR; returns the previous value.
@@ -1154,7 +1417,7 @@ impl LiteHandle {
         self.enter(ctx);
         let entry = self.kernel.lookup_lh(self.pid, lh)?;
         let pieces = entry.check(offset, 8, Perm::RW)?;
-        let (node, c) = single_piece(&pieces)?;
+        let (node, c) = single_piece(offset, &pieces)?;
         let old = self.kernel.fetch_add(ctx, self.prio, node, c.addr, delta)?;
         self.exit(ctx);
         Ok(old)
@@ -1174,7 +1437,7 @@ impl LiteHandle {
         self.enter(ctx);
         let entry = self.kernel.lookup_lh(self.pid, lh)?;
         let pieces = entry.check(offset, 8, Perm::RW)?;
-        let (node, c) = single_piece(&pieces)?;
+        let (node, c) = single_piece(offset, &pieces)?;
         let old = self
             .kernel
             .cmp_swap(ctx, self.prio, node, c.addr, expect, new)?;
@@ -1185,15 +1448,32 @@ impl LiteHandle {
 
 impl Drop for LiteHandle {
     fn drop(&mut self) {
-        let mut a = self.kernel.alloc.lock();
-        let _ = a.free(self.staging.addr);
-        let _ = a.free(self.reply.addr);
+        let node = self.kernel.node();
+        let mut failures = 0;
+        {
+            let mut a = self.kernel.alloc.lock();
+            for addr in [self.staging.addr, self.reply.addr] {
+                if a.free(addr).is_err() {
+                    failures += 1;
+                }
+            }
+        }
+        // Count leaked scratch regions (outside the allocator lock —
+        // note_cleanup_failure walks the observability surface). No Ctx
+        // in Drop, so the trace stamp is 0.
+        for _ in 0..failures {
+            self.kernel.note_cleanup_failure(node, 0);
+        }
     }
 }
 
-fn single_piece(pieces: &[(NodeId, Chunk)]) -> LiteResult<(NodeId, &Chunk)> {
+/// Atomics operate on one 8-byte word, which must therefore live inside
+/// a single chunk of the LMR; `check` has already bounds/permission
+/// checked the range, so more than one piece means the word straddles a
+/// chunk boundary.
+fn single_piece(offset: u64, pieces: &[(NodeId, Chunk)]) -> LiteResult<(NodeId, &Chunk)> {
     if pieces.len() != 1 {
-        return Err(LiteError::OutOfBounds { offset: 0, len: 8 });
+        return Err(LiteError::StraddlesChunk { offset, len: 8 });
     }
     Ok((pieces[0].0, &pieces[0].1))
 }

@@ -70,8 +70,8 @@ impl LiteCluster {
             for server in 0..n {
                 let base = kernels[server].alloc_ring(client)?;
                 let size = config.rpc_ring_bytes;
-                server_rings[server][client] = Some(ServerRing::new(base, size));
-                client_rings[client][server] = Some(ClientRing::new(base, size));
+                server_rings[server][client] = Some(ServerRing::new(base, size)?);
+                client_rings[client][server] = Some(ClientRing::new(base, size)?);
             }
         }
 
@@ -182,6 +182,26 @@ impl LiteCluster {
     /// applications too, without syscall crossings — LITE-DSM uses this).
     pub fn attach_kernel(&self, node: NodeId) -> LiteResult<LiteHandle> {
         LiteHandle::new(Arc::clone(self.try_kernel(node)?), false)
+    }
+
+    /// Arms history recording for the linearizability checker
+    /// ([`crate::verify`]): installs one shared [`HistoryLog`] on every
+    /// node and returns it. Arm *before* the first synchronization op —
+    /// the checker's register spec assumes recorded locations start
+    /// zero-filled. Recording stays on for the cluster's lifetime; a
+    /// second call returns a new log only if none was installed (first
+    /// install wins on every node).
+    ///
+    /// [`HistoryLog`]: crate::verify::HistoryLog
+    pub fn record_history(&self) -> LiteResult<Arc<crate::verify::HistoryLog>> {
+        let log = Arc::new(crate::verify::HistoryLog::new());
+        for k in &self.kernels {
+            let obs = k
+                .observe()
+                .ok_or(LiteError::Internal("datapath not initialized"))?;
+            obs.install_history(Arc::clone(&log));
+        }
+        Ok(log)
     }
 
     /// Switches the QoS mode on every node.

@@ -24,6 +24,15 @@ pub enum LiteError {
         /// Access length in bytes.
         len: usize,
     },
+    /// An 8-byte atomic (fetch-add / test-and-set) target spans two
+    /// chunks of a multi-chunk LMR; atomics must land entirely inside
+    /// one chunk so the RNIC can apply them in a single operation.
+    StraddlesChunk {
+        /// Offset of the atomic word within the LMR.
+        offset: u64,
+        /// Width of the atomic access in bytes (always 8 today).
+        len: usize,
+    },
     /// The lh's permission does not allow this operation.
     PermissionDenied,
     /// The caller is not a master of the LMR.
@@ -90,6 +99,12 @@ impl fmt::Display for LiteError {
             LiteError::BadLh { lh } => write!(f, "invalid lh {lh:#x}"),
             LiteError::OutOfBounds { offset, len } => {
                 write!(f, "access out of LMR bounds: offset {offset}+{len}")
+            }
+            LiteError::StraddlesChunk { offset, len } => {
+                write!(
+                    f,
+                    "atomic at offset {offset} (len {len}) straddles a chunk boundary"
+                )
             }
             LiteError::PermissionDenied => write!(f, "permission denied"),
             LiteError::NotMaster => write!(f, "caller is not a master of the LMR"),

@@ -118,6 +118,9 @@ pub struct LiteKernel {
     /// CPU meter of the shared polling thread.
     pub poller_cpu: Arc<CpuMeter>,
     counters: KernelCounters,
+    /// Sequence half of the cluster-unique synchronization tokens
+    /// (enqueue / release identities on the lock fault paths).
+    next_sync_token: AtomicU64,
 }
 
 impl LiteKernel {
@@ -174,6 +177,7 @@ impl LiteKernel {
             poller: Mutex::new(None),
             poller_cpu: Arc::new(CpuMeter::new()),
             counters: KernelCounters::new(),
+            next_sync_token: AtomicU64::new(1),
         };
         // FN_MSG delivers through a queue like user functions do.
         kernel
@@ -251,6 +255,56 @@ impl LiteKernel {
     /// cluster has wired the datapath.
     pub fn observe(&self) -> Option<&Arc<Observability>> {
         self.datapath.get().map(|dp| dp.observer())
+    }
+
+    /// A cluster-unique synchronization token: node id in the top bits,
+    /// a local sequence below. One token names one enqueue attempt or
+    /// one release, which is what makes lock fault-path recovery
+    /// (idempotent grants, definite aborts) possible.
+    pub(crate) fn next_sync_token(&self) -> u64 {
+        ((self.node as u64) << 40) | self.next_sync_token.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Counts a swallowed cleanup failure (allocation rollback, handle
+    /// teardown) and emits a Mgmt/Failed trace event so leaks are
+    /// observable instead of silent.
+    pub(crate) fn note_cleanup_failure(&self, peer: NodeId, stamp: simnet::Nanos) {
+        self.counters.count_cleanup_failure();
+        if let Some(obs) = self.observe() {
+            let id = obs.next_op_id();
+            obs.trace(
+                id,
+                crate::observe::OpClass::Mgmt,
+                crate::observe::EventKind::Failed,
+                crate::qos::Priority::Low,
+                peer,
+                stamp,
+            );
+        }
+    }
+
+    /// Counts a lock-word unwind (a failed acquire rolled its
+    /// `fetch_add` back so the lock word stays consistent).
+    pub(crate) fn note_lock_unwind(&self) {
+        self.counters.count_lock_unwind();
+    }
+
+    /// Counts a synchronization-state leak: a lock fault path that could
+    /// not restore consistency (abort unreachable, unwind failed, or a
+    /// release grant undeliverable). Also traced as Mgmt/Failed.
+    pub(crate) fn note_sync_leak(&self, peer: NodeId, stamp: simnet::Nanos) {
+        self.counters.count_sync_leak();
+        if let Some(obs) = self.observe() {
+            let id = obs.next_op_id();
+            obs.trace(
+                id,
+                crate::observe::OpClass::Mgmt,
+                crate::observe::EventKind::Failed,
+                crate::qos::Priority::Low,
+                peer,
+                stamp,
+            );
+        }
     }
 
     fn mem(&self) -> &Arc<PhysMem> {

@@ -757,10 +757,14 @@ impl RnicDataPath {
                 ctx.work(self.map_check_ns);
                 if *node == self.node {
                     ctx.work(LOCAL_ATOMIC_NS);
-                    return Ok(Completion {
-                        stamp: ctx.now(),
-                        value: self.mem().fetch_add_u64(*addr, *delta)?,
-                    });
+                    // Stamped apply: the completion stamp is taken inside
+                    // the cell's critical section so conflicting atomics'
+                    // stamps follow the real apply order (history-checker
+                    // soundness; see `PhysMem::fetch_add_u64_stamped`).
+                    let (value, stamp) =
+                        self.mem().fetch_add_u64_stamped(*addr, *delta, ctx.now())?;
+                    ctx.wait_until(stamp);
+                    return Ok(Completion { stamp, value });
                 }
                 let qp = self.qp_to(*node, prio)?;
                 let value = self.fabric.nic(self.node).fetch_add(
@@ -786,10 +790,11 @@ impl RnicDataPath {
                 ctx.work(self.map_check_ns);
                 if *node == self.node {
                     ctx.work(LOCAL_ATOMIC_NS);
-                    return Ok(Completion {
-                        stamp: ctx.now(),
-                        value: self.mem().cas_u64(*addr, *expect, *new)?,
-                    });
+                    let (value, stamp) =
+                        self.mem()
+                            .cas_u64_stamped(*addr, *expect, *new, ctx.now())?;
+                    ctx.wait_until(stamp);
+                    return Ok(Completion { stamp, value });
                 }
                 let qp = self.qp_to(*node, prio)?;
                 let value = self.fabric.nic(self.node).cmp_swap(
@@ -839,11 +844,52 @@ impl DataPath for RnicDataPath {
             self.obs
                 .trace(op_id, class, EventKind::Posted, prio, peer, start);
         }
+        // History capture for the linearizability checker: atomics are
+        // recorded here, at the datapath, so lock-word traffic is seen
+        // too — not just `lt_fetch_add`/`lt_test_set`. Faults inject
+        // before side effects and retries are replay-exact, so an Ok
+        // completion's value is the one real apply; an Err is recorded
+        // as pending (the checker explores both did/didn't branches).
+        let cell_op = match op {
+            Op::FetchAdd { node, addr, delta } => Some((
+                *node,
+                *addr,
+                crate::verify::OpKind::FetchAdd { delta: *delta },
+            )),
+            Op::CmpSwap {
+                node,
+                addr,
+                expect,
+                new,
+            } => Some((
+                *node,
+                *addr,
+                crate::verify::OpKind::TestSet {
+                    expect: *expect,
+                    new: *new,
+                },
+            )),
+            _ => None,
+        };
+        let record_cell = |ret: u64, ok: bool, response: Nanos| {
+            if let (Some((node, addr, kind)), Some(log)) = (cell_op, self.obs.history()) {
+                log.record(crate::verify::HistOp {
+                    proc: crate::verify::proc_id(self.node, 0),
+                    key: crate::verify::Key::Cell { node, addr },
+                    kind,
+                    ret,
+                    ok,
+                    invoke: start,
+                    response,
+                });
+            }
+        };
         let trace = OpTrace { op_id, class, prio };
         match self.with_retry(ctx, peer, Some(trace), |dp, ctx| {
             dp.post_once(ctx, prio, op)
         }) {
             Ok(c) => {
+                record_cell(c.value, true, c.stamp);
                 self.obs.record_completion(
                     class,
                     prio,
@@ -860,6 +906,7 @@ impl DataPath for RnicDataPath {
                 Ok(c)
             }
             Err(e) => {
+                record_cell(0, false, ctx.now());
                 self.obs.record_failure(peer);
                 self.obs
                     .trace(op_id, class, EventKind::Failed, prio, peer, ctx.now());
@@ -1159,16 +1206,21 @@ impl DataPath for TcpDataPath {
             Op::FetchAdd { node, addr, delta } => {
                 if *node == self.node {
                     ctx.work(LOCAL_ATOMIC_NS);
-                    return Ok(Completion {
-                        stamp: ctx.now(),
-                        value: local_mem.fetch_add_u64(*addr, *delta)?,
-                    });
+                    // Stamped applies keep conflicting atomics' stamps
+                    // monotone in apply order (history-checker soundness).
+                    let (value, stamp) =
+                        local_mem.fetch_add_u64_stamped(*addr, *delta, ctx.now())?;
+                    ctx.wait_until(stamp);
+                    return Ok(Completion { stamp, value });
                 }
                 self.fault_gate(ctx, *node)?;
                 let req_arrive = self.send_leg(ctx, TCP_CTRL_BYTES);
-                let value = self.fabric.mem(*node).fetch_add_u64(*addr, *delta)?;
                 let back = self.return_leg(*node, req_arrive, TCP_CTRL_BYTES);
-                let stamp = self.rx_done(back, TCP_CTRL_BYTES);
+                let done = self.rx_done(back, TCP_CTRL_BYTES);
+                let (value, stamp) = self
+                    .fabric
+                    .mem(*node)
+                    .fetch_add_u64_stamped(*addr, *delta, done)?;
                 ctx.wait_until(stamp); // atomics are blocking, like their verbs
                 Ok(Completion { stamp, value })
             }
@@ -1180,16 +1232,19 @@ impl DataPath for TcpDataPath {
             } => {
                 if *node == self.node {
                     ctx.work(LOCAL_ATOMIC_NS);
-                    return Ok(Completion {
-                        stamp: ctx.now(),
-                        value: local_mem.cas_u64(*addr, *expect, *new)?,
-                    });
+                    let (value, stamp) =
+                        local_mem.cas_u64_stamped(*addr, *expect, *new, ctx.now())?;
+                    ctx.wait_until(stamp);
+                    return Ok(Completion { stamp, value });
                 }
                 self.fault_gate(ctx, *node)?;
                 let req_arrive = self.send_leg(ctx, TCP_CTRL_BYTES);
-                let value = self.fabric.mem(*node).cas_u64(*addr, *expect, *new)?;
                 let back = self.return_leg(*node, req_arrive, TCP_CTRL_BYTES);
-                let stamp = self.rx_done(back, TCP_CTRL_BYTES);
+                let done = self.rx_done(back, TCP_CTRL_BYTES);
+                let (value, stamp) = self
+                    .fabric
+                    .mem(*node)
+                    .cas_u64_stamped(*addr, *expect, *new, done)?;
                 ctx.wait_until(stamp);
                 Ok(Completion { stamp, value })
             }

@@ -7,7 +7,7 @@
 //! by the calling thread as a sequence of RPCs, so the poller can never
 //! deadlock.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::Ordering;
 
 use rnic::NodeId;
@@ -25,10 +25,27 @@ use crate::lmr::{LhEntry, LmrId, Location, MasterRecord, Perm};
 use crate::qos::Priority;
 use crate::wire::{Dec, Enc, MsgHeader};
 
+/// Owner-side state of one lock word. Every enqueue and every release
+/// carries a cluster-unique token, which is what makes the fault paths
+/// safe: releases are idempotent (retrying a grant whose ack was lost
+/// cannot grant a second waiter) and a failed enqueue can be aborted
+/// with a definite answer (queued / already granted / never arrived).
+/// A release that finds no waiter is answered "no waiter yet" and
+/// retried by the unlocker — the handover is never banked owner-side,
+/// so an aborted (unwound) increment can never strand a pre-granted
+/// credit. `granted` and `releases_seen` grow by O(contended ops +
+/// releases with waiters) u64s per lock over its lifetime — accepted:
+/// tokens are 8 bytes and lock cells are bounded by `LOCK_CELLS`.
 #[derive(Default)]
 pub(super) struct LockState {
-    waiters: VecDeque<ReplyRoute>,
-    credits: u32,
+    waiters: VecDeque<(u64, ReplyRoute)>,
+    granted: HashSet<u64>,
+    releases_seen: HashSet<u64>,
+    /// First answer given for each aborted token — a retried abort
+    /// (whose previous reply was lost) must repeat the original answer,
+    /// not re-derive it ("granted" would wrongly become "never
+    /// arrived" after the first abort consumed the `granted` entry).
+    aborts_seen: HashMap<u64, u8>,
 }
 
 pub(super) struct BarrierState {
@@ -375,32 +392,79 @@ impl LiteKernel {
             }
             FN_LOCK => {
                 let op = d.u8()?;
-                let idx = d.u64()?;
+                let addr = d.u64()?;
+                let token = d.u64()?;
                 let mut locks = self.locks.lock();
-                let st = locks.entry(idx).or_default();
+                let st = locks.entry(addr).or_default();
                 match op {
                     1 => {
-                        // Enqueue a waiter; reply only when granted.
-                        if st.credits > 0 {
-                            st.credits -= 1;
-                            drop(locks);
-                            let _ = self.reply_bytes(ctx, ReplyRoute::of_hdr(hdr), &[0]);
-                        } else {
-                            st.waiters.push_back(ReplyRoute::of_hdr(hdr));
-                        }
+                        // Enqueue a waiter; reply only when granted. A
+                        // release that raced ahead of this enqueue will
+                        // come back (the unlocker retries releases that
+                        // found no waiter), so the waiter just queues.
+                        st.waiters.push_back((token, ReplyRoute::of_hdr(hdr)));
                         Ok(None)
                     }
                     2 => {
-                        // Grant the next waiter (one-way from the unlocker).
-                        let next = st.waiters.pop_front();
-                        match next {
-                            Some(route) => {
-                                drop(locks);
-                                let _ = self.reply_bytes(ctx, route, &[0]);
+                        // Grant-next on release. Two-way: the unlocker
+                        // gets an ack, so it can retry a lost one — and
+                        // `releases_seen` makes the retry idempotent (a
+                        // duplicate of a *consumed* release token acks
+                        // without granting a second waiter). A release
+                        // that finds no waiter is NOT consumed: it
+                        // answers "no waiter yet" (sub-code 3) and the
+                        // unlocker retries after re-reading the lock
+                        // word. Banking the handover here instead (a
+                        // credit) would be unsound: the increment it
+                        // waits for can be unwound by an abort, and the
+                        // orphaned credit would later grant a waiter
+                        // while another holder owns the lock.
+                        let code = if st.releases_seen.contains(&token) {
+                            0
+                        } else {
+                            match st.waiters.pop_front() {
+                                Some((wtoken, route)) => {
+                                    st.releases_seen.insert(token);
+                                    st.granted.insert(wtoken);
+                                    drop(locks);
+                                    // Grant before acking: the waiter's
+                                    // wakeup is never gated on the
+                                    // unlocker's reply path.
+                                    let _ = self.reply_bytes(ctx, route, &[0]);
+                                    return Ok(Some(Enc::new().u8(0).u8(0).done()));
+                                }
+                                None => 3,
                             }
-                            None => st.credits += 1,
-                        }
-                        Ok(None)
+                        };
+                        Ok(Some(Enc::new().u8(0).u8(code).done()))
+                    }
+                    3 => {
+                        // Abort an enqueue whose reply was lost. Replies
+                        // with what actually happened: 0 = dequeued (the
+                        // caller does not hold the lock), 1 = already
+                        // granted (the caller holds it), 2 = the enqueue
+                        // never arrived. The per-(client,server) ring is
+                        // FIFO and drops are terminal, so by the time
+                        // this abort is processed the enqueue either ran
+                        // or never will — there is no in-flight window.
+                        let code = match st.aborts_seen.get(&token) {
+                            Some(&c) => c,
+                            None => {
+                                let c = if let Some(pos) =
+                                    st.waiters.iter().position(|(t, _)| *t == token)
+                                {
+                                    st.waiters.remove(pos);
+                                    0
+                                } else if st.granted.remove(&token) {
+                                    1
+                                } else {
+                                    2
+                                };
+                                st.aborts_seen.insert(token, c);
+                                c
+                            }
+                        };
+                        Ok(Some(Enc::new().u8(0).u8(code).done()))
                     }
                     _ => Err(LiteError::Remote(1)),
                 }

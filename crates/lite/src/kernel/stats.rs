@@ -39,6 +39,17 @@ pub struct KernelStats {
     /// Datapath ops that failed after recovery gave up (deadline
     /// exhausted, dead peer, or a non-retryable fault).
     pub ops_failed: u64,
+    /// Cleanup paths that failed (allocation rollback, handle teardown)
+    /// — previously swallowed with `let _ = ...`; each one is a leaked
+    /// remote chunk or scratch region.
+    pub cleanup_failures: u64,
+    /// Lock-word unwinds: failed acquires that rolled their `fetch_add`
+    /// back, keeping the lock word consistent under faults.
+    pub lock_unwinds: u64,
+    /// Lock fault paths that could not restore consistency (abort
+    /// unreachable, unwind failed, or a release grant undeliverable) —
+    /// the lock involved should be considered poisoned.
+    pub sync_leaks: u64,
 }
 
 /// The kernel's live counters (relaxed atomics; snapshot via
@@ -49,6 +60,9 @@ pub(crate) struct KernelCounters {
     pub(crate) writes: AtomicU64,
     pub(crate) reads: AtomicU64,
     pub(crate) bytes: AtomicU64,
+    pub(crate) cleanup_failures: AtomicU64,
+    pub(crate) lock_unwinds: AtomicU64,
+    pub(crate) sync_leaks: AtomicU64,
 }
 
 /// Recovery-layer counters, owned by the node's datapath (the retry
@@ -88,6 +102,18 @@ impl KernelCounters {
         self.rpc.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn count_cleanup_failure(&self) {
+        self.cleanup_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_lock_unwind(&self) {
+        self.lock_unwinds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_sync_leak(&self) {
+        self.sync_leaks.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Snapshot with the QP count and recovery counters supplied by the
     /// kernel (which owns the pool tables and the datapath).
     pub(crate) fn snapshot(&self, qps: usize, retry: Option<&RetryCounters>) -> KernelStats {
@@ -106,6 +132,9 @@ impl KernelCounters {
             qp_reconnects: retry.map_or(0, |c| r(&c.qp_reconnects)),
             peers_marked_dead: retry.map_or(0, |c| r(&c.peers_marked_dead)),
             ops_failed: retry.map_or(0, |c| r(&c.ops_failed)),
+            cleanup_failures: r(&self.cleanup_failures),
+            lock_unwinds: r(&self.lock_unwinds),
+            sync_leaks: r(&self.sync_leaks),
         }
     }
 }
@@ -121,6 +150,9 @@ mod tests {
         c.count_writes(2, 50);
         c.count_read(7);
         c.count_rpc();
+        c.count_cleanup_failure();
+        c.count_lock_unwind();
+        c.count_sync_leak();
         let s = c.snapshot(6, None);
         assert_eq!(s.lt_writes, 3);
         assert_eq!(s.lt_reads, 1);
@@ -128,6 +160,9 @@ mod tests {
         assert_eq!(s.rpc_dispatched, 1);
         assert_eq!(s.qps, 6);
         assert_eq!(s.retries, 0);
+        assert_eq!(s.cleanup_failures, 1);
+        assert_eq!(s.lock_unwinds, 1);
+        assert_eq!(s.sync_leaks, 1);
     }
 
     #[test]

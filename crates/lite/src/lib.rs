@@ -56,6 +56,7 @@ pub mod lmr;
 pub mod observe;
 pub mod qos;
 pub mod ring;
+pub mod verify;
 pub mod wire;
 
 pub use api::{Lh, LiteHandle, LockId, RpcCall};
@@ -72,3 +73,7 @@ pub use observe::{
     QosReport, StatsReport, TraceEvent, TraceRing, TraceStats,
 };
 pub use qos::{Priority, QosConfig, QosMode, QosState};
+pub use verify::{
+    explore, fingerprint, proc_id, run_mixed, CheckOutcome, ExploreReport, HistOp, History,
+    HistoryLog, Key, MixedWorkload, OpKind, SeedReport, Violation,
+};

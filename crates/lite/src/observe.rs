@@ -27,6 +27,7 @@
 //! bounds even the host cost on hot paths.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use rnic::NodeId;
 use simnet::{bucket_floor, bucket_of, Histogram, Nanos, HIST_BUCKETS};
@@ -52,16 +53,21 @@ pub enum OpClass {
     Lock,
     /// Barrier wait (`lt_barrier`).
     Barrier,
+    /// Management / cleanup traffic (allocation rollback, handle
+    /// teardown, lock-word unwinds) — the paths whose failures used to
+    /// be silently swallowed.
+    Mgmt,
 }
 
 /// All op classes, in display order.
-pub const OP_CLASSES: [OpClass; 6] = [
+pub const OP_CLASSES: [OpClass; 7] = [
     OpClass::Read,
     OpClass::Write,
     OpClass::Atomic,
     OpClass::Rpc,
     OpClass::Lock,
     OpClass::Barrier,
+    OpClass::Mgmt,
 ];
 
 impl OpClass {
@@ -74,6 +80,7 @@ impl OpClass {
             OpClass::Rpc => "rpc",
             OpClass::Lock => "lock",
             OpClass::Barrier => "barrier",
+            OpClass::Mgmt => "mgmt",
         }
     }
 
@@ -85,6 +92,7 @@ impl OpClass {
             OpClass::Rpc => 3,
             OpClass::Lock => 4,
             OpClass::Barrier => 5,
+            OpClass::Mgmt => 6,
         }
     }
 
@@ -466,6 +474,9 @@ pub struct Observability {
     next_op: AtomicU64,
     /// Per-thread sampling strides start from here.
     sample_tick: AtomicU64,
+    /// History log for the linearizability checker (armed by
+    /// [`crate::LiteCluster::record_history`]; absent in normal runs).
+    history: OnceLock<Arc<crate::verify::HistoryLog>>,
 }
 
 impl Observability {
@@ -480,7 +491,20 @@ impl Observability {
             sample_rate: sample_rate.max(1),
             next_op: AtomicU64::new(1),
             sample_tick: AtomicU64::new(0),
+            history: OnceLock::new(),
         }
+    }
+
+    /// Arms history recording for this node; recording stays on for the
+    /// node's lifetime. Subsequent installs are ignored (first wins).
+    pub fn install_history(&self, log: Arc<crate::verify::HistoryLog>) {
+        let _ = self.history.set(log);
+    }
+
+    /// The armed history log, if any. Hot paths check this and skip
+    /// recording entirely when unarmed (one relaxed load).
+    pub fn history(&self) -> Option<&Arc<crate::verify::HistoryLog>> {
+        self.history.get()
     }
 
     /// Assigns the next monotonic op id.
@@ -757,9 +781,10 @@ impl StatsReport {
         ));
         let k = &self.kernel;
         s.push_str(&format!(
-            "\"rpc_dispatched\":{},\"lt_writes\":{},\"lt_reads\":{},\"lt_bytes\":{},\"qps\":{},\"retries\":{},\"qp_reconnects\":{},\"peers_marked_dead\":{},\"ops_failed\":{}}}",
+            "\"rpc_dispatched\":{},\"lt_writes\":{},\"lt_reads\":{},\"lt_bytes\":{},\"qps\":{},\"retries\":{},\"qp_reconnects\":{},\"peers_marked_dead\":{},\"ops_failed\":{},\"cleanup_failures\":{},\"lock_unwinds\":{},\"sync_leaks\":{}}}",
             k.rpc_dispatched, k.lt_writes, k.lt_reads, k.lt_bytes, k.qps, k.retries,
-            k.qp_reconnects, k.peers_marked_dead, k.ops_failed
+            k.qp_reconnects, k.peers_marked_dead, k.ops_failed, k.cleanup_failures,
+            k.lock_unwinds, k.sync_leaks
         ));
         s.push_str(",\"classes\":{");
         for (i, c) in self.classes.iter().enumerate() {

@@ -53,9 +53,15 @@ pub struct Reservation {
 
 impl ClientRing {
     /// Creates a client view of a `size`-byte ring at `remote_base`.
-    pub fn new(remote_base: PhysAddr, size: u64) -> Self {
-        assert!(size.is_power_of_two(), "ring size must be a power of two");
-        ClientRing {
+    ///
+    /// `size` must be a non-zero power of two (the wrap logic relies on
+    /// it); a bad size is reported as an error instead of panicking the
+    /// poller thread that builds rings during cluster bring-up.
+    pub fn new(remote_base: PhysAddr, size: u64) -> LiteResult<Self> {
+        if size == 0 || !size.is_power_of_two() {
+            return Err(LiteError::Internal("ring size must be a power of two"));
+        }
+        Ok(ClientRing {
             remote_base,
             size,
             inner: Mutex::new(ClientInner {
@@ -63,7 +69,7 @@ impl ClientRing {
                 head: 0,
                 head_stamp: 0,
             }),
-        }
+        })
     }
 
     /// Tries to reserve `len` payload bytes (rounded to the granule). The
@@ -144,16 +150,21 @@ struct ServerInner {
 
 impl ServerRing {
     /// Creates the server-side state for a ring at `base`.
-    pub fn new(base: PhysAddr, size: u64) -> Self {
-        assert!(size.is_power_of_two());
-        ServerRing {
+    ///
+    /// Like [`ClientRing::new`], rejects sizes that are not a non-zero
+    /// power of two rather than panicking.
+    pub fn new(base: PhysAddr, size: u64) -> LiteResult<Self> {
+        if size == 0 || !size.is_power_of_two() {
+            return Err(LiteError::Internal("ring size must be a power of two"));
+        }
+        Ok(ServerRing {
             base,
             size,
             inner: Mutex::new(ServerInner {
                 head: 0,
                 freed: BTreeMap::new(),
             }),
-        }
+        })
     }
 
     /// Converts a ring byte-offset (from an IMM) plus the current head
@@ -179,8 +190,13 @@ impl ServerRing {
         let mut inner = self.inner.lock();
         let pos = self.monotonic(inner.head, offset);
         if skip > 0 {
-            debug_assert!(pos >= skip, "skip precedes the message");
-            inner.freed.insert(pos - skip, skip);
+            // A corrupt header could claim a skip larger than the message
+            // position; clamp instead of underflowing (the excess span is
+            // simply not reclaimed, which at worst wastes ring space).
+            let skip = skip.min(pos);
+            if skip > 0 {
+                inner.freed.insert(pos - skip, skip);
+            }
         }
         inner.freed.insert(pos, len);
         // Advance the head over the contiguous prefix.
@@ -216,8 +232,8 @@ mod tests {
 
     #[test]
     fn reserve_and_free_in_order() {
-        let cr = ClientRing::new(0x1000, 1024);
-        let sr = ServerRing::new(0x1000, 1024);
+        let cr = ClientRing::new(0x1000, 1024).unwrap();
+        let sr = ServerRing::new(0x1000, 1024).unwrap();
         let r1 = cr.try_reserve(100).unwrap();
         let r2 = cr.try_reserve(100).unwrap();
         assert_eq!(r1.offset, 0);
@@ -233,8 +249,8 @@ mod tests {
 
     #[test]
     fn out_of_order_free_waits_for_prefix() {
-        let cr = ClientRing::new(0, 1024);
-        let sr = ServerRing::new(0, 1024);
+        let cr = ClientRing::new(0, 1024).unwrap();
+        let sr = ServerRing::new(0, 1024).unwrap();
         let r1 = cr.try_reserve(64).unwrap();
         let r2 = cr.try_reserve(64).unwrap();
         // Consuming the second first does not advance the head.
@@ -245,8 +261,8 @@ mod tests {
 
     #[test]
     fn ring_fills_and_reopens() {
-        let cr = ClientRing::new(0, 1024);
-        let sr = ServerRing::new(0, 1024);
+        let cr = ClientRing::new(0, 1024).unwrap();
+        let sr = ServerRing::new(0, 1024).unwrap();
         let mut rs = Vec::new();
         for _ in 0..8 {
             rs.push(cr.try_reserve(128).unwrap());
@@ -264,8 +280,8 @@ mod tests {
 
     #[test]
     fn wrap_skips_tail_fragment() {
-        let cr = ClientRing::new(0, 1024);
-        let sr = ServerRing::new(0, 1024);
+        let cr = ClientRing::new(0, 1024).unwrap();
+        let sr = ServerRing::new(0, 1024).unwrap();
         // Fill 960 bytes (two reservations), free them, so tail is at 960
         // with head 960.
         let r1a = cr.try_reserve(512).unwrap();
@@ -286,7 +302,7 @@ mod tests {
 
     #[test]
     fn oversized_reservation_rejected() {
-        let cr = ClientRing::new(0, 1024);
+        let cr = ClientRing::new(0, 1024).unwrap();
         assert!(matches!(
             cr.try_reserve(600),
             Err(LiteError::TooLarge { .. })
@@ -295,8 +311,8 @@ mod tests {
 
     #[test]
     fn many_wraps_stay_consistent() {
-        let cr = ClientRing::new(0, 1024);
-        let sr = ServerRing::new(0, 1024);
+        let cr = ClientRing::new(0, 1024).unwrap();
+        let sr = ServerRing::new(0, 1024).unwrap();
         for i in 0..200 {
             let len = 64 + (i % 5) * 64;
             let r = cr.try_reserve(len).unwrap();

@@ -910,12 +910,17 @@ impl Nic {
         );
         let target = rres.chunks[0].addr;
         let mem = fabric.mem(peer_node);
-        let old = match kind {
-            AtomicKind::FetchAdd(d) => mem.fetch_add_u64(target, d)?,
-            AtomicKind::CmpSwap(e, n) => mem.cas_u64(target, e, n)?,
-        };
+        // Apply through the stamped variants: the completion stamp is
+        // taken inside the target page's critical section, so stamps of
+        // conflicting atomics are monotone in the order the memory
+        // system actually applied them — even when host-thread
+        // scheduling reorders the appliers relative to virtual time.
         let comp = g3.finish + self.cost.propagation_ns + self.cost.ack_ns;
-        ctx.wait_until(comp);
+        let (old, stamp) = match kind {
+            AtomicKind::FetchAdd(d) => mem.fetch_add_u64_stamped(target, d, comp)?,
+            AtomicKind::CmpSwap(e, n) => mem.cas_u64_stamped(target, e, n, comp)?,
+        };
+        ctx.wait_until(stamp);
         ctx.work(self.cost.cq_poll_ns);
         self.one_sided_ops.fetch_add(1, Ordering::Relaxed);
         Ok(old)

@@ -6,6 +6,7 @@
 //! closely than a single big lock would.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
@@ -28,6 +29,10 @@ type Page = Box<[u8; PAGE_SIZE]>;
 pub struct PhysMem {
     size: u64,
     shards: Vec<RwLock<HashMap<u64, Arc<Mutex<Page>>>>>,
+    /// High-water mark of atomic completion stamps handed out by the
+    /// `*_stamped` operations; guarantees stamps are monotone in actual
+    /// apply order across the whole address space.
+    atomic_clock: AtomicU64,
 }
 
 impl PhysMem {
@@ -38,6 +43,7 @@ impl PhysMem {
         PhysMem {
             size,
             shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            atomic_clock: AtomicU64::new(0),
         }
     }
 
@@ -155,6 +161,63 @@ impl PhysMem {
         Ok(old)
     }
 
+    /// Advances the atomic clock to at least `now` and returns the new
+    /// stamp. Must be called while holding the page lock of the cell
+    /// being modified so the stamp order matches the apply order.
+    fn bump_atomic_clock(&self, now: u64) -> u64 {
+        let mut prev = self.atomic_clock.load(Ordering::Relaxed);
+        loop {
+            let stamp = now.max(prev + 1);
+            match self.atomic_clock.compare_exchange_weak(
+                prev,
+                stamp,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return stamp,
+                Err(p) => prev = p,
+            }
+        }
+    }
+
+    /// [`Self::fetch_add_u64`], plus a completion stamp that is strictly
+    /// monotone in actual apply order: returns `(old, stamp)` with
+    /// `stamp >= now`. Two conflicting atomics always see stamps ordered
+    /// the same way their effects were applied — the property the
+    /// linearizability checker's virtual-time intervals rely on.
+    pub fn fetch_add_u64_stamped(
+        &self,
+        addr: PhysAddr,
+        delta: u64,
+        now: u64,
+    ) -> Result<(u64, u64), MemError> {
+        let (page, off) = self.atomic_cell(addr)?;
+        let mut p = page.lock();
+        let old = u64::from_le_bytes(p[off..off + 8].try_into().expect("8 bytes"));
+        p[off..off + 8].copy_from_slice(&old.wrapping_add(delta).to_le_bytes());
+        let stamp = self.bump_atomic_clock(now);
+        Ok((old, stamp))
+    }
+
+    /// [`Self::cas_u64`] with an apply-order-monotone completion stamp;
+    /// see [`Self::fetch_add_u64_stamped`].
+    pub fn cas_u64_stamped(
+        &self,
+        addr: PhysAddr,
+        expect: u64,
+        new: u64,
+        now: u64,
+    ) -> Result<(u64, u64), MemError> {
+        let (page, off) = self.atomic_cell(addr)?;
+        let mut p = page.lock();
+        let old = u64::from_le_bytes(p[off..off + 8].try_into().expect("8 bytes"));
+        if old == expect {
+            p[off..off + 8].copy_from_slice(&new.to_le_bytes());
+        }
+        let stamp = self.bump_atomic_clock(now);
+        Ok((old, stamp))
+    }
+
     /// Reads the u64 at `addr` atomically.
     pub fn load_u64(&self, addr: PhysAddr) -> Result<u64, MemError> {
         let (page, off) = self.atomic_cell(addr)?;
@@ -248,6 +311,21 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(m.load_u64(0).unwrap(), 80_000);
+    }
+
+    #[test]
+    fn stamped_atomics_are_monotone_in_apply_order() {
+        let m = PhysMem::new(1 << 16);
+        let (old, s1) = m.fetch_add_u64_stamped(64, 1, 1_000).unwrap();
+        assert_eq!(old, 0);
+        assert!(s1 >= 1_000);
+        // A conflicting atomic with a *lagging* virtual clock still
+        // stamps after the first apply.
+        let (old, s2) = m.cas_u64_stamped(64, 1, 7, 10).unwrap();
+        assert_eq!(old, 1);
+        assert!(s2 > s1);
+        let (_, s3) = m.fetch_add_u64_stamped(64, 1, 2_000).unwrap();
+        assert!(s3 >= 2_000 && s3 > s2);
     }
 
     #[test]

@@ -208,3 +208,40 @@ fn chaos_without_recovery_layer_fails() {
     assert_eq!(stats.qp_reconnects, 0, "recovery disabled means no repairs");
     cluster.fabric().clear_fault_plan();
 }
+
+/// The linearizability acceptance sweep: >= 50 seeded interleavings of
+/// the mixed lock / fetch-add / test-set / barrier workload, each
+/// recorded and certified by the history checker. Two thirds run with
+/// injected delays only (pure scheduling exploration); the rest add
+/// bounded WR drops so the recovery layer's retries are part of the
+/// certified schedule too.
+#[test]
+fn mixed_sync_workload_linearizable_across_seeds() {
+    use lite::verify::{explore, run_mixed, MixedWorkload};
+
+    let delays_only = MixedWorkload::default();
+    let with_drops = MixedWorkload {
+        drop_prob: 0.02,
+        max_drops: 4,
+        ..MixedWorkload::default()
+    };
+
+    let report = explore(0..54u64, |seed| {
+        let w = if seed % 3 == 2 {
+            &with_drops
+        } else {
+            &delays_only
+        };
+        run_mixed(seed, w)
+    });
+    assert!(
+        report.run_errors.is_empty(),
+        "workload runs failed: {:?}",
+        report.run_errors
+    );
+    assert!(
+        report.all_linearizable(),
+        "non-linearizable seeds: {:?}",
+        report.failing_seeds()
+    );
+}

@@ -156,8 +156,8 @@ proptest! {
         sizes in prop::collection::vec(1u64..1500, 1..300),
         consume_lag in 1usize..8
     ) {
-        let cr = lite::ring::ClientRing::new(0, 16 * 1024);
-        let sr = lite::ring::ServerRing::new(0, 16 * 1024);
+        let cr = lite::ring::ClientRing::new(0, 16 * 1024).unwrap();
+        let sr = lite::ring::ServerRing::new(0, 16 * 1024).unwrap();
         let mut pending: Vec<(lite::ring::Reservation, u64)> = Vec::new();
         for (i, &len) in sizes.iter().enumerate() {
             match cr.try_reserve(len) {
