@@ -1,0 +1,181 @@
+//! Memory-tiering pressure benchmark (`lite::mm`): a seeded random
+//! read/write workload over a working set, run twice — once with no
+//! budget (tiering off) and once with a per-node budget at 50 % of the
+//! working set, which keeps the sweeper evicting and fetching chunks
+//! the whole run. Every read is checked against a shadow buffer, so
+//! the report carries a hard verify-failure count alongside the
+//! throughput and the kernel's own tiering gauges.
+
+use lite::{LiteConfig, MmReport, Perm};
+use rand::{Rng, SeedableRng};
+use simnet::{Ctx, Summary};
+
+use crate::env::LiteEnv;
+use crate::table::Row;
+
+const US: f64 = 1_000.0;
+
+/// One case's outcome (unlimited or budgeted).
+pub struct CaseResult {
+    /// Row label.
+    pub label: String,
+    /// Configured per-node budget (0 = tiering off).
+    pub budget_bytes: u64,
+    /// Ops that completed (forward progress).
+    pub ops_done: u64,
+    /// Reads that did not match the shadow buffer.
+    pub verify_failures: u64,
+    /// Mean op latency, µs (virtual time).
+    pub mean_us: f64,
+    /// Tiering gauges from every node, in node order.
+    pub mm: Vec<MmReport>,
+}
+
+impl CaseResult {
+    fn json(&self) -> String {
+        let mut s = format!(
+            "{{\"label\":\"{}\",\"budget_bytes\":{},\"ops_done\":{},\"verify_failures\":{},\"mean_us\":{:.3},\"nodes\":[",
+            self.label, self.budget_bytes, self.ops_done, self.verify_failures, self.mean_us
+        );
+        for (i, m) in self.mm.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&m.json());
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Lifetime evictions summed over the cluster.
+    pub fn evictions(&self) -> u64 {
+        self.mm.iter().map(|m| m.evictions).sum()
+    }
+
+    /// Lifetime fetch-backs summed over the cluster.
+    pub fn fetch_backs(&self) -> u64 {
+        self.mm.iter().map(|m| m.fetch_backs).sum()
+    }
+}
+
+/// The benchmark's outcome: table rows plus both cases for the JSON
+/// artifact.
+pub struct MemPressureReport {
+    /// Table rows.
+    pub rows: Vec<Row>,
+    /// Working-set bytes.
+    pub working_set: u64,
+    /// Tiering off.
+    pub unlimited: CaseResult,
+    /// Budget at 50 % of the working set.
+    pub budgeted: CaseResult,
+}
+
+impl MemPressureReport {
+    /// The CI artifact.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"working_set\":{},\"unlimited\":{},\"budgeted\":{}}}",
+            self.working_set,
+            self.unlimited.json(),
+            self.budgeted.json()
+        )
+    }
+}
+
+/// Runs the seeded workload once with `budget` bytes per node.
+fn run_case(label: &str, working_set: u64, budget: u64, ops: u64) -> CaseResult {
+    let config = LiteConfig {
+        mem_budget_bytes: budget,
+        mm_sweep_interval: std::time::Duration::from_millis(1),
+        max_lmr_chunk: 16 * 1024,
+        ..LiteConfig::default()
+    };
+    let env = LiteEnv::with_config(3, config);
+    let mut h = env.cluster.attach(0).unwrap();
+    let mut ctx = Ctx::new();
+    // Mastered and stored on node 0: exactly the memory the budget
+    // governs.
+    let lh = h
+        .lt_malloc(&mut ctx, 0, working_set, "mempressure", Perm::RW)
+        .unwrap();
+
+    let mut shadow = vec![0u8; working_set as usize];
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(4242);
+    let mut s = Summary::new();
+    let mut done = 0u64;
+    let mut failures = 0u64;
+    let io = 4096usize;
+    for i in 0..ops {
+        let off = (rng.gen_range(0..working_set - io as u64) / 64) * 64;
+        let t0 = ctx.now();
+        if i % 2 == 0 {
+            let block: Vec<u8> = (0..io).map(|j| (i as u8).wrapping_add(j as u8)).collect();
+            if h.lt_write(&mut ctx, lh, off, &block).is_ok() {
+                shadow[off as usize..off as usize + io].copy_from_slice(&block);
+                done += 1;
+            }
+        } else {
+            let mut buf = vec![0u8; io];
+            if h.lt_read(&mut ctx, lh, off, &mut buf).is_ok() {
+                done += 1;
+                if buf != shadow[off as usize..off as usize + io] {
+                    failures += 1;
+                }
+            }
+        }
+        s.record(ctx.now() - t0);
+    }
+    // Final full sweep of the shadow: every byte, wherever its chunk
+    // migrated to, must read back exactly.
+    let mut buf = vec![0u8; working_set as usize];
+    for (i, slice) in buf.chunks_mut(io).enumerate() {
+        if h.lt_read(&mut ctx, lh, (i * io) as u64, slice).is_err() {
+            failures += 1;
+        }
+    }
+    if buf != shadow {
+        failures += 1;
+    }
+    CaseResult {
+        label: label.to_string(),
+        budget_bytes: budget,
+        ops_done: done,
+        verify_failures: failures,
+        mean_us: s.mean() / US,
+        mm: (0..3).map(|n| env.cluster.kernel(n).mm_stats()).collect(),
+    }
+}
+
+/// Unlimited vs budget-at-50 %: the tiering tax under pressure, and
+/// the zero-eviction ablation when the budget is off.
+pub fn mempressure(full: bool) -> MemPressureReport {
+    let (working_set, ops) = if full {
+        (1u64 << 20, 4_000u64)
+    } else {
+        (256u64 << 10, 800u64)
+    };
+    let unlimited = run_case("unlimited", working_set, 0, ops);
+    let budgeted = run_case("budget-50%", working_set, working_set / 2, ops);
+    let rows = [&unlimited, &budgeted]
+        .iter()
+        .map(|c| {
+            Row::new(c.label.clone())
+                .cell("mean_us", c.mean_us)
+                .cell("ops", c.ops_done as f64)
+                .cell("verify_fail", c.verify_failures as f64)
+                .cell("evictions", c.evictions() as f64)
+                .cell("fetch_backs", c.fetch_backs() as f64)
+                .cell(
+                    "redirects",
+                    c.mm.iter().map(|m| m.redirects).sum::<u64>() as f64,
+                )
+        })
+        .collect();
+    MemPressureReport {
+        rows,
+        working_set,
+        unlimited,
+        budgeted,
+    }
+}

@@ -4,6 +4,7 @@ pub mod ablation;
 pub mod apps;
 pub mod chaos;
 pub mod latency;
+pub mod mempressure;
 pub mod micro;
 pub mod rpc;
 pub mod scale_qos;

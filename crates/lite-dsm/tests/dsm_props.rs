@@ -139,3 +139,67 @@ fn reads_move_data_one_sidedly() {
     );
     dsm.shutdown();
 }
+
+/// The MRSW protocol on a memory-tiered cluster: the per-node budget
+/// sits below node 0's partition of the DSM, so its pages are evicted
+/// to swap nodes while acquire/write/release/read traffic runs, and
+/// every access transparently follows the chunks. The counting
+/// workload must still lose nothing, and the tiering machinery must
+/// actually have engaged.
+#[test]
+fn concurrent_cells_lose_nothing_under_memory_budget() {
+    use lite::{LiteConfig, QosConfig};
+    use rnic::IbConfig;
+    use std::time::Duration;
+
+    let config = LiteConfig {
+        // Node 0 masters ~1/3 of an 8-page DSM (plus DSM metadata);
+        // 4 KB keeps it permanently over budget.
+        mem_budget_bytes: 4096,
+        mm_sweep_interval: Duration::from_millis(1),
+        max_lmr_chunk: 4096,
+        ..LiteConfig::default()
+    };
+    let cluster =
+        LiteCluster::start_with(IbConfig::with_nodes(3), config, QosConfig::default()).unwrap();
+    let dsm = DsmCluster::create(&cluster, (8 * PAGE) as u64).unwrap();
+    let per_node = 25;
+    let mut joins = Vec::new();
+    for node in 0..3usize {
+        let dsm = Arc::clone(&dsm);
+        joins.push(std::thread::spawn(move || {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(100 + node as u64);
+            let mut h = dsm.handle(node).unwrap();
+            let mut ctx = Ctx::new();
+            for _ in 0..per_node {
+                let cell = rng.gen_range(0..16u64) * 8;
+                h.acquire(&mut ctx, cell, 8).unwrap();
+                let mut b = [0u8; 8];
+                h.read(&mut ctx, cell, &mut b).unwrap();
+                let v = u64::from_le_bytes(b);
+                h.write(&mut ctx, cell, &(v + 1).to_le_bytes()).unwrap();
+                h.release(&mut ctx).unwrap();
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    let mut h = dsm.handle(1).unwrap();
+    let mut ctx = Ctx::new();
+    let mut total = 0u64;
+    for cell in 0..16u64 {
+        let mut b = [0u8; 8];
+        h.read(&mut ctx, cell * 8, &mut b).unwrap();
+        total += u64::from_le_bytes(b);
+    }
+    assert_eq!(
+        total as usize,
+        3 * per_node,
+        "increments lost under eviction"
+    );
+    let evictions: u64 = (0..3).map(|n| cluster.kernel(n).mm_stats().evictions).sum();
+    assert!(evictions > 0, "budget never forced eviction");
+    dsm.shutdown();
+}

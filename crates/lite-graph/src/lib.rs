@@ -138,4 +138,44 @@ mod tests {
             tcp_r.runtime_ns
         );
     }
+
+    /// The unmodified LITE backend on a memory-tiered cluster: every
+    /// node's rank partition (~9 KB at this scale) sits far over the
+    /// 2 KB per-node budget, so partitions are evicted and chased by
+    /// the per-round `LT_read` pulls — and the ranks must still be
+    /// bit-comparable to the reference. The app code does not change.
+    #[test]
+    fn lite_backend_agrees_on_ranks_under_memory_budget() {
+        use std::time::Duration;
+
+        let g = Graph::power_law(3_000, 24_000, 0.9, 11);
+        let cfg = PagerankConfig {
+            max_iters: 5,
+            ..Default::default()
+        };
+        let reference = run_reference(&g, &cfg);
+
+        let config = lite::LiteConfig {
+            mem_budget_bytes: 2048,
+            mm_sweep_interval: Duration::from_millis(1),
+            max_lmr_chunk: 4096,
+            ..lite::LiteConfig::default()
+        };
+        let cluster = lite::LiteCluster::start_with(
+            rnic::IbConfig::with_nodes(3),
+            config,
+            lite::QosConfig::default(),
+        )
+        .unwrap();
+        let lite_r = run_lite(&cluster, &g, 3, 2, &cfg).unwrap();
+        assert_eq!(lite_r.ranks.len(), reference.ranks.len());
+        for (i, (a, b)) in lite_r.ranks.iter().zip(&reference.ranks).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-9,
+                "budgeted rank[{i}] {a} vs reference {b}"
+            );
+        }
+        let evictions: u64 = (0..3).map(|n| cluster.kernel(n).mm_stats().evictions).sum();
+        assert!(evictions > 0, "budget never forced eviction");
+    }
 }

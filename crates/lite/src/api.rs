@@ -144,6 +144,13 @@ impl LiteHandle {
         self.kernel.lt_stats()
     }
 
+    /// The cluster-wide LMR id behind a local handle. The id is stable
+    /// across chunk migrations (only the physical location moves), so
+    /// tooling can use it to target `MmRequest`s at a specific LMR.
+    pub fn lh_id(&self, lh: Lh) -> LiteResult<crate::lmr::LmrId> {
+        Ok(self.kernel.lookup_lh(self.pid, lh)?.id)
+    }
+
     /// Records a completed API-level round trip (RPC/lock/barrier) into
     /// the class histograms and — when sampled — the trace ring. Spans
     /// feed only the class view; the datapath posts underneath them
@@ -325,7 +332,7 @@ impl LiteHandle {
     }
 
     /// Kernel-service call; checks the leading status byte.
-    fn kcall(
+    pub(crate) fn kcall(
         &mut self,
         ctx: &mut Ctx,
         server: NodeId,
@@ -418,6 +425,7 @@ impl LiteHandle {
                 location,
                 perm: Perm::MASTER,
                 stale: false,
+                relocated: false,
             },
         );
         self.exit(ctx);
@@ -483,8 +491,86 @@ impl LiteHandle {
                 location: Location { extents },
                 perm,
                 stale: false,
+                relocated: false,
             },
         ))
+    }
+
+    /// Transparently refreshes an lh whose cached location went stale
+    /// under memory tiering (the master's `lite::mm` migrated chunks):
+    /// re-fetches the location from the master and reinstalls the entry
+    /// under the *same* lh number. The permission the handle already
+    /// carries is preserved — a plain `FN_MAP` reply would downgrade a
+    /// master handle to the granted perm.
+    fn refresh_lh(&mut self, ctx: &mut Ctx, lh: Lh) -> LiteResult<()> {
+        let entry = self.kernel.lookup_lh(self.pid, lh)?;
+        let resp = self
+            .kcall(
+                ctx,
+                entry.id.node as NodeId,
+                FN_MAP,
+                Enc::new().bytes(entry.name.as_bytes()).done(),
+            )
+            .map_err(|e| match e {
+                // The LMR vanished while we held a relocated handle: the
+                // handle is dead, not merely stale.
+                LiteError::NameNotFound { .. } => LiteError::BadLh { lh },
+                other => other,
+            })?;
+        let mut d = Dec::new(&resp);
+        let id = LmrId {
+            node: d.u32()?,
+            idx: d.u32()?,
+        };
+        let _granted = d.u8()?;
+        let n = d.u32()?;
+        let mut extents = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let node = d.u32()? as NodeId;
+            let addr = d.u64()?;
+            let len = d.u64()?;
+            extents.push((node, Chunk { addr, len }));
+        }
+        self.kernel.reinstall_lh(
+            self.pid,
+            lh,
+            LhEntry {
+                id,
+                name: entry.name,
+                location: Location { extents },
+                perm: entry.perm,
+                stale: false,
+                relocated: false,
+            },
+        );
+        Ok(())
+    }
+
+    /// Pins every piece at its storage node's memory manager before a
+    /// one-sided access, so eviction cannot pull the chunks out from
+    /// under the in-flight op. The pin verifies piece identity (LMR id +
+    /// byte offset), closing the window where a cached location points
+    /// at freed-and-recycled memory. `Err(Relocated)` means the caller
+    /// should refresh the lh and retry; no side effect has happened yet.
+    fn pin_pieces(
+        &self,
+        entry: &LhEntry,
+        offset: u64,
+        pieces: &[(NodeId, Chunk)],
+    ) -> LiteResult<Vec<crate::mm::PinGuard>> {
+        let mut guards = Vec::new();
+        let mut lmr_off = offset;
+        for (node, c) in pieces {
+            if let Some(mm) = self.kernel.mm().peer(*node) {
+                match mm.pin(c.addr, c.len, entry.id, lmr_off) {
+                    crate::mm::PinOutcome::Untracked => {}
+                    crate::mm::PinOutcome::Pinned(g) => guards.push(g),
+                    crate::mm::PinOutcome::Relocated => return Err(LiteError::Relocated),
+                }
+            }
+            lmr_off += c.len;
+        }
+        Ok(guards)
     }
 
     /// LT_unmap: drops the lh and tells the master.
@@ -679,6 +765,7 @@ impl LiteHandle {
                 location: new_loc,
                 perm: Perm::MASTER,
                 stale: false,
+                relocated: false,
             },
         );
         // Keep the caller's lh number stable by aliasing: re-register the
@@ -720,10 +807,37 @@ impl LiteHandle {
         // effect and are not recorded in the history (a no-effect op
         // adds no constraint); failures past this point may have
         // partially applied and are recorded as failed writes.
-        let entry = self.kernel.lookup_lh(self.pid, lh)?;
-        let pieces = entry.check(offset, data.len(), Perm::RW)?;
         let start = ctx.now();
-        let result = self.write_pieces(ctx, &pieces, data);
+        let mut entry = self.kernel.lookup_lh(self.pid, lh)?;
+        let mut result = Err(LiteError::Relocated);
+        for attempt in 0..3 {
+            if attempt > 0 {
+                // The location moved under tiering: re-fetch it from the
+                // master and redo the access against the fresh pieces.
+                self.refresh_lh(ctx, lh)?;
+                entry = self.kernel.lookup_lh(self.pid, lh)?;
+            }
+            let pieces = match entry.check(offset, data.len(), Perm::RW) {
+                Ok(p) => p,
+                Err(LiteError::Relocated) => continue,
+                Err(e) => {
+                    self.exit(ctx);
+                    return Err(e);
+                }
+            };
+            // Pins are taken before any byte is posted, so a Relocated
+            // here (or from check) retries with zero side effects.
+            let _pins = match self.pin_pieces(&entry, offset, &pieces) {
+                Ok(g) => g,
+                Err(LiteError::Relocated) => continue,
+                Err(e) => {
+                    self.exit(ctx);
+                    return Err(e);
+                }
+            };
+            result = self.write_pieces(ctx, &pieces, data);
+            break;
+        }
         self.record_hist(
             crate::verify::Key::Reg {
                 node: entry.id.node,
@@ -779,10 +893,33 @@ impl LiteHandle {
         buf: &mut [u8],
     ) -> LiteResult<()> {
         self.enter(ctx);
-        let entry = self.kernel.lookup_lh(self.pid, lh)?;
-        let pieces = entry.check(offset, buf.len(), Perm::RO)?;
         let start = ctx.now();
-        let result = self.read_pieces(ctx, &pieces, buf);
+        let mut entry = self.kernel.lookup_lh(self.pid, lh)?;
+        let mut result = Err(LiteError::Relocated);
+        for attempt in 0..3 {
+            if attempt > 0 {
+                self.refresh_lh(ctx, lh)?;
+                entry = self.kernel.lookup_lh(self.pid, lh)?;
+            }
+            let pieces = match entry.check(offset, buf.len(), Perm::RO) {
+                Ok(p) => p,
+                Err(LiteError::Relocated) => continue,
+                Err(e) => {
+                    self.exit(ctx);
+                    return Err(e);
+                }
+            };
+            let _pins = match self.pin_pieces(&entry, offset, &pieces) {
+                Ok(g) => g,
+                Err(LiteError::Relocated) => continue,
+                Err(e) => {
+                    self.exit(ctx);
+                    return Err(e);
+                }
+            };
+            result = self.read_pieces(ctx, &pieces, buf);
+            break;
+        }
         self.record_hist(
             crate::verify::Key::Reg {
                 node: entry.id.node,
@@ -850,18 +987,43 @@ impl LiteHandle {
         byte: u8,
     ) -> LiteResult<()> {
         self.enter(ctx);
-        let entry = self.kernel.lookup_lh(self.pid, lh)?;
-        let pieces = entry.check(offset, len, Perm::RW)?;
-        for (node, c) in pieces {
-            self.kcall(
-                ctx,
-                node,
-                FN_MEMSET,
-                Enc::new().u64(c.addr).u64(c.len).u8(byte).done(),
-            )?;
+        let mut result = Err(LiteError::Relocated);
+        'attempt: for attempt in 0..3 {
+            if attempt > 0 {
+                self.refresh_lh(ctx, lh)?;
+            }
+            let entry = self.kernel.lookup_lh(self.pid, lh)?;
+            let pieces = match entry.check(offset, len, Perm::RW) {
+                Ok(p) => p,
+                Err(LiteError::Relocated) => continue,
+                Err(e) => {
+                    self.exit(ctx);
+                    return Err(e);
+                }
+            };
+            // The remote handler fences each range itself and answers
+            // Relocated when a chunk is mid-migration; redoing all the
+            // pieces after a refresh is idempotent.
+            for (node, c) in pieces {
+                match self.kcall(
+                    ctx,
+                    node,
+                    FN_MEMSET,
+                    Enc::new().u64(c.addr).u64(c.len).u8(byte).done(),
+                ) {
+                    Ok(_) => {}
+                    Err(LiteError::Relocated) => continue 'attempt,
+                    Err(e) => {
+                        self.exit(ctx);
+                        return Err(e);
+                    }
+                }
+            }
+            result = Ok(());
+            break;
         }
         self.exit(ctx);
-        Ok(())
+        result
     }
 
     /// LT_memcpy: copies between LMRs. Each source piece is pushed by the
@@ -877,45 +1039,78 @@ impl LiteHandle {
         len: usize,
     ) -> LiteResult<()> {
         self.enter(ctx);
-        let src_entry = self.kernel.lookup_lh(self.pid, src_lh)?;
-        let dst_entry = self.kernel.lookup_lh(self.pid, dst_lh)?;
-        let src_pieces = src_entry.check(src_off, len, Perm::RO)?;
-        let dst_pieces = dst_entry.check(dst_off, len, Perm::RW)?;
-        // Walk both piece lists in lockstep.
-        let (mut si, mut di) = (0usize, 0usize);
-        let (mut s_used, mut d_used) = (0u64, 0u64);
-        let mut remaining = len as u64;
-        while remaining > 0 {
-            let (s_node, s_c) = &src_pieces[si];
-            let (d_node, d_c) = &dst_pieces[di];
-            let n = (s_c.len - s_used).min(d_c.len - d_used).min(remaining);
-            let op = if s_node == d_node { 0u8 } else { 1u8 };
-            self.kcall(
-                ctx,
-                *s_node,
-                FN_MEMCPY,
-                Enc::new()
-                    .u8(op)
-                    .u64(s_c.addr + s_used)
-                    .u64(n)
-                    .u32(*d_node as u32)
-                    .u64(d_c.addr + d_used)
-                    .done(),
-            )?;
-            s_used += n;
-            d_used += n;
-            remaining -= n;
-            if s_used == s_c.len {
-                si += 1;
-                s_used = 0;
+        let mut result = Err(LiteError::Relocated);
+        'attempt: for attempt in 0..3 {
+            if attempt > 0 {
+                // Either handle's cached location may be the stale one;
+                // refresh both (a fresh refresh is a cheap no-op) and
+                // redo the whole copy — re-copying bytes is idempotent.
+                self.refresh_lh(ctx, src_lh)?;
+                self.refresh_lh(ctx, dst_lh)?;
             }
-            if d_used == d_c.len {
-                di += 1;
-                d_used = 0;
+            let src_entry = self.kernel.lookup_lh(self.pid, src_lh)?;
+            let dst_entry = self.kernel.lookup_lh(self.pid, dst_lh)?;
+            let src_pieces = match src_entry.check(src_off, len, Perm::RO) {
+                Ok(p) => p,
+                Err(LiteError::Relocated) => continue,
+                Err(e) => {
+                    self.exit(ctx);
+                    return Err(e);
+                }
+            };
+            let dst_pieces = match dst_entry.check(dst_off, len, Perm::RW) {
+                Ok(p) => p,
+                Err(LiteError::Relocated) => continue,
+                Err(e) => {
+                    self.exit(ctx);
+                    return Err(e);
+                }
+            };
+            // Walk both piece lists in lockstep.
+            let (mut si, mut di) = (0usize, 0usize);
+            let (mut s_used, mut d_used) = (0u64, 0u64);
+            let mut remaining = len as u64;
+            while remaining > 0 {
+                let (s_node, s_c) = &src_pieces[si];
+                let (d_node, d_c) = &dst_pieces[di];
+                let n = (s_c.len - s_used).min(d_c.len - d_used).min(remaining);
+                let op = if s_node == d_node { 0u8 } else { 1u8 };
+                match self.kcall(
+                    ctx,
+                    *s_node,
+                    FN_MEMCPY,
+                    Enc::new()
+                        .u8(op)
+                        .u64(s_c.addr + s_used)
+                        .u64(n)
+                        .u32(*d_node as u32)
+                        .u64(d_c.addr + d_used)
+                        .done(),
+                ) {
+                    Ok(_) => {}
+                    Err(LiteError::Relocated) => continue 'attempt,
+                    Err(e) => {
+                        self.exit(ctx);
+                        return Err(e);
+                    }
+                }
+                s_used += n;
+                d_used += n;
+                remaining -= n;
+                if s_used == s_c.len {
+                    si += 1;
+                    s_used = 0;
+                }
+                if d_used == d_c.len {
+                    di += 1;
+                    d_used = 0;
+                }
             }
+            result = Ok(());
+            break;
         }
         self.exit(ctx);
-        Ok(())
+        result
     }
 
     /// LT_memmove: same as memcpy (pieces never alias across LMRs; within
@@ -1415,12 +1610,42 @@ impl LiteHandle {
         delta: u64,
     ) -> LiteResult<u64> {
         self.enter(ctx);
-        let entry = self.kernel.lookup_lh(self.pid, lh)?;
-        let pieces = entry.check(offset, 8, Perm::RW)?;
-        let (node, c) = single_piece(offset, &pieces)?;
-        let old = self.kernel.fetch_add(ctx, self.prio, node, c.addr, delta)?;
+        let mut result = Err(LiteError::Relocated);
+        for attempt in 0..3 {
+            if attempt > 0 {
+                self.refresh_lh(ctx, lh)?;
+            }
+            let entry = self.kernel.lookup_lh(self.pid, lh)?;
+            let pieces = match entry.check(offset, 8, Perm::RW) {
+                Ok(p) => p,
+                Err(LiteError::Relocated) => continue,
+                Err(e) => {
+                    self.exit(ctx);
+                    return Err(e);
+                }
+            };
+            let (node, c) = match single_piece(offset, &pieces) {
+                Ok(p) => p,
+                Err(e) => {
+                    self.exit(ctx);
+                    return Err(e);
+                }
+            };
+            // The pin is taken before the atomic posts, so a retry after
+            // Relocated never re-applies a landed fetch-add.
+            let _pin = match self.pin_pieces(&entry, offset, &pieces) {
+                Ok(g) => g,
+                Err(LiteError::Relocated) => continue,
+                Err(e) => {
+                    self.exit(ctx);
+                    return Err(e);
+                }
+            };
+            result = self.kernel.fetch_add(ctx, self.prio, node, c.addr, delta);
+            break;
+        }
         self.exit(ctx);
-        Ok(old)
+        result
     }
 
     /// LT_test-set on a u64 inside an LMR: compare-and-swap
@@ -1435,14 +1660,42 @@ impl LiteHandle {
         new: u64,
     ) -> LiteResult<u64> {
         self.enter(ctx);
-        let entry = self.kernel.lookup_lh(self.pid, lh)?;
-        let pieces = entry.check(offset, 8, Perm::RW)?;
-        let (node, c) = single_piece(offset, &pieces)?;
-        let old = self
-            .kernel
-            .cmp_swap(ctx, self.prio, node, c.addr, expect, new)?;
+        let mut result = Err(LiteError::Relocated);
+        for attempt in 0..3 {
+            if attempt > 0 {
+                self.refresh_lh(ctx, lh)?;
+            }
+            let entry = self.kernel.lookup_lh(self.pid, lh)?;
+            let pieces = match entry.check(offset, 8, Perm::RW) {
+                Ok(p) => p,
+                Err(LiteError::Relocated) => continue,
+                Err(e) => {
+                    self.exit(ctx);
+                    return Err(e);
+                }
+            };
+            let (node, c) = match single_piece(offset, &pieces) {
+                Ok(p) => p,
+                Err(e) => {
+                    self.exit(ctx);
+                    return Err(e);
+                }
+            };
+            let _pin = match self.pin_pieces(&entry, offset, &pieces) {
+                Ok(g) => g,
+                Err(LiteError::Relocated) => continue,
+                Err(e) => {
+                    self.exit(ctx);
+                    return Err(e);
+                }
+            };
+            result = self
+                .kernel
+                .cmp_swap(ctx, self.prio, node, c.addr, expect, new);
+            break;
+        }
         self.exit(ctx);
-        Ok(old)
+        result
     }
 }
 
@@ -1485,6 +1738,7 @@ fn map_status(code: u8) -> LiteError {
             name: String::new(),
         },
         3 => LiteError::NotMaster,
+        4 => LiteError::Relocated,
         other => LiteError::Remote(other),
     }
 }

@@ -78,6 +78,7 @@ impl LiteCluster {
         // Hand each kernel its wiring and start its poller. Kernels also
         // learn every peer's QoS state (receiver-side SW-Pri policies).
         let all_qos: Vec<_> = kernels.iter().map(|k| k.qos_arc()).collect();
+        let all_mm: Vec<_> = kernels.iter().map(|k| k.mm_arc()).collect();
         for (node, kernel) in kernels.iter().enumerate() {
             kernel.finish_setup(
                 std::mem::take(&mut pools[node]),
@@ -86,6 +87,7 @@ impl LiteCluster {
                 rkeys.clone(),
                 sinks.clone(),
                 all_qos.clone(),
+                all_mm.clone(),
             )?;
         }
 

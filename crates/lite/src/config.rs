@@ -64,6 +64,27 @@ pub struct LiteConfig {
     /// evicted once full.
     pub trace_ring_slots: usize,
 
+    // ---- memory tiering (DESIGN.md §11 "Memory tiering") ----
+    /// Per-node physical-memory budget for LMR chunks, in bytes. When the
+    /// resident bytes of locally-mastered LMRs exceed the budget, the
+    /// [`crate::mm`] manager evicts cold chunks to swap nodes over the
+    /// datapath. 0 (the default) disables tiering entirely: nothing is
+    /// tracked, evicted, or rebalanced — the ablation baseline.
+    pub mem_budget_bytes: u64,
+    /// How often the background memory manager wakes to check pressure
+    /// and rebalance, in host wall time.
+    pub mm_sweep_interval: std::time::Duration,
+    /// Nodes eligible to host evicted chunks. Empty (the default) means
+    /// round-robin over all alive peers.
+    pub mm_swap_nodes: Vec<usize>,
+    /// Remote map-faults on an evicted LMR after which the manager pulls
+    /// its chunks home (fetch-back), budget permitting.
+    pub mm_fetch_back_faults: u32,
+    /// Minimum per-chunk access count from a single remote peer before
+    /// the rebalancer migrates the chunk toward that accessor. 0 (the
+    /// default) disables rebalancing.
+    pub mm_rebalance_threshold: u64,
+
     // ---- ablation switches ----
     /// `false` reverts §5.2's crossing optimizations: every RPC pays
     /// 3 syscalls / 6 crossings instead of 2 crossings.
@@ -101,6 +122,11 @@ impl Default for LiteConfig {
             peer_dead_threshold: 3,
             stats_sample_rate: 1,
             trace_ring_slots: 4_096,
+            mem_budget_bytes: 0,
+            mm_sweep_interval: std::time::Duration::from_millis(2),
+            mm_swap_nodes: Vec::new(),
+            mm_fetch_back_faults: 3,
+            mm_rebalance_threshold: 0,
             fast_syscalls: true,
             adaptive_poll: true,
             use_global_mr: true,

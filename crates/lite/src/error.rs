@@ -86,6 +86,11 @@ pub enum LiteError {
     Mem(MemError),
     /// A remote handler reported a failure (encoded status byte).
     Remote(u8),
+    /// The chunk backing this access was evicted or migrated mid-flight;
+    /// the cached lh location is out of date. The API layer refreshes
+    /// the mapping from the master and retries transparently — user code
+    /// only sees this if a refresh itself keeps landing on moving chunks.
+    Relocated,
     /// A kernel invariant was violated (formerly a panic site); the
     /// message names the broken invariant. Returned instead of unwinding
     /// so a wedged node degrades to failed ops rather than a crashed
@@ -120,6 +125,7 @@ impl fmt::Display for LiteError {
             LiteError::Verbs(e) => write!(f, "verbs: {e}"),
             LiteError::Mem(e) => write!(f, "memory: {e}"),
             LiteError::Remote(code) => write!(f, "remote handler failed with status {code}"),
+            LiteError::Relocated => write!(f, "chunk relocated mid-operation"),
             LiteError::Internal(what) => write!(f, "kernel invariant violated: {what}"),
         }
     }

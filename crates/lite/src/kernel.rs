@@ -29,6 +29,7 @@ use smem::{PhysAllocator, PhysMem};
 
 use crate::config::LiteConfig;
 use crate::error::{LiteError, LiteResult};
+use crate::mm::MemManager;
 use crate::observe::{self, Observability, QosReport, StatsReport};
 use crate::qos::{QosConfig, QosState};
 use crate::ring::{ClientRing, ServerRing};
@@ -70,8 +71,12 @@ pub(crate) const FN_BARRIER: u8 = 12;
 pub(crate) const FN_TAKE_RECORD: u8 = 13;
 pub(crate) const FN_GRANT: u8 = 14;
 pub(crate) const FN_UNREGNAME: u8 = 15;
+/// Asks a node's memory manager to evict a chunk of one of its LMRs.
+pub(crate) const FN_EVICT: u8 = 16;
+/// Asks a node's memory manager to fetch an evicted LMR back home.
+pub(crate) const FN_FETCH_BACK: u8 = 17;
 /// First function id available to applications.
-pub const USER_FUNC_MIN: u8 = 16;
+pub const USER_FUNC_MIN: u8 = 18;
 
 /// The cluster-manager node (name registry; §3.3's management service).
 pub const MANAGER_NODE: NodeId = 0;
@@ -113,6 +118,9 @@ pub struct LiteKernel {
     next_pid: AtomicU32,
     next_lh: AtomicU64,
     pub(crate) qos: Arc<QosState>,
+    /// Memory-tiering manager (budget, residency, eviction policy).
+    mm: Arc<MemManager>,
+    mm_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
     shutdown: AtomicBool,
     poller: Mutex<Option<std::thread::JoinHandle<()>>>,
     /// CPU meter of the shared polling thread.
@@ -146,6 +154,7 @@ impl LiteKernel {
             (a.alloc(64)?, a.alloc(LOCK_CELLS * 8)?)
         };
         let link = fabric.cost().link_bytes_per_sec;
+        let mm = Arc::new(MemManager::new(node, fabric.num_nodes(), &config));
         let kernel = LiteKernel {
             node,
             config,
@@ -173,6 +182,8 @@ impl LiteKernel {
             next_pid: AtomicU32::new(1),
             next_lh: AtomicU64::new(1),
             qos: Arc::new(QosState::new(qos_cfg, link)),
+            mm,
+            mm_thread: Mutex::new(None),
             shutdown: AtomicBool::new(false),
             poller: Mutex::new(None),
             poller_cpu: Arc::new(CpuMeter::new()),
@@ -212,6 +223,21 @@ impl LiteKernel {
         Arc::clone(&self.qos)
     }
 
+    /// The node's memory-tiering manager.
+    pub fn mm(&self) -> &Arc<MemManager> {
+        &self.mm
+    }
+
+    /// Shared handle to this node's memory manager (cluster wiring).
+    pub(crate) fn mm_arc(&self) -> Arc<MemManager> {
+        Arc::clone(&self.mm)
+    }
+
+    /// Memory-tiering gauges.
+    pub fn mm_stats(&self) -> crate::mm::MmReport {
+        self.mm.stats()
+    }
+
     /// Statistics snapshot.
     pub fn stats(&self) -> KernelStats {
         match self.datapath.get() {
@@ -238,6 +264,7 @@ impl LiteKernel {
                 dp.observer(),
                 |peer| !dp.peer_is_dead(peer),
                 qos,
+                self.mm.stats(),
             ),
             None => StatsReport {
                 node: self.node,
@@ -246,6 +273,7 @@ impl LiteKernel {
                 peers: Vec::new(),
                 trace: Default::default(),
                 qos,
+                mm: self.mm.stats(),
                 sample_rate: self.config.stats_sample_rate,
             },
         }
@@ -320,6 +348,7 @@ impl LiteKernel {
     /// receive credits, and the poller. Running it twice (or failing to
     /// spawn the poller) is reported as [`LiteError::Internal`] instead
     /// of panicking, so a misused builder degrades to a failed start.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn finish_setup(
         self: &Arc<Self>,
         qp_pools: Vec<Vec<Arc<Qp>>>,
@@ -328,7 +357,9 @@ impl LiteKernel {
         global_rkeys: Vec<u32>,
         head_sinks: Vec<u64>,
         all_qos: Vec<Arc<QosState>>,
+        all_mm: Vec<Arc<MemManager>>,
     ) -> LiteResult<()> {
+        self.mm.set_cluster(all_mm.clone());
         let dp = Arc::new(RnicDataPath::new(
             Arc::clone(&self.fabric),
             self.node,
@@ -338,6 +369,7 @@ impl LiteKernel {
             qp_pools,
             Arc::clone(&self.qos),
             all_qos,
+            all_mm,
             Arc::clone(&self.alloc),
         ));
         let once = LiteError::Internal("cluster setup ran twice on one node");
@@ -363,6 +395,17 @@ impl LiteKernel {
             .spawn(move || me.poll_loop())
             .map_err(|_| LiteError::Internal("could not spawn the polling thread"))?;
         *self.poller.lock() = Some(handle);
+        // The tiering manager only runs when a budget is configured, so
+        // budget-0 clusters (the default, and the ablation baseline) get
+        // no extra thread and byte-identical behavior.
+        if self.mm.enabled() {
+            let me = Arc::clone(self);
+            let mm_handle = std::thread::Builder::new()
+                .name(format!("lite-mm-{}", self.node))
+                .spawn(move || crate::mm::run(me))
+                .map_err(|_| LiteError::Internal("could not spawn the memory manager"))?;
+            *self.mm_thread.lock() = Some(mm_handle);
+        }
         Ok(())
     }
 
@@ -391,8 +434,14 @@ impl LiteKernel {
         Ok(self.alloc.lock().alloc(self.config.rpc_ring_bytes)?)
     }
 
-    /// Begins shutdown: stops the poller and closes CQs.
+    /// Begins shutdown: stops the memory manager (it issues kernel calls
+    /// of its own, so it must quiesce while the pollers still run), then
+    /// the poller, then closes CQs.
     pub(crate) fn stop(&self) {
+        self.mm.begin_shutdown();
+        if let Some(h) = self.mm_thread.lock().take() {
+            let _ = h.join();
+        }
         self.shutdown.store(true, Ordering::Release);
         self.shared_recv_cq.close();
         if let Some(h) = self.poller.lock().take() {

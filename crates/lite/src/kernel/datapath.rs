@@ -31,6 +31,7 @@ use super::stats::RetryCounters;
 use super::LiteKernel;
 use crate::config::LiteConfig;
 use crate::error::{LiteError, LiteResult};
+use crate::mm::MemManager;
 use crate::observe::{EventKind, Observability, OpClass};
 use crate::qos::{Priority, QosMode, QosState};
 
@@ -221,6 +222,10 @@ pub struct RnicDataPath {
     rr: AtomicUsize,
     qos: Arc<QosState>,
     all_qos: Vec<Arc<QosState>>,
+    /// Every node's memory manager: each posted op touches the target
+    /// node's manager (LRU temperature + rebalancer heat). Empty slots /
+    /// disabled managers make the hook free.
+    all_mm: Vec<Arc<MemManager>>,
     alloc: Arc<Mutex<PhysAllocator>>,
     retry_enabled: bool,
     retry_base_ns: Nanos,
@@ -254,6 +259,7 @@ impl RnicDataPath {
         qp_pools: Vec<Vec<Arc<Qp>>>,
         qos: Arc<QosState>,
         all_qos: Vec<Arc<QosState>>,
+        all_mm: Vec<Arc<MemManager>>,
         alloc: Arc<Mutex<PhysAllocator>>,
     ) -> Self {
         let peers = qp_pools.len();
@@ -268,6 +274,7 @@ impl RnicDataPath {
             rr: AtomicUsize::new(0),
             qos,
             all_qos,
+            all_mm,
             alloc,
             retry_enabled: config.retry_enabled,
             retry_base_ns: config.retry_base_ns.max(1),
@@ -296,6 +303,30 @@ impl RnicDataPath {
 
     fn mem(&self) -> &Arc<PhysMem> {
         self.fabric.mem(self.node)
+    }
+
+    /// Feeds the target node's memory manager one access: promotes the
+    /// touched chunk in its LRU and adds heat from this node for the
+    /// rebalancer. Called once per op (not per retry attempt).
+    fn touch_mm(&self, op: &Op) {
+        let (node, addr, len) = match op {
+            Op::Write {
+                dst_node,
+                dst_addr,
+                len,
+                ..
+            } => (*dst_node, *dst_addr, *len as u64),
+            Op::Read {
+                src_node,
+                src_addr,
+                len,
+                ..
+            } => (*src_node, *src_addr, *len as u64),
+            Op::FetchAdd { node, addr, .. } | Op::CmpSwap { node, addr, .. } => (*node, *addr, 8),
+        };
+        if let Some(mm) = self.all_mm.get(node) {
+            mm.touch(addr, len, self.node);
+        }
     }
 
     /// Picks a QP towards `peer` (§6.1 sharing; §6.2 HW-Sep partitions
@@ -837,6 +868,7 @@ impl DataPath for RnicDataPath {
     fn post(&self, ctx: &mut Ctx, prio: Priority, op: &Op) -> LiteResult<Completion> {
         let peer = op.dst_node();
         let class = op.class();
+        self.touch_mm(op);
         let start = ctx.now();
         let sampled = self.obs.sample();
         let op_id = self.obs.next_op_id();
@@ -873,9 +905,24 @@ impl DataPath for RnicDataPath {
         };
         let record_cell = |ret: u64, ok: bool, response: Nanos| {
             if let (Some((node, addr, kind)), Some(log)) = (cell_op, self.obs.history()) {
+                // Key atomic histories by *logical* location when the
+                // cell lives in a tracked LMR chunk: the physical
+                // address changes when the chunk migrates, but the
+                // (LMR id, offset) identity does not — so histories on
+                // a cell stay one linearizable history across eviction,
+                // fetch-back, and rebalance. Untracked cells (lock
+                // words, budget-0 runs) keep their physical key,
+                // byte-identical to the pre-tiering behavior.
+                let key = match self.all_mm.get(node).and_then(|mm| mm.logical_cell(addr)) {
+                    Some((id, off)) => crate::verify::Key::Cell {
+                        node: id.node as NodeId,
+                        addr: (1 << 63) | ((id.idx as u64) << 40) | off,
+                    },
+                    None => crate::verify::Key::Cell { node, addr },
+                };
                 log.record(crate::verify::HistOp {
                     proc: crate::verify::proc_id(self.node, 0),
-                    key: crate::verify::Key::Cell { node, addr },
+                    key,
                     kind,
                     ret,
                     ok,
@@ -943,6 +990,9 @@ impl DataPath for RnicDataPath {
                 }
             }
             if j - i >= 2 {
+                for op in &ops[i..j] {
+                    self.touch_mm(op);
+                }
                 let start = ctx.now();
                 let sampled = self.obs.sample();
                 // One op id per chained write; the chain retries as a

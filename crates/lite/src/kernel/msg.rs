@@ -16,9 +16,9 @@ use smem::Chunk;
 
 use super::rpc::ReplyRoute;
 use super::{
-    LiteKernel, FN_BARRIER, FN_FREE_CHUNKS, FN_GRANT, FN_INVALIDATE, FN_LOCK, FN_MALLOC, FN_MAP,
-    FN_MEMCPY, FN_MEMSET, FN_QUERYNAME, FN_REGNAME, FN_TAKE_RECORD, FN_UNMAP, FN_UNREGNAME,
-    LOCK_CELLS,
+    LiteKernel, FN_BARRIER, FN_EVICT, FN_FETCH_BACK, FN_FREE_CHUNKS, FN_GRANT, FN_INVALIDATE,
+    FN_LOCK, FN_MALLOC, FN_MAP, FN_MEMCPY, FN_MEMSET, FN_QUERYNAME, FN_REGNAME, FN_TAKE_RECORD,
+    FN_UNMAP, FN_UNREGNAME, LOCK_CELLS,
 };
 use crate::error::{LiteError, LiteResult};
 use crate::lmr::{LhEntry, LmrId, Location, MasterRecord, Perm};
@@ -124,6 +124,17 @@ impl LiteKernel {
         }
     }
 
+    /// Marks every local handle on `id` as relocated (not stale): the
+    /// LMR still exists, but its cached location moved under the handle.
+    /// The API layer re-fetches the mapping and clears the flag.
+    pub(crate) fn invalidate_lmr_relocated(&self, id: LmrId) {
+        for entry in self.lhs.lock().values_mut() {
+            if entry.id == id {
+                entry.relocated = true;
+            }
+        }
+    }
+
     // ------------------------------------------------------------------
     // Master records
     // ------------------------------------------------------------------
@@ -135,6 +146,10 @@ impl LiteKernel {
             if let Some(name) = rec.name {
                 t.by_name.remove(&name);
             }
+            // Stop tiering the dropped record's chunks (lt_malloc
+            // rollback); the storage itself is freed by the caller's
+            // FN_FREE_CHUNKS traffic.
+            self.mm.unregister_lmr(idx);
         }
     }
 
@@ -154,6 +169,8 @@ impl LiteKernel {
             return None;
         }
         let old = std::mem::replace(&mut rec.location, new_location);
+        self.mm.unregister_lmr(idx);
+        self.mm.register(rec.id, &rec.location);
         Some((rec.id, old, rec.mapped_by.clone()))
     }
 
@@ -171,6 +188,7 @@ impl LiteKernel {
             node: self.node as u32,
             idx,
         };
+        self.mm.register(id, &location);
         if let Some(n) = &name {
             t.by_name.insert(n.clone(), idx);
         }
@@ -186,6 +204,58 @@ impl LiteKernel {
             },
         );
         id
+    }
+
+    /// Replaces the extents covering `[off, off+len)` of record `idx`
+    /// with `repl`, in place. Returns `false` if the record is gone or
+    /// the range does not line up with extent boundaries (a concurrent
+    /// move/free changed the layout under the migrator, which then
+    /// aborts and rolls back).
+    pub(crate) fn replace_extents(
+        &self,
+        idx: u32,
+        off: u64,
+        len: u64,
+        repl: &[(NodeId, Chunk)],
+    ) -> bool {
+        let mut t = self.masters.lock();
+        let Some(rec) = t.records.get_mut(&idx) else {
+            return false;
+        };
+        let mut out = Vec::with_capacity(rec.location.extents.len() + repl.len());
+        let mut cur = 0u64;
+        let mut matched = 0u64;
+        let mut replaced = false;
+        for (node, c) in &rec.location.extents {
+            let start = cur;
+            cur += c.len;
+            if start >= off && cur <= off + len {
+                matched += c.len;
+                if !replaced {
+                    out.extend(repl.iter().copied());
+                    replaced = true;
+                }
+            } else if cur <= off || start >= off + len {
+                out.push((*node, *c));
+            } else {
+                return false; // partial overlap: layout changed under us
+            }
+        }
+        if !replaced || matched != len {
+            return false;
+        }
+        rec.location.extents = out;
+        true
+    }
+
+    /// The nodes currently mapping record `idx` (relocation notification
+    /// targets), if the record still exists.
+    pub(crate) fn record_mappers(&self, idx: u32) -> Option<Vec<NodeId>> {
+        self.masters
+            .lock()
+            .records
+            .get(&idx)
+            .map(|r| r.mapped_by.clone())
     }
 
     // ------------------------------------------------------------------
@@ -232,12 +302,13 @@ impl LiteKernel {
             }
             FN_FREE_CHUNKS => {
                 let n = d.u32()?;
-                let mut a = self.alloc.lock();
                 let mut status = 0u8;
                 for _ in 0..n {
                     let addr = d.u64()?;
-                    if a.free(addr).is_err() {
+                    if self.alloc.lock().free(addr).is_err() {
                         status = 1;
+                    } else {
+                        self.mm.on_free(addr);
                     }
                 }
                 Ok(Some(Enc::new().u8(status).done()))
@@ -245,7 +316,15 @@ impl LiteKernel {
             FN_INVALIDATE => {
                 let node = d.u32()?;
                 let idx = d.u32()?;
-                self.invalidate_lmr(LmrId { node, idx });
+                // Trailing kind byte (absent in older senders): 0 = the
+                // LMR is gone (free/move) — handles go stale; 1 = the
+                // LMR's chunks migrated — handles refresh transparently.
+                let kind = d.u8().unwrap_or(0);
+                if kind == 1 {
+                    self.invalidate_lmr_relocated(LmrId { node, idx });
+                } else {
+                    self.invalidate_lmr(LmrId { node, idx });
+                }
                 Ok(Some(Enc::new().u8(0).done()))
             }
             FN_REGNAME => {
@@ -288,6 +367,14 @@ impl LiteKernel {
                 if !rec.mapped_by.contains(&(hdr.src_node as NodeId)) {
                     rec.mapped_by.push(hdr.src_node as NodeId);
                 }
+                // A mapper re-fetching a location whose extents left the
+                // master node is a remote fault: enough of them pull the
+                // LMR home on the next manager sweep.
+                if rec.id.node as NodeId == self.node
+                    && rec.location.extents.iter().any(|(n, _)| *n != self.node)
+                {
+                    self.mm.note_map_fault(idx);
+                }
                 let mut e = Enc::new()
                     .u8(0)
                     .u32(rec.id.node)
@@ -328,6 +415,7 @@ impl LiteKernel {
                     .remove(&idx)
                     .ok_or(LiteError::Internal("master table lost an indexed record"))?;
                 t.by_name.remove(&name);
+                self.mm.unregister_lmr(idx);
                 let mut e = Enc::new()
                     .u8(0)
                     .u32(rec.id.node)
@@ -365,6 +453,12 @@ impl LiteKernel {
                 let addr = d.u64()?;
                 let len = d.u64()?;
                 let byte = d.u8()?;
+                // Status 4: the range migrated under the caller's cached
+                // location — it refreshes the mapping and retries.
+                let _pin = match self.mm.pin_raw_nowait(addr, len) {
+                    crate::mm::PinOutcome::Relocated => return Ok(Some(Enc::new().u8(4).done())),
+                    pin => pin,
+                };
                 self.mem().fill(addr, len as usize, byte)?;
                 ctx.work(self.fabric.cost().memcpy_time(len));
                 Ok(Some(Enc::new().u8(0).done()))
@@ -375,9 +469,24 @@ impl LiteKernel {
                 let len = d.u64()?;
                 let dst_node = d.u32()? as NodeId;
                 let dst = d.u64()?;
+                let _src_pin = match self.mm.pin_raw_nowait(src, len) {
+                    crate::mm::PinOutcome::Relocated => return Ok(Some(Enc::new().u8(4).done())),
+                    pin => pin,
+                };
+                let local_dst = op == 0 || dst_node == self.node;
+                let _dst_pin = if local_dst {
+                    match self.mm.pin_raw_nowait(dst, len) {
+                        crate::mm::PinOutcome::Relocated => {
+                            return Ok(Some(Enc::new().u8(4).done()))
+                        }
+                        pin => Some(pin),
+                    }
+                } else {
+                    None
+                };
                 let mut data = vec![0u8; len as usize];
                 self.mem().read(src, &mut data)?;
-                if op == 0 || dst_node == self.node {
+                if local_dst {
                     self.mem().write(dst, &data)?;
                     ctx.work(self.fabric.cost().memcpy_time(len));
                 } else {
@@ -488,6 +597,23 @@ impl LiteKernel {
                     }
                 }
                 Ok(None)
+            }
+            FN_EVICT => {
+                let idx = d.u32()?;
+                let off = d.u64()?;
+                if !self.mm.enabled() {
+                    return Ok(Some(Enc::new().u8(1).done()));
+                }
+                self.mm.request(crate::mm::MmRequest::Evict { idx, off });
+                Ok(Some(Enc::new().u8(0).done()))
+            }
+            FN_FETCH_BACK => {
+                let idx = d.u32()?;
+                if !self.mm.enabled() {
+                    return Ok(Some(Enc::new().u8(1).done()));
+                }
+                self.mm.request(crate::mm::MmRequest::FetchBack { idx });
+                Ok(Some(Enc::new().u8(0).done()))
             }
             other => Err(LiteError::UnknownRpc { func: other }),
         }

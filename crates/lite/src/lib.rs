@@ -53,6 +53,7 @@ pub mod config;
 pub mod error;
 pub mod kernel;
 pub mod lmr;
+pub mod mm;
 pub mod observe;
 pub mod qos;
 pub mod ring;
@@ -68,6 +69,7 @@ pub use kernel::datapath::{
 };
 pub use kernel::{KernelStats, LiteKernel, MANAGER_NODE, USER_FUNC_MIN};
 pub use lmr::{LmrId, Location, Perm};
+pub use mm::{MemManager, MmReport, Residency};
 pub use observe::{
     ClassStats, ConcurrentHistogram, EventKind, LatencySummary, Observability, OpClass, PeerReport,
     QosReport, StatsReport, TraceEvent, TraceRing, TraceStats,

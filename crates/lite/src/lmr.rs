@@ -158,6 +158,11 @@ pub struct LhEntry {
     pub perm: Perm,
     /// Set when the master freed/moved the LMR under us.
     pub stale: bool,
+    /// Set when the memory manager migrated chunks under us (eviction,
+    /// fetch-back, rebalance). Unlike `stale`, the handle is still good —
+    /// the API layer transparently re-fetches the location from the
+    /// master and clears this flag.
+    pub relocated: bool,
 }
 
 impl LhEntry {
@@ -166,6 +171,9 @@ impl LhEntry {
     pub fn check(&self, offset: u64, len: usize, need: Perm) -> LiteResult<Vec<(NodeId, Chunk)>> {
         if self.stale {
             return Err(LiteError::BadLh { lh: 0 });
+        }
+        if self.relocated {
+            return Err(LiteError::Relocated);
         }
         if !self.perm.covers(need) {
             return Err(LiteError::PermissionDenied);
@@ -281,6 +289,7 @@ mod tests {
             location: loc(),
             perm: Perm::RO,
             stale: false,
+            relocated: false,
         };
         assert!(e.check(0, 10, Perm::RO).is_ok());
         assert_eq!(e.check(0, 10, Perm::RW), Err(LiteError::PermissionDenied));

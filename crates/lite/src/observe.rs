@@ -725,6 +725,8 @@ pub struct StatsReport {
     pub trace: TraceStats,
     /// QoS gauges.
     pub qos: QosReport,
+    /// Memory-tiering gauges (resident/evicted bytes, migrations).
+    pub mm: crate::mm::MmReport,
     /// Sampling rate the histograms were recorded at.
     pub sample_rate: u32,
 }
@@ -827,6 +829,7 @@ impl StatsReport {
             "\"mode\":\"{}\",\"rtt_ewma_ns\":{}}}",
             mode, self.qos.rtt_ewma_ns
         ));
+        s.push_str(&format!(",\"mm\":{}", self.mm.json()));
         s.push('}');
         s
     }
@@ -839,6 +842,7 @@ pub(crate) fn build_report(
     obs: &Observability,
     peer_alive: impl Fn(NodeId) -> bool,
     qos: QosReport,
+    mm: crate::mm::MmReport,
 ) -> StatsReport {
     let mut classes = Vec::new();
     for &class in &OP_CLASSES {
@@ -888,6 +892,7 @@ pub(crate) fn build_report(
             by_kind,
         },
         qos,
+        mm,
         sample_rate: obs.sample_rate(),
     }
 }
@@ -982,6 +987,7 @@ mod tests {
                 mode: QosMode::None,
                 rtt_ewma_ns: 0,
             },
+            crate::mm::MmReport::default(),
         );
         let lat = report.class(OpClass::Read, Priority::High).unwrap();
         assert_eq!(lat.count, 50);

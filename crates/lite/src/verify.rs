@@ -636,6 +636,12 @@ pub struct MixedWorkload {
     pub delay_prob: f64,
     /// Injected delay in virtual nanoseconds.
     pub delay_ns: Nanos,
+    /// Per-node physical-memory budget handed to `lite::mm`
+    /// (`LiteConfig::mem_budget_bytes`); 0 leaves tiering off. A small
+    /// budget forces chunk eviction and fetch-back *under* the recorded
+    /// workload, so the checker also proves histories stay linearizable
+    /// across migration.
+    pub mem_budget: u64,
 }
 
 impl Default for MixedWorkload {
@@ -649,6 +655,7 @@ impl Default for MixedWorkload {
             max_drops: 0,
             delay_prob: 0.2,
             delay_ns: 3_000,
+            mem_budget: 0,
         }
     }
 }
@@ -668,6 +675,14 @@ pub fn run_mixed(seed: u64, w: &MixedWorkload) -> LiteResult<History> {
     let config = LiteConfig {
         op_timeout: Duration::from_millis(400),
         stats_sample_rate: 1_000,
+        mem_budget_bytes: w.mem_budget,
+        // Sweep aggressively when tiering is on so a short run still
+        // migrates chunks under the recorded ops.
+        mm_sweep_interval: if w.mem_budget > 0 {
+            Duration::from_micros(200)
+        } else {
+            LiteConfig::default().mm_sweep_interval
+        },
         ..Default::default()
     };
     let cluster = LiteCluster::start_with(
@@ -699,17 +714,20 @@ pub fn run_mixed(seed: u64, w: &MixedWorkload) -> LiteResult<History> {
 
     // Shared state: the lock lives on the last node, the cells + data
     // register on node 1 (distinct from the manager when possible).
+    // Under a memory budget the LMR's storage is co-located with its
+    // master record (the attach node) — `lite::mm` only tiers
+    // locally-mastered chunks, so this is what puts the recorded ops on
+    // evictable memory.
     let owner = w.nodes.max(2) - 1;
     let mut setup = cluster.attach_kernel(owner)?;
     let mut sctx = Ctx::new();
     let lock = setup.lt_create_lock(&mut sctx)?;
-    let _master = setup.lt_malloc(
-        &mut sctx,
-        1 % w.nodes.max(2),
-        4096,
-        "verify.cells",
-        Perm::RW,
-    )?;
+    let cells_node = if w.mem_budget > 0 {
+        owner
+    } else {
+        1 % w.nodes.max(2)
+    };
+    let _master = setup.lt_malloc(&mut sctx, cells_node, 4096, "verify.cells", Perm::RW)?;
 
     let threads = w.threads.max(1);
     std::thread::scope(|scope| -> LiteResult<()> {
@@ -765,6 +783,19 @@ pub fn run_mixed(seed: u64, w: &MixedWorkload) -> LiteResult<History> {
             None => Ok(()),
         }
     })?;
+    // With tiering requested, refuse to certify a run where the
+    // machinery never engaged: the budget sits below the cells LMR, so
+    // the sweeper must have evicted at least once (usually mid-run;
+    // the deadline only covers a slow first sweep).
+    if w.mem_budget > 0 {
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while cluster.kernel(owner).mm_stats().evictions == 0 {
+            if std::time::Instant::now() >= deadline {
+                return Err(LiteError::Internal("tiering enabled but nothing evicted"));
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
     cluster.fabric().clear_fault_plan();
     Ok(log.take())
 }

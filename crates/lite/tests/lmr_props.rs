@@ -1,0 +1,197 @@
+//! Property tests of `lmr::Location::slice` and `lmr::LhEntry::check`
+//! against a naive byte-by-byte oracle.
+//!
+//! The oracle maps every byte offset of an LMR to its (node, physical
+//! address) by walking the extent list one byte at a time — the slowest
+//! possible but obviously correct translation. `slice`'s piece list must
+//! expand to exactly the oracle's byte sequence for arbitrary chunk
+//! layouts, unaligned offsets, ranges straddling three or more chunks,
+//! and zero-length accesses; `check` must additionally enforce the
+//! permission lattice and the stale/relocated flags, and atomics (8-byte
+//! single-piece accesses) must split exactly when the oracle says the
+//! word crosses a chunk boundary.
+
+use lite::{LiteError, LmrId, Location, Perm};
+use proptest::prelude::*;
+use smem::Chunk;
+
+/// Builds a multi-chunk layout from raw (node, len) pairs: bases spaced
+/// far apart so addresses never alias across chunks.
+fn layout(parts: &[(usize, u64)]) -> Location {
+    Location {
+        extents: parts
+            .iter()
+            .enumerate()
+            .map(|(i, &(node, len))| {
+                (
+                    node,
+                    Chunk {
+                        addr: 10_000 * (i as u64 + 1),
+                        len,
+                    },
+                )
+            })
+            .collect(),
+    }
+}
+
+/// The oracle: every byte's (node, physical address), in LMR order.
+fn oracle_bytes(loc: &Location) -> Vec<(usize, u64)> {
+    let mut out = Vec::new();
+    for (node, c) in &loc.extents {
+        for i in 0..c.len {
+            out.push((*node, c.addr + i));
+        }
+    }
+    out
+}
+
+/// Expands a piece list back into per-byte (node, address) pairs.
+fn expand(pieces: &[(usize, Chunk)]) -> Vec<(usize, u64)> {
+    let mut out = Vec::new();
+    for (node, c) in pieces {
+        for i in 0..c.len {
+            out.push((*node, c.addr + i));
+        }
+    }
+    out
+}
+
+fn entry(loc: Location, perm: Perm) -> lite::lmr::LhEntry {
+    lite::lmr::LhEntry {
+        id: LmrId { node: 0, idx: 1 },
+        name: "props".to_string(),
+        location: loc,
+        perm,
+        stale: false,
+        relocated: false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `slice` agrees with the byte oracle on every in-bounds range,
+    /// including unaligned offsets and ranges spanning ≥3 chunks.
+    #[test]
+    fn slice_matches_byte_oracle(
+        parts in prop::collection::vec((0usize..4, 1u64..200), 1..6),
+        off_frac in 0.0f64..1.0,
+        len_frac in 0.0f64..1.0,
+    ) {
+        let loc = layout(&parts);
+        let bytes = oracle_bytes(&loc);
+        let total = bytes.len() as u64;
+        prop_assert_eq!(loc.len(), total);
+        let offset = (off_frac * total as f64) as u64 % total;
+        let len = (1 + (len_frac * (total - offset) as f64) as u64).min(total - offset).max(1);
+        let pieces = loc.slice(offset, len).unwrap();
+        prop_assert_eq!(
+            expand(&pieces),
+            bytes[offset as usize..(offset + len) as usize].to_vec()
+        );
+        // Pieces are never empty and never cross a chunk boundary.
+        for (_, c) in &pieces {
+            prop_assert!(c.len > 0);
+            prop_assert!(loc.extents.iter().any(|(_, e)| c.addr >= e.addr
+                && c.addr + c.len <= e.addr + e.len));
+        }
+    }
+
+    /// Zero-length slices are empty at any offset; anything reaching
+    /// past the end is `OutOfBounds`, never a panic or a short piece
+    /// list.
+    #[test]
+    fn slice_bounds_and_zero_len(
+        parts in prop::collection::vec((0usize..4, 1u64..200), 1..6),
+        offset in 0u64..1500,
+        len in 0u64..1500,
+    ) {
+        let loc = layout(&parts);
+        let total = loc.len();
+        match loc.slice(offset, len) {
+            Ok(pieces) => {
+                if len == 0 {
+                    prop_assert!(pieces.is_empty());
+                } else {
+                    prop_assert!(offset + len <= total);
+                    prop_assert_eq!(pieces.iter().map(|(_, c)| c.len).sum::<u64>(), len);
+                }
+            }
+            Err(LiteError::OutOfBounds { .. }) => prop_assert!(len > 0 && offset + len > total),
+            Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+        }
+    }
+
+    /// `check` enforces the permission lattice on top of the oracle: RW
+    /// handles cover RO accesses, RO handles reject RW, and the piece
+    /// list (when allowed) is exactly `slice`'s.
+    #[test]
+    fn check_respects_permissions(
+        parts in prop::collection::vec((0usize..4, 1u64..200), 1..6),
+        write in any::<bool>(),
+    ) {
+        let loc = layout(&parts);
+        let total = loc.len();
+        let need = if write { Perm::RW } else { Perm::RO };
+        let ro = entry(loc.clone(), Perm::RO);
+        let rw = entry(loc.clone(), Perm::RW);
+        let len = (total as usize).min(9);
+        match ro.check(0, len, need) {
+            Ok(pieces) => {
+                prop_assert!(!write);
+                prop_assert_eq!(pieces, loc.slice(0, len as u64).unwrap());
+            }
+            Err(e) => {
+                prop_assert!(write);
+                prop_assert_eq!(e, LiteError::PermissionDenied);
+            }
+        }
+        prop_assert_eq!(rw.check(0, len, need).unwrap(), loc.slice(0, len as u64).unwrap());
+    }
+
+    /// Stale beats relocated beats permission: the flags fail fast with
+    /// their distinct errors regardless of the requested range.
+    #[test]
+    fn check_stale_and_relocated_flags(
+        parts in prop::collection::vec((0usize..4, 1u64..200), 1..6),
+        offset in 0u64..64,
+    ) {
+        let loc = layout(&parts);
+        let total = loc.len();
+        let len = ((total.saturating_sub(offset)) as usize).clamp(1, 8);
+        let mut e = entry(loc, Perm::RW);
+        e.stale = true;
+        e.relocated = true;
+        prop_assert!(matches!(e.check(offset, len, Perm::RO), Err(LiteError::BadLh { .. })));
+        e.stale = false;
+        prop_assert_eq!(e.check(offset, len, Perm::RO).unwrap_err(), LiteError::Relocated);
+        e.relocated = false;
+        if offset + len as u64 <= total {
+            prop_assert!(e.check(offset, len, Perm::RO).is_ok());
+        }
+    }
+
+    /// An 8-byte atomic word splits into more than one piece exactly
+    /// when the oracle places its bytes across a chunk boundary — the
+    /// `StraddlesChunk` condition the API layer rejects for
+    /// `lt_fetch_add`/`lt_test_set`.
+    #[test]
+    fn atomic_words_split_exactly_at_chunk_boundaries(
+        parts in prop::collection::vec((0usize..4, 1u64..200), 1..6),
+        off_frac in 0.0f64..1.0,
+    ) {
+        let loc = layout(&parts);
+        let total = loc.len();
+        if total < 8 {
+            return Ok(());
+        }
+        let offset = (off_frac * (total - 8) as f64) as u64;
+        let pieces = entry(loc.clone(), Perm::RW).check(offset, 8, Perm::RW).unwrap();
+        // Oracle: the word straddles iff its 8 bytes are not physically
+        // consecutive on one node.
+        let bytes = &oracle_bytes(&loc)[offset as usize..offset as usize + 8];
+        let contiguous = bytes.windows(2).all(|w| w[1].0 == w[0].0 && w[1].1 == w[0].1 + 1);
+        prop_assert_eq!(pieces.len() == 1, contiguous);
+    }
+}

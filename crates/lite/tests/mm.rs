@@ -1,0 +1,269 @@
+//! End-to-end tests of the memory-tiering subsystem (`lite::mm`):
+//! budget-pressure eviction, explicit migration requests, fault-driven
+//! fetch-back, transparency of the API layer across migrations, and the
+//! ablation (budget 0 leaves every gauge at zero and behavior
+//! unchanged).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lite::mm::MmRequest;
+use lite::{LiteCluster, LiteConfig, Perm, QosConfig};
+use rnic::IbConfig;
+use simnet::Ctx;
+
+fn tiered_cluster(nodes: usize, budget: u64) -> Arc<LiteCluster> {
+    let config = LiteConfig {
+        mem_budget_bytes: budget,
+        mm_sweep_interval: Duration::from_millis(1),
+        max_lmr_chunk: 8 * 1024,
+        ..LiteConfig::default()
+    };
+    LiteCluster::start_with(IbConfig::with_nodes(nodes), config, QosConfig::default()).unwrap()
+}
+
+/// Polls `cond` until it holds or `secs` elapse.
+fn wait_for(secs: u64, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    cond()
+}
+
+fn pattern(len: usize, salt: u8) -> Vec<u8> {
+    (0..len)
+        .map(|i| (i as u8).wrapping_mul(31).wrapping_add(salt))
+        .collect()
+}
+
+/// A working set far above the budget is evicted to swap nodes by the
+/// background sweeper, and every byte survives the trip: reads through
+/// the original (now stale) handle transparently refresh and follow the
+/// chunks to their new hosts.
+#[test]
+fn pressure_eviction_keeps_data_intact() {
+    let budget = 48 * 1024u64;
+    let total = 128 * 1024usize;
+    let cluster = tiered_cluster(3, budget);
+    let mut h = cluster.attach(0).unwrap();
+    let mut ctx = Ctx::new();
+    let lh = h
+        .lt_malloc(&mut ctx, 0, total as u64, "mm.pressure", Perm::RW)
+        .unwrap();
+    let data = pattern(total, 7);
+    for (i, slice) in data.chunks(16 * 1024).enumerate() {
+        h.lt_write(&mut ctx, lh, (i * 16 * 1024) as u64, slice)
+            .unwrap();
+    }
+
+    let kernel = cluster.kernel(0);
+    assert!(
+        wait_for(20, || {
+            let s = kernel.mm_stats();
+            s.evictions > 0 && s.resident_bytes <= budget
+        }),
+        "sweeper never relieved pressure: {:?}",
+        kernel.mm_stats()
+    );
+    let stats = kernel.mm_stats();
+    assert!(stats.enabled);
+    assert!(
+        stats.evicted_bytes > 0,
+        "no bytes accounted remote: {stats:?}"
+    );
+    assert!(stats.evicted_chunks > 0);
+
+    // Everything reads back intact through the pre-eviction handle.
+    let mut buf = vec![0u8; total];
+    for (i, slice) in buf.chunks_mut(16 * 1024).enumerate() {
+        h.lt_read(&mut ctx, lh, (i * 16 * 1024) as u64, slice)
+            .unwrap();
+    }
+    assert_eq!(buf, data, "data corrupted across eviction");
+
+    // A fresh mapper on another node sees the same bytes.
+    let mut remote = cluster.attach(1).unwrap();
+    let rlh = remote.lt_map(&mut ctx, "mm.pressure").unwrap();
+    let mut rbuf = vec![0u8; 4096];
+    remote.lt_read(&mut ctx, rlh, 60 * 1024, &mut rbuf).unwrap();
+    assert_eq!(&rbuf[..], &data[60 * 1024..64 * 1024]);
+}
+
+/// An explicit `MmRequest::Evict` migrates every chunk of one LMR, and
+/// the stale handle keeps working for both reads and writes — writes
+/// land on the remote copy, visible to other mappers.
+#[test]
+fn explicit_evict_is_transparent_to_stale_handles() {
+    let total = 32 * 1024usize;
+    // Budget far above the working set: nothing evicts on its own.
+    let cluster = tiered_cluster(2, 4 << 20);
+    let mut h = cluster.attach(0).unwrap();
+    let mut ctx = Ctx::new();
+    let lh = h
+        .lt_malloc(&mut ctx, 0, total as u64, "mm.explicit", Perm::RW)
+        .unwrap();
+    let data = pattern(total, 3);
+    h.lt_write(&mut ctx, lh, 0, &data).unwrap();
+    let id = h.lh_id(lh).unwrap();
+
+    let kernel = cluster.kernel(0);
+    let before = kernel.mm_stats();
+    assert_eq!(before.evictions, 0, "unexpected background eviction");
+    kernel.mm().request(MmRequest::Evict {
+        idx: id.idx,
+        off: u64::MAX,
+    });
+    assert!(
+        wait_for(10, || kernel.mm_stats().evicted_chunks
+            >= total / (8 * 1024)),
+        "explicit evict did not complete: {:?}",
+        kernel.mm_stats()
+    );
+
+    // Read through the stale handle: transparently refreshed.
+    let mut buf = vec![0u8; total];
+    h.lt_read(&mut ctx, lh, 0, &mut buf).unwrap();
+    assert_eq!(buf, data);
+
+    // Write through it too; a fresh mapper on node 1 must see the new
+    // bytes at the chunk the write touched.
+    let update = pattern(4096, 99);
+    h.lt_write(&mut ctx, lh, 10 * 1024, &update).unwrap();
+    let mut remote = cluster.attach(1).unwrap();
+    let rlh = remote.lt_map(&mut ctx, "mm.explicit").unwrap();
+    let mut rbuf = vec![0u8; 4096];
+    remote.lt_read(&mut ctx, rlh, 10 * 1024, &mut rbuf).unwrap();
+    assert_eq!(rbuf, update);
+
+    // Atomics redirect as well: the counter lives wherever the chunk is.
+    let v0 = h.lt_fetch_add(&mut ctx, lh, 16, 5).unwrap();
+    let v1 = remote.lt_fetch_add(&mut ctx, rlh, 16, 1).unwrap();
+    assert_eq!(v1, v0 + 5);
+}
+
+/// Repeated remote map-faults on an evicted LMR pull its chunks home:
+/// the fetch-back path restores residency and the data.
+#[test]
+fn map_faults_pull_chunks_home() {
+    let total = 16 * 1024usize;
+    let cluster = tiered_cluster(2, 4 << 20);
+    let mut h = cluster.attach(0).unwrap();
+    let mut ctx = Ctx::new();
+    let lh = h
+        .lt_malloc(&mut ctx, 0, total as u64, "mm.faults", Perm::RW)
+        .unwrap();
+    let data = pattern(total, 42);
+    h.lt_write(&mut ctx, lh, 0, &data).unwrap();
+    let id = h.lh_id(lh).unwrap();
+
+    let kernel = cluster.kernel(0);
+    kernel.mm().request(MmRequest::Evict {
+        idx: id.idx,
+        off: u64::MAX,
+    });
+    assert!(
+        wait_for(10, || kernel.mm_stats().evicted_chunks > 0),
+        "evict did not complete: {:?}",
+        kernel.mm_stats()
+    );
+
+    // Each lt_map re-fetches the record from the master and counts as a
+    // remote fault there (extents point away from home). Enough of them
+    // trigger a fetch-back on the next sweep.
+    let mut remote = cluster.attach(1).unwrap();
+    let fetched = wait_for(10, || {
+        remote.lt_map(&mut ctx, "mm.faults").unwrap();
+        let s = kernel.mm_stats();
+        s.fetch_backs > 0 && s.evicted_chunks == 0
+    });
+    assert!(fetched, "fetch-back never fired: {:?}", kernel.mm_stats());
+    let stats = kernel.mm_stats();
+    assert_eq!(stats.evicted_bytes, 0, "still remote: {stats:?}");
+    assert!(stats.resident_bytes >= total as u64);
+
+    // Data intact after the round trip, from both nodes.
+    let mut buf = vec![0u8; total];
+    h.lt_read(&mut ctx, lh, 0, &mut buf).unwrap();
+    assert_eq!(buf, data);
+    let rlh = remote.lt_map(&mut ctx, "mm.faults").unwrap();
+    let mut rbuf = vec![0u8; total];
+    remote.lt_read(&mut ctx, rlh, 0, &mut rbuf).unwrap();
+    assert_eq!(rbuf, data);
+}
+
+/// Concurrent writers and readers make progress while the sweeper
+/// churns their LMR between hosts — the pin/retry fencing never loses
+/// an acknowledged write.
+#[test]
+fn concurrent_access_survives_live_migration() {
+    let cluster = tiered_cluster(3, 16 * 1024);
+    {
+        let mut h = cluster.attach(0).unwrap();
+        let mut ctx = Ctx::new();
+        h.lt_malloc(&mut ctx, 0, 64 * 1024, "mm.churn", Perm::RW)
+            .unwrap();
+    }
+    let mut joins = Vec::new();
+    for t in 0..2usize {
+        let cluster = Arc::clone(&cluster);
+        joins.push(std::thread::spawn(move || {
+            let mut h = cluster.attach(t).unwrap();
+            let mut ctx = Ctx::new();
+            let lh = h.lt_map(&mut ctx, "mm.churn").unwrap();
+            for i in 0..150u32 {
+                let off = (t * 32 * 1024) as u64 + u64::from(i % 64) * 256;
+                let tag = [(t as u8) << 4 | (i % 16) as u8; 64];
+                h.lt_write(&mut ctx, lh, off, &tag).unwrap();
+                let mut back = [0u8; 64];
+                h.lt_read(&mut ctx, lh, off, &mut back).unwrap();
+                assert_eq!(back, tag, "writer {t} lost write {i}");
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    let stats = cluster.kernel(0).mm_stats();
+    assert!(
+        stats.evictions > 0,
+        "budget never forced migration — test exercised nothing: {stats:?}"
+    );
+}
+
+/// Budget 0 disables tiering entirely: no manager thread, every gauge
+/// stays zero, explicit requests are no-ops, and the data path behaves
+/// exactly as before the subsystem existed.
+#[test]
+fn ablation_budget_zero_is_inert() {
+    let cluster = tiered_cluster(2, 0);
+    let mut h = cluster.attach(0).unwrap();
+    let mut ctx = Ctx::new();
+    let lh = h
+        .lt_malloc(&mut ctx, 0, 64 * 1024, "mm.off", Perm::RW)
+        .unwrap();
+    let data = pattern(64 * 1024, 11);
+    h.lt_write(&mut ctx, lh, 0, &data).unwrap();
+
+    let kernel = cluster.kernel(0);
+    let id = h.lh_id(lh).unwrap();
+    kernel.mm().request(MmRequest::Evict {
+        idx: id.idx,
+        off: u64::MAX,
+    });
+    std::thread::sleep(Duration::from_millis(50));
+
+    let stats = kernel.mm_stats();
+    assert!(!stats.enabled);
+    assert_eq!(stats.evictions, 0);
+    assert_eq!(stats.fetch_backs, 0);
+    assert_eq!(stats.evicted_bytes, 0);
+    assert_eq!(stats.redirects, 0);
+
+    let mut buf = vec![0u8; 64 * 1024];
+    h.lt_read(&mut ctx, lh, 0, &mut buf).unwrap();
+    assert_eq!(buf, data);
+}

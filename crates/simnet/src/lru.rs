@@ -199,6 +199,21 @@ impl<K: Eq + Hash + Clone, V> Lru<K, V> {
         Some(entry.value)
     }
 
+    /// Iterates keys coldest-first (tail to head), without promoting or
+    /// counting. Callers scanning for an eviction victim walk this and
+    /// skip entries that cannot be evicted right now.
+    pub fn iter_lru(&self) -> impl Iterator<Item = &K> + '_ {
+        let mut cur = self.tail;
+        std::iter::from_fn(move || {
+            if cur == NIL {
+                return None;
+            }
+            let e = self.slot(cur);
+            cur = e.prev;
+            Some(&e.key)
+        })
+    }
+
     /// Clears all entries (counters are preserved).
     pub fn clear(&mut self) {
         self.map.clear();
@@ -267,6 +282,20 @@ mod tests {
             (rate - expect).abs() < 0.05,
             "hit rate {rate:.3} far from {expect:.3}"
         );
+    }
+
+    #[test]
+    fn iter_lru_walks_cold_to_hot() {
+        let mut lru: Lru<u32, ()> = Lru::new(4);
+        for k in 0..4 {
+            lru.insert(k, ());
+        }
+        lru.touch(&0);
+        let order: Vec<u32> = lru.iter_lru().copied().collect();
+        assert_eq!(order, vec![1, 2, 3, 0]);
+        lru.remove(&2);
+        let order: Vec<u32> = lru.iter_lru().copied().collect();
+        assert_eq!(order, vec![1, 3, 0]);
     }
 
     #[test]

@@ -95,7 +95,12 @@ impl PhysAllocator {
     ///
     /// On failure, any chunks already grabbed are rolled back.
     pub fn alloc_chunked(&mut self, len: u64, max_chunk: u64) -> Result<Vec<Chunk>, MemError> {
-        assert!(max_chunk >= ALIGN, "max_chunk too small");
+        // A panic here would take the kernel's allocator lock poisoned
+        // with it on a remote `FN_MALLOC` with a bad max_chunk; refuse
+        // instead and let the caller surface the error.
+        if max_chunk < ALIGN {
+            return Err(MemError::BadChunkSize { max_chunk });
+        }
         let mut remaining = len.max(1);
         let mut chunks = Vec::new();
         while remaining > 0 {
@@ -233,5 +238,44 @@ mod tests {
         assert!(a.alloc_chunked(1 << 20, 1 << 14).is_err());
         assert_eq!(a.free_bytes(), before, "failed chunked alloc leaked");
         assert_eq!(a.live_count(), 0);
+    }
+
+    #[test]
+    fn chunked_bad_max_chunk_is_an_error_not_a_panic() {
+        // Pre-fix this was an assert!, which poisons the kernel's
+        // allocator lock when a remote FN_MALLOC carries a bad
+        // max_chunk. It must report cleanly and leak nothing.
+        let mut a = PhysAllocator::new(0, 1 << 16);
+        let live_before = a.live_bytes();
+        let free_before = a.free_bytes();
+        assert_eq!(
+            a.alloc_chunked(4096, ALIGN - 1),
+            Err(MemError::BadChunkSize {
+                max_chunk: ALIGN - 1
+            })
+        );
+        assert_eq!(
+            a.alloc_chunked(4096, 0),
+            Err(MemError::BadChunkSize { max_chunk: 0 })
+        );
+        assert_eq!(a.live_bytes(), live_before, "bad-chunk path leaked");
+        assert_eq!(a.free_bytes(), free_before);
+        assert_eq!(a.live_count(), 0);
+    }
+
+    #[test]
+    fn partial_failure_returns_live_bytes_to_baseline() {
+        // Fragment so the chunked walk grabs a few chunks and then hits
+        // OOM mid-allocation: live_bytes must return to its baseline,
+        // including when the baseline itself is non-zero.
+        let mut a = PhysAllocator::new(0, 1 << 16);
+        let keep = a.alloc(1 << 12).unwrap();
+        let baseline = a.live_bytes();
+        assert!(baseline > 0);
+        assert!(a.alloc_chunked(1 << 17, 1 << 12).is_err());
+        assert_eq!(a.live_bytes(), baseline, "partial chunked alloc leaked");
+        a.free(keep).unwrap();
+        assert_eq!(a.live_bytes(), 0);
+        assert_eq!(a.free_bytes(), 1 << 16);
     }
 }

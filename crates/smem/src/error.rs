@@ -38,6 +38,12 @@ pub enum MemError {
         /// The page's virtual address.
         vaddr: u64,
     },
+    /// A chunked allocation asked for chunks smaller than the allocation
+    /// granule — no split could ever satisfy it.
+    BadChunkSize {
+        /// The offending `max_chunk` value.
+        max_chunk: u64,
+    },
 }
 
 impl fmt::Display for MemError {
@@ -55,6 +61,12 @@ impl fmt::Display for MemError {
                 write!(f, "atomic access misaligned or page-crossing at {addr:#x}")
             }
             MemError::NotPinned { vaddr } => write!(f, "page not pinned: {vaddr:#x}"),
+            MemError::BadChunkSize { max_chunk } => {
+                write!(
+                    f,
+                    "chunked allocation with max_chunk {max_chunk} below the granule"
+                )
+            }
         }
     }
 }

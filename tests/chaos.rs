@@ -245,3 +245,154 @@ fn mixed_sync_workload_linearizable_across_seeds() {
         report.failing_seeds()
     );
 }
+
+/// The linearizability sweep again, with memory tiering live under the
+/// recorded workload: every seed runs with a budget a quarter of the
+/// synchronization LMR, so its chunks are evicted to a swap node (and
+/// every recorded op redirects through the migration machinery) while
+/// the checker certifies the history. A third of the seeds add bounded
+/// WR drops on top, racing the recovery layer's retries against
+/// eviction fencing.
+#[test]
+fn mixed_sync_workload_linearizable_under_eviction() {
+    use lite::verify::{explore, run_mixed, MixedWorkload};
+
+    let evicting = MixedWorkload {
+        mem_budget: 1024,
+        ..MixedWorkload::default()
+    };
+    let evicting_with_drops = MixedWorkload {
+        drop_prob: 0.02,
+        max_drops: 4,
+        ..evicting.clone()
+    };
+
+    let report = explore(0..54u64, |seed| {
+        let w = if seed % 3 == 2 {
+            &evicting_with_drops
+        } else {
+            &evicting
+        };
+        run_mixed(seed, w)
+    });
+    assert!(
+        report.run_errors.is_empty(),
+        "workload runs failed: {:?}",
+        report.run_errors
+    );
+    assert!(
+        report.all_linearizable(),
+        "non-linearizable seeds under eviction: {:?}",
+        report.failing_seeds()
+    );
+}
+
+/// Eviction churn racing a swap-node crash: a tight budget keeps the
+/// manager migrating chunks to nodes 1 and 2 while node 2 (a swap
+/// target, possibly hosting evicted chunks) crashes and later restarts,
+/// with background WR drops throughout. Acknowledged writes must never
+/// be lost: every slot reads back the last value whose write returned
+/// Ok, and the sweeper keeps making progress around the dead node.
+#[test]
+fn eviction_churn_survives_swap_node_crash() {
+    let config = LiteConfig {
+        op_timeout: Duration::from_millis(300),
+        mem_budget_bytes: 16 * 1024,
+        mm_sweep_interval: Duration::from_millis(1),
+        max_lmr_chunk: 8 * 1024,
+        ..Default::default()
+    };
+    let cluster =
+        LiteCluster::start_with(IbConfig::with_nodes(3), config, QosConfig::default()).unwrap();
+    cluster.fabric().install_fault_plan(
+        FaultPlan::seeded(77)
+            .with(FaultRule::DropWr {
+                src: None,
+                dst: None,
+                prob: 0.02,
+                max_drops: 60,
+            })
+            .with(FaultRule::CrashNode {
+                node: 2,
+                at_op: 250,
+                restart_after_ops: 500,
+            }),
+    );
+
+    let mut h = cluster.attach(0).unwrap();
+    let mut ctx = Ctx::new();
+    // 64 KB tracked on node 0 against a 16 KB budget: ~3/4 of the
+    // chunks live on swap nodes at any time.
+    let lh = h
+        .lt_malloc(&mut ctx, 0, 64 * 1024, "chaos.mm", Perm::RW)
+        .unwrap();
+    // Keepalive traffic to node 1 keeps the fabric op counter moving
+    // while writes to chunks on the dead node spin, so the scheduled
+    // restart is always reached.
+    let keep = h
+        .lt_malloc(&mut ctx, 1, 4096, "chaos.mm.keepalive", Perm::RW)
+        .unwrap();
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    let mut acked = [0u8; 64];
+    // Run at least 400 iterations AND until the scheduled restart has
+    // fired, so the workload always spans the whole crash window.
+    let mut i = 0u32;
+    loop {
+        if i >= 400 && cluster.fabric().fault_stats().restarts >= 1 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "restart never reached: {:?}",
+            cluster.fabric().fault_stats()
+        );
+        let slot = (i % 64) as u64;
+        let tag = [i as u8; 64];
+        loop {
+            if h.lt_write(&mut ctx, lh, slot * 64, &tag).is_ok() {
+                acked[slot as usize] = i as u8;
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "write to slot {slot} never succeeded (iteration {i})"
+            );
+            let _ = h.lt_write(&mut ctx, keep, 0, &i.to_le_bytes());
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let _ = h.lt_write(&mut ctx, keep, (slot % 8) * 8, &i.to_le_bytes());
+        i += 1;
+    }
+
+    let fired = cluster.fabric().fault_stats();
+    assert_eq!(fired.crashes, 1, "crash must fire: {fired:?}");
+    assert_eq!(fired.restarts, 1, "restart must fire: {fired:?}");
+    cluster.fabric().clear_fault_plan();
+
+    // Every slot holds the last acknowledged write, wherever its chunk
+    // ended up.
+    for slot in 0..64u64 {
+        let mut buf = [0u8; 64];
+        loop {
+            if h.lt_read(&mut ctx, lh, slot * 64, &mut buf).is_ok() {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "read of slot {slot} never succeeded"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(
+            buf, [acked[slot as usize]; 64],
+            "slot {slot} lost an acknowledged write"
+        );
+    }
+
+    let stats = cluster.kernel(0).mm_stats();
+    assert!(
+        stats.evictions > 0,
+        "budget never forced eviction — the race was not exercised: {stats:?}"
+    );
+}
