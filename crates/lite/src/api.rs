@@ -814,7 +814,10 @@ impl LiteHandle {
             if attempt > 0 {
                 // The location moved under tiering: re-fetch it from the
                 // master and redo the access against the fresh pieces.
-                self.refresh_lh(ctx, lh)?;
+                if let Err(e) = self.refresh_lh(ctx, lh) {
+                    self.exit(ctx);
+                    return Err(e);
+                }
                 entry = self.kernel.lookup_lh(self.pid, lh)?;
             }
             let pieces = match entry.check(offset, data.len(), Perm::RW) {
@@ -898,7 +901,10 @@ impl LiteHandle {
         let mut result = Err(LiteError::Relocated);
         for attempt in 0..3 {
             if attempt > 0 {
-                self.refresh_lh(ctx, lh)?;
+                if let Err(e) = self.refresh_lh(ctx, lh) {
+                    self.exit(ctx);
+                    return Err(e);
+                }
                 entry = self.kernel.lookup_lh(self.pid, lh)?;
             }
             let pieces = match entry.check(offset, buf.len(), Perm::RO) {
@@ -990,7 +996,10 @@ impl LiteHandle {
         let mut result = Err(LiteError::Relocated);
         'attempt: for attempt in 0..3 {
             if attempt > 0 {
-                self.refresh_lh(ctx, lh)?;
+                if let Err(e) = self.refresh_lh(ctx, lh) {
+                    self.exit(ctx);
+                    return Err(e);
+                }
             }
             let entry = self.kernel.lookup_lh(self.pid, lh)?;
             let pieces = match entry.check(offset, len, Perm::RW) {
@@ -1045,8 +1054,13 @@ impl LiteHandle {
                 // Either handle's cached location may be the stale one;
                 // refresh both (a fresh refresh is a cheap no-op) and
                 // redo the whole copy — re-copying bytes is idempotent.
-                self.refresh_lh(ctx, src_lh)?;
-                self.refresh_lh(ctx, dst_lh)?;
+                if let Err(e) = self
+                    .refresh_lh(ctx, src_lh)
+                    .and_then(|()| self.refresh_lh(ctx, dst_lh))
+                {
+                    self.exit(ctx);
+                    return Err(e);
+                }
             }
             let src_entry = self.kernel.lookup_lh(self.pid, src_lh)?;
             let dst_entry = self.kernel.lookup_lh(self.pid, dst_lh)?;
@@ -1613,7 +1627,10 @@ impl LiteHandle {
         let mut result = Err(LiteError::Relocated);
         for attempt in 0..3 {
             if attempt > 0 {
-                self.refresh_lh(ctx, lh)?;
+                if let Err(e) = self.refresh_lh(ctx, lh) {
+                    self.exit(ctx);
+                    return Err(e);
+                }
             }
             let entry = self.kernel.lookup_lh(self.pid, lh)?;
             let pieces = match entry.check(offset, 8, Perm::RW) {
@@ -1663,7 +1680,10 @@ impl LiteHandle {
         let mut result = Err(LiteError::Relocated);
         for attempt in 0..3 {
             if attempt > 0 {
-                self.refresh_lh(ctx, lh)?;
+                if let Err(e) = self.refresh_lh(ctx, lh) {
+                    self.exit(ctx);
+                    return Err(e);
+                }
             }
             let entry = self.kernel.lookup_lh(self.pid, lh)?;
             let pieces = match entry.check(offset, 8, Perm::RW) {

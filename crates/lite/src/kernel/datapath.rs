@@ -914,9 +914,10 @@ impl DataPath for RnicDataPath {
                 // words, budget-0 runs) keep their physical key,
                 // byte-identical to the pre-tiering behavior.
                 let key = match self.all_mm.get(node).and_then(|mm| mm.logical_cell(addr)) {
-                    Some((id, off)) => crate::verify::Key::Cell {
-                        node: id.node as NodeId,
-                        addr: (1 << 63) | ((id.idx as u64) << 40) | off,
+                    Some((id, off)) => crate::verify::Key::LogicalCell {
+                        node: id.node,
+                        idx: id.idx,
+                        off,
                     },
                     None => crate::verify::Key::Cell { node, addr },
                 };

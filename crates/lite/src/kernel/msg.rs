@@ -291,6 +291,13 @@ impl LiteKernel {
                 let max_chunk = d.u64()?;
                 match self.alloc.lock().alloc_chunked(size, max_chunk) {
                     Ok(chunks) => {
+                        // The range has a fresh owner: scrub any Moved
+                        // tombstones it covers. Cross-node LMRs
+                        // (allocated here, mastered elsewhere) are never
+                        // register()ed locally, so without this a
+                        // recycled address would answer Relocated
+                        // forever.
+                        self.mm.on_alloc(&chunks);
                         let mut e = Enc::new().u8(0).u32(chunks.len() as u32);
                         for c in &chunks {
                             e = e.u64(c.addr).u64(c.len);
@@ -474,15 +481,22 @@ impl LiteKernel {
                     pin => pin,
                 };
                 let local_dst = op == 0 || dst_node == self.node;
-                let _dst_pin = if local_dst {
-                    match self.mm.pin_raw_nowait(dst, len) {
-                        crate::mm::PinOutcome::Relocated => {
-                            return Ok(Some(Enc::new().u8(4).done()))
-                        }
-                        pin => Some(pin),
-                    }
+                // Fence the destination at whichever node hosts it: a
+                // local dst through our own manager, a cross-node dst
+                // through the peer's. Without the peer pin, an eviction
+                // at dst_node could free/recycle the range while the
+                // one-sided push is in flight and the copy would land
+                // in dead memory.
+                let dst_mm = if local_dst {
+                    Some(&self.mm)
                 } else {
-                    None
+                    self.mm.peer(dst_node)
+                };
+                let _dst_pin = match dst_mm.map(|mm| mm.pin_raw_nowait(dst, len)) {
+                    Some(crate::mm::PinOutcome::Relocated) => {
+                        return Ok(Some(Enc::new().u8(4).done()))
+                    }
+                    pin => pin,
                 };
                 let mut data = vec![0u8; len as usize];
                 self.mem().read(src, &mut data)?;

@@ -117,6 +117,11 @@ pub struct Segment {
     residency: AtomicU8,
     /// In-flight accesses through this segment (API-layer fencing).
     pins: AtomicU32,
+    /// Set when the owning LMR is unregistered (free / move / record
+    /// takeover) or its storage freed while a migration may be in
+    /// flight: the migrator re-checks it under the state lock and rolls
+    /// back instead of committing segments of a dead LMR.
+    dead: AtomicBool,
     /// Per-node access counts (rebalancer input).
     heat: Vec<AtomicU64>,
 }
@@ -130,6 +135,7 @@ impl Segment {
             host: AtomicUsize::new(host),
             residency: AtomicU8::new(residency),
             pins: AtomicU32::new(0),
+            dead: AtomicBool::new(false),
             heat: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
         }
     }
@@ -401,6 +407,7 @@ impl MemManager {
             let Some(seg) = st.segs.remove(&key) else {
                 continue;
             };
+            seg.dead.store(true, Ordering::Release);
             st.lru.remove(&key);
             if seg.host.load(Ordering::Acquire) == self.node {
                 let addr = seg.addr.load(Ordering::Acquire);
@@ -426,6 +433,7 @@ impl MemManager {
             return;
         };
         if let Slot::Entry(seg) = slot {
+            seg.dead.store(true, Ordering::Release);
             if seg.key.id.node as NodeId == self.node {
                 st.resident_bytes = st.resident_bytes.saturating_sub(seg.len);
                 let key = seg.key;
@@ -434,6 +442,21 @@ impl MemManager {
             } else {
                 st.hosted_bytes = st.hosted_bytes.saturating_sub(seg.len);
             }
+        }
+    }
+
+    /// Chunks at these addresses were just handed out by the local
+    /// allocator service (`FN_MALLOC`): scrub any `Moved` tombstones
+    /// they cover, since the range now has a fresh owner (ABA closure
+    /// for ranges that are never `register()`ed here, e.g. cross-node
+    /// LMR storage).
+    pub(crate) fn on_alloc(&self, chunks: &[Chunk]) {
+        if !self.enabled() {
+            return;
+        }
+        let mut st = self.state.lock();
+        for c in chunks {
+            st.scrub_moved(c.addr, c.len);
         }
     }
 
@@ -727,8 +750,12 @@ impl MemManager {
     /// Finalizes an outbound migration: replaces `seg` with one segment
     /// per landed chunk (all Remote at `target`), registers the hosted
     /// copies at the target's manager, and tombstones the local range.
-    /// Returns the local address to free.
-    fn finish_evict(&self, seg: &Arc<Segment>, target: NodeId, chunks: &[Chunk]) -> u64 {
+    /// Returns the local address to free — or `None` when the LMR was
+    /// unregistered (freed/moved/taken) between `replace_extents` and
+    /// here, in which case everything is rolled back: committing would
+    /// resurrect segments of a dead LMR (leaking `evicted_bytes`) and
+    /// leave hosted entries over chunks the dropper frees at the target.
+    fn finish_evict(&self, seg: &Arc<Segment>, target: NodeId, chunks: &[Chunk]) -> Option<u64> {
         let mut new_segs = Vec::with_capacity(chunks.len());
         let mut off = seg.key.off;
         for c in chunks {
@@ -759,6 +786,25 @@ impl MemManager {
         }
         let old_addr = seg.addr.load(Ordering::Acquire);
         let mut st = self.state.lock();
+        // Re-verify liveness under our own lock: unregister_lmr/on_free
+        // serialize on it, so a dead or replaced segment is definitely
+        // visible here.
+        if seg.dead.load(Ordering::Acquire)
+            || !matches!(st.segs.get(&seg.key), Some(e) if Arc::ptr_eq(e, seg))
+        {
+            drop(st);
+            if let Some(peer) = self.peer(target) {
+                let mut pst = peer.state.lock();
+                for s in &new_segs {
+                    let addr = s.addr.load(Ordering::Relaxed);
+                    if matches!(pst.by_addr.get(&addr), Some(Slot::Entry(e)) if Arc::ptr_eq(e, s)) {
+                        pst.by_addr.remove(&addr);
+                        pst.hosted_bytes = pst.hosted_bytes.saturating_sub(s.len);
+                    }
+                }
+            }
+            return None;
+        }
         st.segs.remove(&seg.key);
         st.lru.remove(&seg.key);
         if matches!(st.by_addr.get(&old_addr), Some(Slot::Entry(e)) if Arc::ptr_eq(e, seg)) {
@@ -769,13 +815,16 @@ impl MemManager {
         for s in new_segs {
             st.segs.insert(s.key, s);
         }
-        old_addr
+        Some(old_addr)
     }
 
     /// Finalizes an inbound migration: replaces the remote `seg` with
     /// one Resident segment per landed local chunk, tombstones the range
-    /// at the old host, and returns the remote address to free there.
-    fn finish_fetch_back(&self, seg: &Arc<Segment>, host: NodeId, chunks: &[Chunk]) -> u64 {
+    /// at the old host, and returns the remote address to free there —
+    /// or `None` when the LMR was unregistered between `replace_extents`
+    /// and here (the caller still frees the remote copy; the landed
+    /// local chunks belong to the record and are freed by the dropper).
+    fn finish_fetch_back(&self, seg: &Arc<Segment>, host: NodeId, chunks: &[Chunk]) -> Option<u64> {
         let remote_addr = seg.addr.load(Ordering::Acquire);
         if let Some(peer) = self.peer(host) {
             let mut pst = peer.state.lock();
@@ -786,6 +835,13 @@ impl MemManager {
             }
         }
         let mut st = self.state.lock();
+        // Same liveness re-check as finish_evict: committing resident
+        // segments of a dead LMR would resurrect it in segs/by_addr.
+        if seg.dead.load(Ordering::Acquire)
+            || !matches!(st.segs.get(&seg.key), Some(e) if Arc::ptr_eq(e, seg))
+        {
+            return None;
+        }
         st.segs.remove(&seg.key);
         st.evicted_bytes = st.evicted_bytes.saturating_sub(seg.len);
         let mut off = seg.key.off;
@@ -804,7 +860,7 @@ impl MemManager {
             st.resident_bytes += c.len;
             off += c.len;
         }
-        remote_addr
+        Some(remote_addr)
     }
 
     /// Segments of LMR `idx` matching `off` (`u64::MAX` = all) that are
@@ -1167,7 +1223,15 @@ fn evict_one(
         return Err(LiteError::Internal("record vanished during migration"));
     }
     let mappers = kernel.record_mappers(key.id.idx).unwrap_or_default();
-    let old_addr = mm.finish_evict(&seg, target, &chunks);
+    let Some(old_addr) = mm.finish_evict(&seg, target, &chunks) else {
+        // The LMR was freed/moved after replace_extents pointed its
+        // record at the landed chunks: the dropper owns (and frees)
+        // those, but nothing else releases our local copy.
+        if kernel.alloc.lock().free(src_addr).is_err() {
+            kernel.note_cleanup_failure(kernel.node(), ctx.now());
+        }
+        return Err(LiteError::Internal("record vanished during migration"));
+    };
     // Release the local pages last: the tombstone is already in place.
     let freed = kernel.alloc.lock().free(old_addr).is_ok();
     if !freed {
@@ -1246,7 +1310,22 @@ fn fetch_back_one(
         return Err(LiteError::Internal("record vanished during fetch-back"));
     }
     let mappers = kernel.record_mappers(key.id.idx).unwrap_or_default();
-    let freed_remote = mm.finish_fetch_back(&seg, host, &local);
+    let Some(freed_remote) = mm.finish_fetch_back(&seg, host, &local) else {
+        // The LMR was freed after replace_extents pointed its record at
+        // the landed local chunks: the dropper frees those; the remote
+        // copy is still ours to release.
+        remote_free(
+            kernel,
+            ctx,
+            handle,
+            host,
+            &[Chunk {
+                addr: seg.addr.load(Ordering::Acquire),
+                len: seg.len,
+            }],
+        );
+        return Err(LiteError::Internal("record vanished during fetch-back"));
+    };
     remote_free(
         kernel,
         ctx,
@@ -1407,6 +1486,85 @@ mod tests {
         // Touch the first; the second becomes the LRU victim.
         mm.touch(0x1000, 8, 0);
         assert_eq!(mm.pick_victim(), Some(SegKey { id, off: 4096 }));
+    }
+
+    #[test]
+    fn on_alloc_scrubs_tombstones() {
+        let mm = MemManager::new(0, 2, &cfg(1 << 20));
+        {
+            let mut st = mm.state.lock();
+            st.by_addr.insert(0x1000, Slot::Moved(4096));
+        }
+        // Recycling the range through the allocator service (e.g. for a
+        // cross-node LMR that is never register()ed here) must clear the
+        // tombstone, or every access would answer Relocated forever.
+        mm.on_alloc(&[Chunk {
+            addr: 0x1000,
+            len: 4096,
+        }]);
+        assert!(matches!(
+            mm.pin_raw_nowait(0x1000, 64),
+            PinOutcome::Untracked
+        ));
+    }
+
+    fn pair() -> (Arc<MemManager>, Arc<MemManager>) {
+        let a = Arc::new(MemManager::new(0, 2, &cfg(1 << 20)));
+        let b = Arc::new(MemManager::new(1, 2, &cfg(1 << 20)));
+        let cluster = vec![Arc::clone(&a), Arc::clone(&b)];
+        a.set_cluster(cluster.clone());
+        b.set_cluster(cluster);
+        (a, b)
+    }
+
+    #[test]
+    fn finish_evict_rolls_back_when_lmr_dies() {
+        let (a, b) = pair();
+        let id = LmrId { node: 0, idx: 1 };
+        a.register(id, &loc(0, &[(0x1000, 4096)]));
+        let key = SegKey { id, off: 0 };
+        let seg = a.begin_evict(&key).expect("claim");
+        // The LMR is freed while the migration is mid-flight.
+        a.unregister_lmr(1);
+        let landed = [Chunk {
+            addr: 0x9000,
+            len: 4096,
+        }];
+        assert!(a.finish_evict(&seg, 1, &landed).is_none());
+        // Nothing resurrected on the master, nothing left at the target.
+        assert_eq!(a.stats().evicted_bytes, 0);
+        assert_eq!(a.stats().resident_bytes, 0);
+        assert!(a.state.lock().segs.is_empty());
+        assert_eq!(b.stats().hosted_bytes, 0);
+        assert!(b.state.lock().by_addr.is_empty());
+    }
+
+    #[test]
+    fn finish_fetch_back_rolls_back_when_lmr_dies() {
+        let (a, b) = pair();
+        let id = LmrId { node: 0, idx: 2 };
+        let key = SegKey { id, off: 0 };
+        let seg = Arc::new(Segment::new(key, 4096, 0x9000, 1, R_REMOTE, 2));
+        {
+            let mut st = a.state.lock();
+            st.segs.insert(key, Arc::clone(&seg));
+            st.evicted_bytes = 4096;
+        }
+        {
+            let mut st = b.state.lock();
+            st.by_addr.insert(0x9000, Slot::Entry(Arc::clone(&seg)));
+            st.hosted_bytes = 4096;
+        }
+        let seg = a.begin_fetch_back(&key).expect("claim");
+        a.unregister_lmr(2);
+        let landed = [Chunk {
+            addr: 0x2000,
+            len: 4096,
+        }];
+        assert!(a.finish_fetch_back(&seg, 1, &landed).is_none());
+        assert_eq!(a.stats().resident_bytes, 0);
+        assert_eq!(a.stats().evicted_bytes, 0);
+        assert!(a.state.lock().segs.is_empty());
     }
 
     #[test]

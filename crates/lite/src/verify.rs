@@ -80,6 +80,19 @@ pub enum Key {
         /// Physical address of the cell.
         addr: u64,
     },
+    /// A 64-bit atomic cell identified by its *logical* location — the
+    /// owning LMR and the cell's byte offset within it. Used for cells
+    /// in tracked (tierable) LMR chunks: the physical address changes
+    /// when the chunk migrates, this key does not, so the cell's
+    /// history stays joined across eviction/fetch-back/rebalance.
+    LogicalCell {
+        /// LMR-id node half.
+        node: u32,
+        /// LMR-id index half.
+        idx: u32,
+        /// Byte offset of the cell within the LMR.
+        off: u64,
+    },
     /// A barrier id (coordinated by the manager node).
     Barrier {
         /// The barrier id.
@@ -105,6 +118,7 @@ impl fmt::Display for Key {
         match self {
             Key::Lock { node, addr } => write!(f, "lock:{node}:{addr:#x}"),
             Key::Cell { node, addr } => write!(f, "cell:{node}:{addr:#x}"),
+            Key::LogicalCell { node, idx, off } => write!(f, "cell:{node}.{idx}+{off:#x}"),
             Key::Barrier { id } => write!(f, "barrier:{id}"),
             Key::Reg {
                 node,
@@ -435,7 +449,7 @@ fn check_partition(key: Key, ops: &[HistOp]) -> PartitionResult {
     match key {
         Key::Barrier { .. } => check_barrier(ops),
         Key::Lock { .. } => wing_gong(ops, SpecState::Mutex(None)),
-        Key::Cell { .. } => wing_gong(ops, SpecState::Cell(0)),
+        Key::Cell { .. } | Key::LogicalCell { .. } => wing_gong(ops, SpecState::Cell(0)),
         Key::Reg { .. } => {
             // A failed write may have applied some pieces of a
             // multi-chunk range: the resulting bytes match neither the
@@ -1068,6 +1082,31 @@ mod tests {
         assert_eq!(out.partitions, 2);
         assert_eq!(out.violations.len(), 1);
         assert_eq!(out.violations[0].key, c2);
+    }
+
+    #[test]
+    fn logical_cell_keys_partition_structurally() {
+        // Under the former (1<<63)|(idx<<40)|off packing these two keys
+        // collided (an offset >= 2^40 overflows into the idx field) and
+        // their histories merged into one bogus partition. As struct
+        // keys they stay independent.
+        let k1 = Key::LogicalCell {
+            node: 0,
+            idx: 1,
+            off: 1 << 40,
+        };
+        let k2 = Key::LogicalCell {
+            node: 0,
+            idx: 2,
+            off: 0,
+        };
+        assert_ne!(k1, k2);
+        let out = check(vec![
+            op(1, k1, OpKind::FetchAdd { delta: 1 }, 0, true, 0, 10),
+            op(2, k2, OpKind::FetchAdd { delta: 1 }, 0, true, 20, 30),
+        ]);
+        assert_eq!(out.partitions, 2);
+        assert!(out.is_linearizable(), "{:?}", out.violations);
     }
 
     #[test]
