@@ -7,4 +7,5 @@ pub mod latency;
 pub mod mempressure;
 pub mod micro;
 pub mod rpc;
+pub mod scale;
 pub mod scale_qos;

@@ -1,0 +1,223 @@
+//! Scale-out proof: boot cost versus cluster size and kernel behavior
+//! under thousands of client contexts (DESIGN.md §12).
+//!
+//! Two sweeps, both read off the kernel's own gauges:
+//!
+//! * **Boot sweep** — clusters of growing node count. Incremental
+//!   membership makes boot O(N): each node registers a directory record
+//!   and starts a poller, and *no* pair-wise QP mesh or ring matrix is
+//!   built. The per-node boot time must stay roughly flat as N grows
+//!   (the old eager bring-up grew linearly per node, quadratically in
+//!   total).
+//! * **Context sweep** — a fixed cluster hammered by hundreds to
+//!   thousands of client contexts spread over every node. Throughput
+//!   (host-clock) and the write-class p99 (sim-clock, from `lt_stats`)
+//!   chart how the sharded kernel tables hold up as context count grows
+//!   by two orders of magnitude.
+
+use std::sync::Arc;
+
+use lite::{LiteCluster, OpClass, Perm, Priority};
+use simnet::Ctx;
+
+use crate::table::Row;
+
+const US: f64 = 1_000.0;
+const MS: f64 = 1_000_000.0;
+
+/// One boot-sweep measurement.
+pub struct BootPoint {
+    /// Cluster size.
+    pub nodes: usize,
+    /// Total host-wall boot time (all joins), milliseconds.
+    pub boot_ms: f64,
+    /// Host-wall boot time per node, microseconds — the linearity check.
+    pub boot_per_node_us: f64,
+    /// Live QPs on the whole fabric right after boot (must be 0: the
+    /// mesh is lazy).
+    pub qps_after_boot: usize,
+}
+
+/// One context-sweep measurement.
+pub struct ContextPoint {
+    /// Cluster size the contexts run against.
+    pub nodes: usize,
+    /// Client contexts attached (spread round-robin over nodes).
+    pub contexts: usize,
+    /// Data ops completed (writes + reads, all contexts).
+    pub ops: u64,
+    /// Host-clock throughput, thousand ops per second.
+    pub tput_kops: f64,
+    /// Worst per-node write-class p99 (sim clock), microseconds.
+    pub p99_write_us: f64,
+    /// Pair connects performed lazily, summed over nodes.
+    pub lazy_connects: u64,
+    /// Host-wall nanoseconds spent wiring pairs, summed over nodes.
+    pub mesh_ms: f64,
+}
+
+/// The sweep outcome: table rows plus the raw points for JSON export.
+pub struct ScaleReport {
+    /// Boot-sweep rows (one per cluster size).
+    pub boot_rows: Vec<Row>,
+    /// Context-sweep rows (one per context count).
+    pub ctx_rows: Vec<Row>,
+    pub boot_points: Vec<BootPoint>,
+    pub ctx_points: Vec<ContextPoint>,
+}
+
+impl ScaleReport {
+    /// Both sweeps as one JSON object (the CI artifact).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"boot\":[");
+        for (i, p) in self.boot_points.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"nodes\":{},\"boot_ms\":{:.3},\"boot_per_node_us\":{:.3},\"qps_after_boot\":{}}}",
+                p.nodes, p.boot_ms, p.boot_per_node_us, p.qps_after_boot
+            ));
+        }
+        s.push_str("],\"contexts\":[");
+        for (i, p) in self.ctx_points.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"nodes\":{},\"contexts\":{},\"ops\":{},\"tput_kops\":{:.1},\"p99_write_us\":{:.3},\"lazy_connects\":{},\"mesh_ms\":{:.3}}}",
+                p.nodes, p.contexts, p.ops, p.tput_kops, p.p99_write_us,
+                p.lazy_connects, p.mesh_ms
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+fn boot_point(nodes: usize) -> BootPoint {
+    let cluster = LiteCluster::start(nodes).unwrap();
+    let boot_ns = cluster.directory().boot_host_ns();
+    let qps_after_boot = (0..nodes).map(|n| cluster.kernel(n).stats().qps).sum();
+    BootPoint {
+        nodes,
+        boot_ms: boot_ns as f64 / MS,
+        boot_per_node_us: boot_ns as f64 / nodes as f64 / US,
+        qps_after_boot,
+    }
+}
+
+/// Runs `contexts` client contexts against an `nodes`-node cluster.
+/// Context `i` attaches on node `i % nodes`, creates one small LMR on
+/// the next node over, and issues `ops_per_ctx` writes then reads.
+/// Contexts live on a bounded worker pool but every handle stays alive
+/// until the sweep point ends, so table occupancy really reaches
+/// `contexts` entries.
+fn context_point(nodes: usize, contexts: usize, ops_per_ctx: usize) -> ContextPoint {
+    let cluster = LiteCluster::start(nodes).unwrap();
+    let workers = 16.min(contexts);
+    let start = std::time::Instant::now();
+    let mut joins = Vec::new();
+    for w in 0..workers {
+        let cluster = Arc::clone(&cluster);
+        joins.push(std::thread::spawn(move || {
+            let mut handles = Vec::new();
+            let mut ops = 0u64;
+            for i in (w..contexts).step_by(workers) {
+                let node = i % nodes;
+                let mut h = cluster.attach(node).unwrap();
+                let mut ctx = Ctx::new();
+                let lh = h
+                    .lt_malloc(
+                        &mut ctx,
+                        (node + 1) % nodes,
+                        4096,
+                        &format!("sc{i}"),
+                        Perm::RW,
+                    )
+                    .unwrap();
+                let block = [i as u8; 64];
+                let mut buf = [0u8; 64];
+                for k in 0..ops_per_ctx {
+                    h.lt_write(&mut ctx, lh, (k as u64 % 64) * 64, &block)
+                        .unwrap();
+                    h.lt_read(&mut ctx, lh, (k as u64 % 64) * 64, &mut buf)
+                        .unwrap();
+                    ops += 2;
+                }
+                handles.push((h, ctx, lh));
+            }
+            ops
+        }));
+    }
+    let ops: u64 = joins.into_iter().map(|j| j.join().unwrap()).sum();
+    let host_s = start.elapsed().as_secs_f64();
+
+    let mut p99 = 0u64;
+    let mut lazy_connects = 0u64;
+    let mut mesh_ns = 0u64;
+    for n in 0..nodes {
+        let report = cluster.kernel(n).lt_stats();
+        for prio in [Priority::High, Priority::Low] {
+            if let Some(lat) = report.class(OpClass::Write, prio) {
+                p99 = p99.max(lat.p99);
+            }
+        }
+        lazy_connects += report.kernel.lazy_connects;
+        mesh_ns += report.kernel.mesh_ns;
+    }
+    ContextPoint {
+        nodes,
+        contexts,
+        ops,
+        tput_kops: ops as f64 / host_s / 1_000.0,
+        p99_write_us: p99 as f64 / US,
+        lazy_connects,
+        mesh_ms: mesh_ns as f64 / MS,
+    }
+}
+
+/// The full sweep. Quick mode keeps CI fast; `--full` runs the paper
+/// claim at scale: boot out to 512 nodes, contexts out to 10⁴ against a
+/// 256-node cluster.
+pub fn scale(full: bool) -> ScaleReport {
+    let (boot_sizes, ctx_nodes, ctx_counts, ops_per_ctx): (&[usize], usize, &[usize], usize) =
+        if full {
+            (&[16, 64, 256, 512], 256, &[100, 1_000, 4_096, 10_000], 4)
+        } else {
+            (&[8, 16, 32], 8, &[16, 100, 256], 2)
+        };
+
+    let boot_points: Vec<BootPoint> = boot_sizes.iter().map(|&n| boot_point(n)).collect();
+    let ctx_points: Vec<ContextPoint> = ctx_counts
+        .iter()
+        .map(|&c| context_point(ctx_nodes, c, ops_per_ctx))
+        .collect();
+
+    let boot_rows = boot_points
+        .iter()
+        .map(|p| {
+            Row::new(format!("{} nodes", p.nodes))
+                .cell("boot_ms", p.boot_ms)
+                .cell("per_node_us", p.boot_per_node_us)
+                .cell("qps_after_boot", p.qps_after_boot as f64)
+        })
+        .collect();
+    let ctx_rows = ctx_points
+        .iter()
+        .map(|p| {
+            Row::new(format!("{}x{}", p.nodes, p.contexts))
+                .cell("ops", p.ops as f64)
+                .cell("tput_kops", p.tput_kops)
+                .cell("p99_write_us", p.p99_write_us)
+                .cell("lazy_connects", p.lazy_connects as f64)
+                .cell("mesh_ms", p.mesh_ms)
+        })
+        .collect();
+    ScaleReport {
+        boot_rows,
+        ctx_rows,
+        boot_points,
+        ctx_points,
+    }
+}

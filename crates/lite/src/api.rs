@@ -395,6 +395,22 @@ impl LiteHandle {
         );
         if let Err(e) = reg {
             self.kernel.remove_master_record(id.idx);
+            // The registration may have landed with only its reply lost;
+            // best-effort guarded scrub so a half-registered name cannot
+            // outlive the record it pointed at. A clean name clash
+            // (Remote(1)) means someone else owns the binding — the
+            // guard makes scrubbing it a no-op either way.
+            if !matches!(e, LiteError::Remote(1)) {
+                let _ = self.kcall(
+                    ctx,
+                    MANAGER_NODE,
+                    FN_UNREGNAME,
+                    Enc::new()
+                        .bytes(name.as_bytes())
+                        .u32(self.kernel.node() as u32)
+                        .done(),
+                );
+            }
             let mut free = Enc::new().u32(location.extents.len() as u32);
             for (_, c) in &location.extents {
                 free = free.u64(c.addr);
@@ -623,6 +639,24 @@ impl LiteHandle {
         for _ in 0..m {
             mapped.push(d.u32()? as NodeId);
         }
+        // Scrub the name binding *now*, immediately after the record was
+        // taken — before the fallible chunk frees below. The old
+        // ordering (unregister last) leaked the binding whenever a free
+        // failed mid-way: the record was gone but the name stayed,
+        // pointing at a master that would answer "unknown" forever and
+        // blocking re-registration. The trailing u32 guards the scrub:
+        // the manager only removes the binding if it still names this
+        // master, so a name freed and re-registered by someone else in
+        // the meantime is left alone.
+        let _ = self.kcall(
+            ctx,
+            MANAGER_NODE,
+            FN_UNREGNAME,
+            Enc::new()
+                .bytes(entry.name.as_bytes())
+                .u32(entry.id.node)
+                .done(),
+        );
         // Free storage per node.
         let mut by_node: std::collections::HashMap<NodeId, Vec<u64>> = Default::default();
         for (node, c) in &extents {
@@ -644,12 +678,6 @@ impl LiteHandle {
                 Enc::new().u32(id.node).u32(id.idx).done(),
             );
         }
-        let _ = self.kcall(
-            ctx,
-            MANAGER_NODE,
-            FN_UNREGNAME,
-            Enc::new().bytes(entry.name.as_bytes()).done(),
-        );
         let _ = self.kernel.remove_lh(self.pid, lh);
         self.exit(ctx);
         Ok(())

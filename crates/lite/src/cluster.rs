@@ -1,20 +1,44 @@
-//! Cluster construction: fabric, kernels, shared QP mesh, RPC rings.
+//! Cluster construction: fabric, kernels, and the membership directory.
+//!
+//! Boot is **incremental**: starting a node creates its kernel, registers
+//! its membership record in the [`ClusterDirectory`], and starts its
+//! poller — O(1) work per node, O(N) for the cluster. The shared QP mesh
+//! and the ordered-pair RPC rings of the old eager bring-up are *not*
+//! built here; each pair is wired on first use by the datapath
+//! ([`RnicDataPath::ensure_qps`](crate::kernel::datapath::RnicDataPath))
+//! and the RPC layer (`ensure_ring`), both under the directory's single
+//! connect lock. Set [`LiteConfig::eager_mesh`] to pre-wire every pair at
+//! boot (the paper's original setup; useful for latency-floor baselines).
+//!
+//! Nodes can also join at runtime: [`LiteCluster::start_partial`] boots a
+//! prefix of the fabric and [`LiteCluster::join_node`] brings up the rest
+//! on demand, which is what makes thousand-node scale-out affordable —
+//! see `DESIGN.md` §12 and the `scale` bench.
 
-use std::sync::{Arc, Weak};
+use std::sync::{Arc, OnceLock};
 
-use rnic::{IbConfig, IbFabric, NodeId, QpType};
+use rnic::{IbConfig, IbFabric, NodeId};
 
 use crate::api::LiteHandle;
 use crate::config::LiteConfig;
+use crate::directory::{ClusterDirectory, DirEntry};
 use crate::error::{LiteError, LiteResult};
 use crate::kernel::LiteKernel;
 use crate::qos::{QosConfig, QosMode};
-use crate::ring::{ClientRing, ServerRing};
 
-/// A running LITE cluster: one fabric, one kernel per node.
+/// A running LITE cluster: one fabric, one kernel per joined node, one
+/// membership directory.
 pub struct LiteCluster {
     fabric: Arc<IbFabric>,
-    kernels: Vec<Arc<LiteKernel>>,
+    config: LiteConfig,
+    qos_cfg: QosConfig,
+    dir: Arc<ClusterDirectory>,
+    /// Write-once kernel slot per fabric node; empty until the node
+    /// joins (at boot or via [`LiteCluster::join_node`]).
+    nodes: Box<[OnceLock<Arc<LiteKernel>>]>,
+    /// History log handed to late joiners so runtime joins see the same
+    /// recording state as boot nodes.
+    history: OnceLock<Arc<crate::verify::HistoryLog>>,
 }
 
 impl LiteCluster {
@@ -28,123 +52,116 @@ impl LiteCluster {
     }
 
     /// Starts a cluster with explicit fabric / LITE / QoS configuration.
+    /// Every fabric node joins at boot.
     pub fn start_with(ib: IbConfig, config: LiteConfig, qos: QosConfig) -> LiteResult<Arc<Self>> {
-        let fabric = IbFabric::new(ib);
-        let n = fabric.num_nodes();
-        let kernels: Vec<Arc<LiteKernel>> = (0..n)
-            .map(|node| {
-                LiteKernel::new(node, config.clone(), qos.clone(), Arc::clone(&fabric))
-                    .map(Arc::new)
-            })
-            .collect::<LiteResult<_>>()?;
-
-        // Exchange global rkeys and head sinks.
-        let rkeys: Vec<u32> = kernels.iter().map(|k| k.global_rkey()).collect();
-        let sinks: Vec<u64> = kernels.iter().map(|k| k.head_sink_addr()).collect();
-
-        // Build the shared QP mesh: K RC QPs per unordered pair, attached
-        // to each node's shared CQs and shared receive queue (§6.1).
-        let mut pools: Vec<Vec<Vec<Arc<rnic::Qp>>>> = (0..n)
-            .map(|_| (0..n).map(|_| Vec::new()).collect())
-            .collect();
-        for a in 0..n {
-            for b in (a + 1)..n {
-                for _ in 0..config.qp_factor {
-                    let (sa, ra, rqa) = kernels[a].shared_queues();
-                    let (sb, rb, rqb) = kernels[b].shared_queues();
-                    let qa = fabric.nic(a).create_qp_with(QpType::Rc, sa, ra, rqa);
-                    let qb = fabric.nic(b).create_qp_with(QpType::Rc, sb, rb, rqb);
-                    fabric.connect(&qa, &qb);
-                    pools[a][b].push(qa);
-                    pools[b][a].push(qb);
-                }
-            }
-        }
-
-        // RPC rings for every ordered pair, including self (loop-back).
-        let mut client_rings: Vec<Vec<Option<ClientRing>>> =
-            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
-        let mut server_rings: Vec<Vec<Option<ServerRing>>> =
-            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
-        for client in 0..n {
-            for server in 0..n {
-                let base = kernels[server].alloc_ring(client)?;
-                let size = config.rpc_ring_bytes;
-                server_rings[server][client] = Some(ServerRing::new(base, size)?);
-                client_rings[client][server] = Some(ClientRing::new(base, size)?);
-            }
-        }
-
-        // Hand each kernel its wiring and start its poller. Kernels also
-        // learn every peer's QoS state (receiver-side SW-Pri policies).
-        let all_qos: Vec<_> = kernels.iter().map(|k| k.qos_arc()).collect();
-        let all_mm: Vec<_> = kernels.iter().map(|k| k.mm_arc()).collect();
-        for (node, kernel) in kernels.iter().enumerate() {
-            kernel.finish_setup(
-                std::mem::take(&mut pools[node]),
-                std::mem::take(&mut client_rings[node]),
-                std::mem::take(&mut server_rings[node]),
-                rkeys.clone(),
-                sinks.clone(),
-                all_qos.clone(),
-                all_mm.clone(),
-            )?;
-        }
-
-        // Install the QP reconnector on every datapath. Re-establishing a
-        // broken shared QP touches *both* kernels' pools, so the closure
-        // lives here, where both ends are reachable (through weak refs —
-        // the kernels outlive the datapaths that hold these closures).
-        // One cluster-wide lock serializes repairs; the pool-membership
-        // check makes the repair idempotent when both ends of a broken
-        // pair race into their retry loops.
-        let reconnect_lock = Arc::new(parking_lot::Mutex::new(()));
-        for (node, kernel) in kernels.iter().enumerate() {
-            let peers: Vec<Weak<LiteKernel>> = kernels.iter().map(Arc::downgrade).collect();
-            let fab = Arc::clone(&fabric);
-            let lock = Arc::clone(&reconnect_lock);
-            let me = node;
-            kernel
-                .datapath()
-                .set_reconnector(Box::new(move |peer, broken| {
-                    let _g = lock.lock();
-                    let (Some(a), Some(b)) =
-                        (peers[me].upgrade(), peers.get(peer).and_then(Weak::upgrade))
-                    else {
-                        return Err(LiteError::NodeDown { node: peer });
-                    };
-                    // Already repaired from the other end?
-                    if !a.datapath().remove_qp(peer, broken) {
-                        return Ok(false);
-                    }
-                    // Tear down both halves of the broken pair...
-                    if let Ok(qp) = fab.nic(me).qp(broken) {
-                        if let Ok((_, peer_qp)) = qp.peer() {
-                            b.datapath().remove_qp(me, peer_qp);
-                            if let Ok(pqp) = fab.nic(peer).qp(peer_qp) {
-                                fab.nic(peer).destroy_qp(&pqp);
-                            }
-                        }
-                        fab.nic(me).destroy_qp(&qp);
-                    }
-                    // ...and wire a fresh one on the same shared queues.
-                    let (sa, ra, rqa) = a.shared_queues();
-                    let (sb, rb, rqb) = b.shared_queues();
-                    let qa = fab.nic(me).create_qp_with(QpType::Rc, sa, ra, rqa);
-                    let qb = fab.nic(peer).create_qp_with(QpType::Rc, sb, rb, rqb);
-                    fab.connect(&qa, &qb);
-                    a.datapath().add_qp(peer, qa);
-                    b.datapath().add_qp(me, qb);
-                    Ok(true)
-                }));
-        }
-
-        Ok(Arc::new(LiteCluster { fabric, kernels }))
+        let boot = ib.nodes;
+        Self::start_partial(ib, config, qos, boot)
     }
 
-    /// Number of nodes.
+    /// Starts a cluster in which only nodes `0..boot_nodes` join at
+    /// boot; the rest of the fabric's capacity stays dark until
+    /// [`LiteCluster::join_node`] brings a node up. Boot cost is
+    /// O(boot_nodes), independent of fabric capacity.
+    pub fn start_partial(
+        ib: IbConfig,
+        config: LiteConfig,
+        qos: QosConfig,
+        boot_nodes: usize,
+    ) -> LiteResult<Arc<Self>> {
+        let fabric = IbFabric::new(ib);
+        let capacity = fabric.num_nodes();
+        let boot = boot_nodes.min(capacity);
+        let cluster = Arc::new(LiteCluster {
+            fabric,
+            dir: Arc::new(ClusterDirectory::new(capacity)),
+            nodes: (0..capacity).map(|_| OnceLock::new()).collect(),
+            history: OnceLock::new(),
+            config,
+            qos_cfg: qos,
+        });
+        for node in 0..boot {
+            cluster.join_node(node)?;
+        }
+        if cluster.config.eager_mesh {
+            cluster.wire_full_mesh(boot)?;
+        }
+        Ok(cluster)
+    }
+
+    /// Brings `node` up at runtime: creates its kernel, registers its
+    /// membership record, and starts its poller — all under the
+    /// directory's connect lock so concurrent joins and lazy pair wiring
+    /// serialize. Idempotent: joining a running node returns its kernel.
+    pub fn join_node(&self, node: NodeId) -> LiteResult<Arc<LiteKernel>> {
+        let slot = self.nodes.get(node).ok_or(LiteError::NodeDown { node })?;
+        if let Some(k) = slot.get() {
+            return Ok(Arc::clone(k));
+        }
+        let kernel = Arc::new(LiteKernel::new(
+            node,
+            self.config.clone(),
+            self.qos_cfg.clone(),
+            Arc::clone(&self.fabric),
+        )?);
+        {
+            // Register + finish under one lock hold: a peer that finds
+            // the record can rely on the kernel being fully wired,
+            // because reaching it (ensure_qps / ensure_ring) takes this
+            // same lock.
+            let _g = self.dir.lock_connect();
+            if let Some(k) = slot.get() {
+                return Ok(Arc::clone(k)); // lost a join race — fine
+            }
+            self.dir.register(
+                node,
+                DirEntry {
+                    kernel: Arc::downgrade(&kernel),
+                    rkey: kernel.global_rkey(),
+                    head_sink: kernel.head_sink_addr(),
+                    qos: kernel.qos_arc(),
+                    mm: kernel.mm_arc(),
+                },
+            );
+            kernel.finish_setup(&self.dir)?;
+            let _ = slot.set(Arc::clone(&kernel));
+        }
+        if let Some(log) = self.history.get() {
+            if let Some(obs) = kernel.observe() {
+                obs.install_history(Arc::clone(log));
+            }
+        }
+        Ok(kernel)
+    }
+
+    /// Pre-wires every QP pool and ring pair among nodes `0..n` — the
+    /// paper's original eager bring-up, behind
+    /// [`LiteConfig::eager_mesh`].
+    fn wire_full_mesh(&self, n: usize) -> LiteResult<()> {
+        for a in 0..n {
+            let k = self.try_kernel(a)?;
+            for b in 0..n {
+                if a != b {
+                    k.datapath().ensure_qps(b)?;
+                }
+                k.ensure_ring(b)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Nodes joined so far (boot nodes plus runtime joins).
     pub fn num_nodes(&self) -> usize {
-        self.kernels.len()
+        self.dir.joined()
+    }
+
+    /// Fabric node capacity (joined or not).
+    pub fn capacity(&self) -> usize {
+        self.dir.capacity()
+    }
+
+    /// The membership directory (boot gauges, join state).
+    pub fn directory(&self) -> &Arc<ClusterDirectory> {
+        &self.dir
     }
 
     /// The underlying fabric (for baselines sharing the cluster).
@@ -154,23 +171,26 @@ impl LiteCluster {
 
     /// The kernel on `node`.
     ///
-    /// Panics if `node` is out of range; use [`LiteCluster::try_kernel`]
+    /// Panics if `node` has not joined; use [`LiteCluster::try_kernel`]
     /// for a fallible lookup.
     pub fn kernel(&self, node: NodeId) -> &Arc<LiteKernel> {
-        self.try_kernel(node).expect("node id within the cluster")
+        self.try_kernel(node).expect("node joined the cluster")
     }
 
-    /// The kernel on `node`, or [`LiteError::NodeDown`] for an id
-    /// outside the cluster.
+    /// The kernel on `node`, or [`LiteError::NodeDown`] for a node that
+    /// has not joined (or an id outside the fabric).
     pub fn try_kernel(&self, node: NodeId) -> LiteResult<&Arc<LiteKernel>> {
-        self.kernels.get(node).ok_or(LiteError::NodeDown { node })
+        self.nodes
+            .get(node)
+            .and_then(OnceLock::get)
+            .ok_or(LiteError::NodeDown { node })
     }
 
     /// The transport-agnostic datapath of `node` — the same op plane the
     /// kernel posts through, exposed for consumers that select backends
     /// via the [`DataPath`](crate::kernel::datapath::DataPath) trait.
     ///
-    /// Panics if `node` is out of range.
+    /// Panics if `node` has not joined.
     pub fn datapath(&self, node: NodeId) -> Arc<dyn crate::kernel::datapath::DataPath> {
         Arc::clone(self.kernel(node).datapath()) as _
     }
@@ -188,16 +208,18 @@ impl LiteCluster {
 
     /// Arms history recording for the linearizability checker
     /// ([`crate::verify`]): installs one shared [`HistoryLog`] on every
-    /// node and returns it. Arm *before* the first synchronization op —
-    /// the checker's register spec assumes recorded locations start
-    /// zero-filled. Recording stays on for the cluster's lifetime; a
-    /// second call returns a new log only if none was installed (first
-    /// install wins on every node).
+    /// joined node (and every later joiner) and returns it. Arm *before*
+    /// the first synchronization op — the checker's register spec assumes
+    /// recorded locations start zero-filled. Recording stays on for the
+    /// cluster's lifetime; a second call returns a new log only if none
+    /// was installed (first install wins on every node).
     ///
     /// [`HistoryLog`]: crate::verify::HistoryLog
     pub fn record_history(&self) -> LiteResult<Arc<crate::verify::HistoryLog>> {
         let log = Arc::new(crate::verify::HistoryLog::new());
-        for k in &self.kernels {
+        let _ = self.history.set(Arc::clone(&log));
+        for slot in self.nodes.iter() {
+            let Some(k) = slot.get() else { continue };
             let obs = k
                 .observe()
                 .ok_or(LiteError::Internal("datapath not initialized"))?;
@@ -206,18 +228,22 @@ impl LiteCluster {
         Ok(log)
     }
 
-    /// Switches the QoS mode on every node.
+    /// Switches the QoS mode on every joined node.
     pub fn set_qos_mode(&self, mode: QosMode) {
-        for k in &self.kernels {
-            k.qos().set_mode(mode);
+        for slot in self.nodes.iter() {
+            if let Some(k) = slot.get() {
+                k.qos().set_mode(mode);
+            }
         }
     }
 }
 
 impl Drop for LiteCluster {
     fn drop(&mut self) {
-        for k in &self.kernels {
-            k.stop();
+        for slot in self.nodes.iter() {
+            if let Some(k) = slot.get() {
+                k.stop();
+            }
         }
         self.fabric.shutdown();
     }

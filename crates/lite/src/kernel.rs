@@ -17,22 +17,23 @@
 //! * [`chunkio`] — gather/scatter between chunk lists and memory.
 //! * [`stats`] — hot-path counters and the stats snapshot.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use parking_lot::{Mutex, RwLock};
 use rnic::qp::{RecvEntry, RecvQueue};
-use rnic::{Cq, IbFabric, NodeId, Qp};
+use rnic::{Cq, IbFabric, NodeId};
 use simnet::{CpuMeter, Ctx};
 use smem::{PhysAllocator, PhysMem};
 
 use crate::config::LiteConfig;
+use crate::directory::ClusterDirectory;
 use crate::error::{LiteError, LiteResult};
 use crate::mm::MemManager;
 use crate::observe::{self, Observability, QosReport, StatsReport};
 use crate::qos::{QosConfig, QosState};
 use crate::ring::{ClientRing, ServerRing};
+use crate::shard::ShardedMap;
 
 pub(crate) mod chunkio;
 pub mod datapath;
@@ -96,25 +97,31 @@ pub struct LiteKernel {
     pub(crate) alloc: Arc<Mutex<PhysAllocator>>,
     global_mr: rnic::Mr,
     datapath: OnceLock<Arc<RnicDataPath>>,
-    head_sinks: OnceLock<Vec<u64>>,
+    /// Cluster membership directory (rkeys, head sinks, peer kernels).
+    dir: OnceLock<Arc<ClusterDirectory>>,
     pub(crate) shared_recv_cq: Arc<Cq>,
     shared_send_cq: Arc<Cq>,
     shared_rq: Arc<RecvQueue>,
-    client_rings: OnceLock<Vec<Option<ClientRing>>>,
-    server_rings: OnceLock<Vec<Option<ServerRing>>>,
+    /// Client-side ring views, indexed by server node. Slots fill lazily
+    /// on the first RPC towards a peer (under the directory's connect
+    /// lock); the `RwLock` read on the fast path is uncontended.
+    client_rings: RwLock<Vec<Option<Arc<ClientRing>>>>,
+    /// Server-side ring state, indexed by client node; filled lazily by
+    /// the *client's* `ensure_ring`.
+    server_rings: RwLock<Vec<Option<Arc<ServerRing>>>>,
     /// This node's 64-byte head-update sink cell.
     head_sink: u64,
     /// Base of the lock-cell array.
     lock_cells: u64,
     next_lock: AtomicU64,
-    slots: Mutex<HashMap<u32, Arc<CallSlot>>>,
+    slots: ShardedMap<u32, Arc<CallSlot>>,
     next_slot: AtomicU32,
-    queues: RwLock<HashMap<u8, Arc<RpcQueue>>>,
-    locks: Mutex<HashMap<u64, LockState>>,
-    barriers: Mutex<HashMap<u64, BarrierState>>,
-    masters: Mutex<MasterTable>,
-    names: Mutex<HashMap<String, u32>>,
-    lhs: Mutex<HashMap<(u32, u64), crate::lmr::LhEntry>>,
+    queues: ShardedMap<u8, Arc<RpcQueue>>,
+    locks: ShardedMap<u64, LockState>,
+    barriers: ShardedMap<u64, BarrierState>,
+    masters: MasterTable,
+    names: ShardedMap<String, u32>,
+    lhs: ShardedMap<(u32, u64), crate::lmr::LhEntry>,
     next_pid: AtomicU32,
     next_lh: AtomicU64,
     pub(crate) qos: Arc<QosState>,
@@ -129,6 +136,11 @@ pub struct LiteKernel {
     /// Sequence half of the cluster-unique synchronization tokens
     /// (enqueue / release identities on the lock fault paths).
     next_sync_token: AtomicU64,
+    /// Host-wall nanoseconds this node's `finish_setup` took (gauge).
+    boot_host_ns: AtomicU64,
+    /// Host-wall nanoseconds spent wiring rings lazily (gauge; QP
+    /// wiring time is tracked by the datapath).
+    mesh_host_ns: AtomicU64,
 }
 
 impl LiteKernel {
@@ -155,6 +167,8 @@ impl LiteKernel {
         };
         let link = fabric.cost().link_bytes_per_sec;
         let mm = Arc::new(MemManager::new(node, fabric.num_nodes(), &config));
+        let shards = config.kernel_shards;
+        let capacity = fabric.num_nodes();
         let kernel = LiteKernel {
             node,
             config,
@@ -162,23 +176,23 @@ impl LiteKernel {
             alloc,
             global_mr,
             datapath: OnceLock::new(),
-            head_sinks: OnceLock::new(),
+            dir: OnceLock::new(),
             shared_recv_cq: Arc::new(Cq::new()),
             shared_send_cq: Arc::new(Cq::new()),
             shared_rq: Arc::new(RecvQueue::new()),
-            client_rings: OnceLock::new(),
-            server_rings: OnceLock::new(),
+            client_rings: RwLock::new(vec![None; capacity]),
+            server_rings: RwLock::new(vec![None; capacity]),
             head_sink,
             lock_cells,
             next_lock: AtomicU64::new(0),
-            slots: Mutex::new(HashMap::new()),
+            slots: ShardedMap::new(shards),
             next_slot: AtomicU32::new(1),
-            queues: RwLock::new(HashMap::new()),
-            locks: Mutex::new(HashMap::new()),
-            barriers: Mutex::new(HashMap::new()),
-            masters: Mutex::new(MasterTable::new()),
-            names: Mutex::new(HashMap::new()),
-            lhs: Mutex::new(HashMap::new()),
+            queues: ShardedMap::new(shards),
+            locks: ShardedMap::new(shards),
+            barriers: ShardedMap::new(shards),
+            masters: MasterTable::new(shards),
+            names: ShardedMap::new(shards),
+            lhs: ShardedMap::new(shards),
             next_pid: AtomicU32::new(1),
             next_lh: AtomicU64::new(1),
             qos: Arc::new(QosState::new(qos_cfg, link)),
@@ -189,12 +203,11 @@ impl LiteKernel {
             poller_cpu: Arc::new(CpuMeter::new()),
             counters: KernelCounters::new(),
             next_sync_token: AtomicU64::new(1),
+            boot_host_ns: AtomicU64::new(0),
+            mesh_host_ns: AtomicU64::new(0),
         };
         // FN_MSG delivers through a queue like user functions do.
-        kernel
-            .queues
-            .write()
-            .insert(FN_MSG, Arc::new(RpcQueue::new()));
+        kernel.queues.insert(FN_MSG, Arc::new(RpcQueue::new()));
         Ok(kernel)
     }
 
@@ -240,12 +253,19 @@ impl LiteKernel {
 
     /// Statistics snapshot.
     pub fn stats(&self) -> KernelStats {
-        match self.datapath.get() {
-            Some(dp) => self
-                .counters
-                .snapshot(dp.num_qps(), Some(dp.retry_counters())),
+        let mut s = match self.datapath.get() {
+            Some(dp) => {
+                let mut s = self
+                    .counters
+                    .snapshot(dp.num_qps(), Some(dp.retry_counters()));
+                s.mesh_ns = self.mesh_host_ns.load(Ordering::Relaxed) + dp.mesh_host_ns();
+                s.lazy_connects = dp.lazy_connects();
+                s
+            }
             None => self.counters.snapshot(0, None),
-        }
+        };
+        s.boot_ns = self.boot_host_ns.load(Ordering::Relaxed);
+        s
     }
 
     /// Structured observability report: per-class × priority latency
@@ -343,44 +363,37 @@ impl LiteKernel {
     // Cluster wiring
     // ------------------------------------------------------------------
 
-    /// Second-phase setup, run once by the cluster: the datapath (QP
-    /// pools, global rkeys, QoS views), rings, head sinks, initial
-    /// receive credits, and the poller. Running it twice (or failing to
-    /// spawn the poller) is reported as [`LiteError::Internal`] instead
-    /// of panicking, so a misused builder degrades to a failed start.
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn finish_setup(
-        self: &Arc<Self>,
-        qp_pools: Vec<Vec<Arc<Qp>>>,
-        client_rings: Vec<Option<ClientRing>>,
-        server_rings: Vec<Option<ServerRing>>,
-        global_rkeys: Vec<u32>,
-        head_sinks: Vec<u64>,
-        all_qos: Vec<Arc<QosState>>,
-        all_mm: Vec<Arc<MemManager>>,
-    ) -> LiteResult<()> {
-        self.mm.set_cluster(all_mm.clone());
+    /// Second-phase setup, run once per node under the directory's
+    /// connect lock: builds the datapath (empty QP pools — peers are
+    /// wired lazily on first use), wires the self-loopback RPC ring,
+    /// pre-posts receive credits, and starts the poller. O(1) per node,
+    /// which is what makes cluster boot O(N) instead of the old O(N²·K)
+    /// full-mesh bring-up. Running it twice (or failing to spawn the
+    /// poller) is reported as [`LiteError::Internal`] instead of
+    /// panicking, so a misused builder degrades to a failed start.
+    pub(crate) fn finish_setup(self: &Arc<Self>, dir: &Arc<ClusterDirectory>) -> LiteResult<()> {
+        let boot_start = std::time::Instant::now();
+        let once = LiteError::Internal("cluster setup ran twice on one node");
+        self.dir.set(Arc::clone(dir)).map_err(|_| once.clone())?;
+        self.mm.set_directory(Arc::clone(dir));
         let dp = Arc::new(RnicDataPath::new(
             Arc::clone(&self.fabric),
             self.node,
             &self.config,
             self.global_mr.lkey(),
-            global_rkeys,
-            qp_pools,
             Arc::clone(&self.qos),
-            all_qos,
-            all_mm,
             Arc::clone(&self.alloc),
+            Arc::clone(dir),
+            Arc::downgrade(self),
         ));
-        let once = LiteError::Internal("cluster setup ran twice on one node");
-        self.datapath.set(dp).map_err(|_| once.clone())?;
-        self.client_rings
-            .set(client_rings)
-            .map_err(|_| once.clone())?;
-        self.server_rings
-            .set(server_rings)
-            .map_err(|_| once.clone())?;
-        self.head_sinks.set(head_sinks).map_err(|_| once)?;
+        self.datapath.set(dp).map_err(|_| once)?;
+        // The self-loopback ring is wired eagerly: kernel services RPC
+        // their own node (manager calls on node 0, local lock homes),
+        // and a node is always a member of itself.
+        let base = self.alloc_ring(self.node)?;
+        let size = self.config.rpc_ring_bytes;
+        self.server_rings.write()[self.node] = Some(Arc::new(ServerRing::new(base, size)?));
+        self.client_rings.write()[self.node] = Some(Arc::new(ClientRing::new(base, size)?));
         // Pre-post receive credits for write-imm (the paper's background
         // IMM-buffer posting).
         for _ in 0..self.config.recv_credits {
@@ -406,7 +419,32 @@ impl LiteKernel {
                 .map_err(|_| LiteError::Internal("could not spawn the memory manager"))?;
             *self.mm_thread.lock() = Some(mm_handle);
         }
+        let ns = boot_start.elapsed().as_nanos() as u64;
+        self.boot_host_ns.store(ns, Ordering::Relaxed);
+        dir.note_boot(ns);
         Ok(())
+    }
+
+    /// The cluster directory, once this node has joined.
+    pub(crate) fn try_dir(&self) -> LiteResult<&Arc<ClusterDirectory>> {
+        self.dir
+            .get()
+            .ok_or(LiteError::Internal("op posted before cluster wiring"))
+    }
+
+    /// Installs the server-side ring state for messages from `client`.
+    /// Called by the *client's* `ensure_ring` (under the directory's
+    /// connect lock) before it builds its own view, so a request can
+    /// never arrive at a server without ring state.
+    pub(crate) fn install_server_ring(&self, client: NodeId, ring: Arc<ServerRing>) {
+        if let Some(slot) = self.server_rings.write().get_mut(client) {
+            *slot = Some(ring);
+        }
+    }
+
+    /// Adds host-wall nanoseconds to the lazy ring-wiring gauge.
+    pub(crate) fn note_mesh_ns(&self, ns: u64) {
+        self.mesh_host_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
     /// Gives the cluster what it needs to wire this node: the shared CQs

@@ -14,13 +14,14 @@
 //!   stack, so baselines and apps can swap transports without touching
 //!   their data plane.
 
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use rnic::{
-    FaultAction, IbConfig, IbFabric, NodeId, Qp, QpId, RemoteAddr, Sge, VerbsError, WritePost,
+    FaultAction, IbConfig, IbFabric, NodeId, Qp, QpId, QpType, RemoteAddr, Sge, VerbsError,
+    WritePost,
 };
 use simnet::{transfer_time, Ctx, Nanos, Resource};
 use smem::{PhysAllocator, PhysMem};
@@ -30,8 +31,8 @@ use super::chunkio::{read_chunks, write_chunks};
 use super::stats::RetryCounters;
 use super::LiteKernel;
 use crate::config::LiteConfig;
+use crate::directory::ClusterDirectory;
 use crate::error::{LiteError, LiteResult};
-use crate::mm::MemManager;
 use crate::observe::{EventKind, Observability, OpClass};
 use crate::qos::{Priority, QosMode, QosState};
 
@@ -189,12 +190,6 @@ pub trait DataPath: Send + Sync {
 // RNIC implementation
 // ---------------------------------------------------------------------
 
-/// Re-establishes one broken shared QP towards a peer. Installed by the
-/// cluster, which can reach both kernels' pools; returns whether this
-/// call actually rebuilt the pair (`false`: the other end's retry loop
-/// already repaired it).
-pub(crate) type ReconnectFn = Box<dyn Fn(NodeId, QpId) -> LiteResult<bool> + Send + Sync>;
-
 /// Liveness view of one peer node: consecutive deadline-exhausted ops
 /// are counted, and past [`LiteConfig::peer_dead_threshold`] the peer is
 /// declared dead — subsequent ops fail fast with [`LiteError::PeerDead`]
@@ -215,17 +210,24 @@ pub struct RnicDataPath {
     map_check_ns: Nanos,
     batch: bool,
     global_lkey: u32,
-    global_rkeys: Vec<u32>,
-    /// Per-peer shared QP pools; mutable so the recovery layer can swap
-    /// broken QPs for fresh ones underneath in-flight traffic.
+    /// Cluster membership: peer rkeys, QoS views, and memory managers
+    /// all come from here instead of boot-time broadcast vectors.
+    dir: Arc<ClusterDirectory>,
+    /// Back-reference to the owning kernel (shared CQs for lazy QP
+    /// wiring and repairs).
+    kernel: Weak<LiteKernel>,
+    /// K, the shared-QP factor per peer pair (§6.1).
+    qp_factor: usize,
+    /// Per-peer shared QP pools, sized to fabric capacity; empty until
+    /// the pair is wired on first use. Mutable so the recovery layer can
+    /// swap broken QPs for fresh ones underneath in-flight traffic.
     qp_pools: Vec<Mutex<Vec<Arc<Qp>>>>,
+    /// Per-peer wired latch, set on *both* ends when a pair is built so
+    /// a pair is wired exactly once no matter which side touches it
+    /// first.
+    wired: Box<[AtomicBool]>,
     rr: AtomicUsize,
     qos: Arc<QosState>,
-    all_qos: Vec<Arc<QosState>>,
-    /// Every node's memory manager: each posted op touches the target
-    /// node's manager (LRU temperature + rebalancer heat). Empty slots /
-    /// disabled managers make the hook free.
-    all_mm: Vec<Arc<MemManager>>,
     alloc: Arc<Mutex<PhysAllocator>>,
     retry_enabled: bool,
     retry_base_ns: Nanos,
@@ -233,9 +235,12 @@ pub struct RnicDataPath {
     peer_dead_threshold: u32,
     op_timeout: Duration,
     health: Vec<PeerHealth>,
-    reconnect: OnceLock<ReconnectFn>,
     retry: RetryCounters,
     obs: Arc<Observability>,
+    /// Host-wall nanoseconds spent wiring QP pairs lazily (gauge).
+    mesh_ns: AtomicU64,
+    /// Lazy pair connects performed from this end (gauge).
+    lazy_connects: AtomicU64,
 }
 
 /// Observability identity of one in-flight op, threaded through the
@@ -255,26 +260,25 @@ impl RnicDataPath {
         node: NodeId,
         config: &LiteConfig,
         global_lkey: u32,
-        global_rkeys: Vec<u32>,
-        qp_pools: Vec<Vec<Arc<Qp>>>,
         qos: Arc<QosState>,
-        all_qos: Vec<Arc<QosState>>,
-        all_mm: Vec<Arc<MemManager>>,
         alloc: Arc<Mutex<PhysAllocator>>,
+        dir: Arc<ClusterDirectory>,
+        kernel: Weak<LiteKernel>,
     ) -> Self {
-        let peers = qp_pools.len();
+        let peers = dir.capacity();
         RnicDataPath {
             fabric,
             node,
             map_check_ns: config.map_check_ns,
             batch: config.batch_posting,
             global_lkey,
-            global_rkeys,
-            qp_pools: qp_pools.into_iter().map(Mutex::new).collect(),
+            dir,
+            kernel,
+            qp_factor: config.qp_factor,
+            qp_pools: (0..peers).map(|_| Mutex::new(Vec::new())).collect(),
+            wired: (0..peers).map(|_| AtomicBool::new(false)).collect(),
             rr: AtomicUsize::new(0),
             qos,
-            all_qos,
-            all_mm,
             alloc,
             retry_enabled: config.retry_enabled,
             retry_base_ns: config.retry_base_ns.max(1),
@@ -282,14 +286,86 @@ impl RnicDataPath {
             peer_dead_threshold: config.peer_dead_threshold.max(1),
             op_timeout: config.op_timeout,
             health: (0..peers).map(|_| PeerHealth::default()).collect(),
-            reconnect: OnceLock::new(),
             retry: RetryCounters::default(),
             obs: Arc::new(Observability::new(
                 peers,
                 config.stats_sample_rate,
                 config.trace_ring_slots,
             )),
+            mesh_ns: AtomicU64::new(0),
+            lazy_connects: AtomicU64::new(0),
         }
+    }
+
+    /// Host-wall nanoseconds spent wiring QP pairs lazily.
+    pub(crate) fn mesh_host_ns(&self) -> u64 {
+        self.mesh_ns.load(Ordering::Relaxed)
+    }
+
+    /// Lazy pair connects performed from this end.
+    pub(crate) fn lazy_connects(&self) -> u64 {
+        self.lazy_connects.load(Ordering::Relaxed)
+    }
+
+    /// Ensures the K-QP shared pool towards `peer` is wired (§6.1),
+    /// establishing the pair on first use under the directory's connect
+    /// lock. Wiring installs BOTH ends' pools and latches, so a pair is
+    /// built exactly once no matter which side posts first.
+    pub(crate) fn ensure_qps(&self, peer: NodeId) -> LiteResult<()> {
+        if peer == self.node {
+            return Ok(());
+        }
+        match self.wired.get(peer) {
+            Some(w) if w.load(Ordering::Acquire) => return Ok(()),
+            Some(_) => {}
+            None => return Err(LiteError::NodeDown { node: peer }),
+        }
+        let start = Instant::now();
+        let _g = self.dir.lock_connect();
+        // Double-check under the lock (the peer's ensure may have won).
+        if self.wired[peer].load(Ordering::Acquire) {
+            return Ok(());
+        }
+        self.wire_peer(peer)?;
+        self.mesh_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.lazy_connects.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Builds the K shared QPs between this node and `peer`, installing
+    /// both ends' pools. Caller holds the directory's connect lock.
+    fn wire_peer(&self, peer: NodeId) -> LiteResult<()> {
+        let me = self
+            .kernel
+            .upgrade()
+            .ok_or(LiteError::NodeDown { node: self.node })?;
+        let other = self
+            .dir
+            .kernel(peer)
+            .ok_or(LiteError::NodeDown { node: peer })?;
+        let other_dp = other.try_datapath()?;
+        for _ in 0..self.qp_factor.max(1) {
+            let (sa, ra, rqa) = me.shared_queues();
+            let (sb, rb, rqb) = other.shared_queues();
+            let qa = self
+                .fabric
+                .nic(self.node)
+                .create_qp_with(QpType::Rc, sa, ra, rqa);
+            let qb = self
+                .fabric
+                .nic(peer)
+                .create_qp_with(QpType::Rc, sb, rb, rqb);
+            self.fabric.connect(&qa, &qb);
+            self.add_qp(peer, qa);
+            other_dp.add_qp(self.node, qb);
+        }
+        // Latch both ends so neither side re-wires the pair.
+        self.wired[peer].store(true, Ordering::Release);
+        if let Some(w) = other_dp.wired.get(self.node) {
+            w.store(true, Ordering::Release);
+        }
+        Ok(())
     }
 
     /// This node's observability surface (histograms + trace ring).
@@ -324,7 +400,7 @@ impl RnicDataPath {
             } => (*src_node, *src_addr, *len as u64),
             Op::FetchAdd { node, addr, .. } | Op::CmpSwap { node, addr, .. } => (*node, *addr, 8),
         };
-        if let Some(mm) = self.all_mm.get(node) {
+        if let Some(mm) = self.dir.mm(node) {
             mm.touch(addr, len, self.node);
         }
     }
@@ -370,11 +446,6 @@ impl RnicDataPath {
     /// Live recovery counters (folded into the kernel stats snapshot).
     pub(crate) fn retry_counters(&self) -> &RetryCounters {
         &self.retry
-    }
-
-    /// Installs the cluster's QP reconnector (once, at wiring time).
-    pub(crate) fn set_reconnector(&self, f: ReconnectFn) {
-        let _ = self.reconnect.set(f);
     }
 
     /// Removes a (broken) QP from the pool towards `peer`; `false` when
@@ -443,19 +514,51 @@ impl RnicDataPath {
         due
     }
 
-    /// Tears down and re-establishes a broken shared QP through the
-    /// cluster-installed reconnector. Returns whether this call actually
+    /// Tears down and re-establishes a broken shared QP pair, touching
+    /// both ends' pools through the directory. Serialized by the same
+    /// connect lock as lazy wiring and runtime joins; the pool-membership
+    /// check makes the repair idempotent when both ends of a broken pair
+    /// race into their retry loops. Returns whether this call actually
     /// rebuilt the pair (`false`: the other end got there first).
     fn reconnect_qp(&self, peer: NodeId, qp: QpId) -> LiteResult<bool> {
-        let f = self
-            .reconnect
-            .get()
-            .ok_or(LiteError::Verbs(VerbsError::QpBroken { qp }))?;
-        let rebuilt = f(peer, qp)?;
-        if rebuilt {
-            self.retry.qp_reconnects.fetch_add(1, Ordering::Relaxed);
+        let _g = self.dir.lock_connect();
+        let me = self
+            .kernel
+            .upgrade()
+            .ok_or(LiteError::NodeDown { node: self.node })?;
+        let other = self
+            .dir
+            .kernel(peer)
+            .ok_or(LiteError::NodeDown { node: peer })?;
+        let other_dp = other.try_datapath()?;
+        // Already repaired from the other end?
+        if !self.remove_qp(peer, qp) {
+            return Ok(false);
         }
-        Ok(rebuilt)
+        // Tear down both halves of the broken pair...
+        let nic = self.fabric.nic(self.node);
+        if let Ok(q) = nic.qp(qp) {
+            if let Ok((_, peer_qp)) = q.peer() {
+                other_dp.remove_qp(self.node, peer_qp);
+                if let Ok(pqp) = self.fabric.nic(peer).qp(peer_qp) {
+                    self.fabric.nic(peer).destroy_qp(&pqp);
+                }
+            }
+            nic.destroy_qp(&q);
+        }
+        // ...and wire a fresh one on the same shared queues.
+        let (sa, ra, rqa) = me.shared_queues();
+        let (sb, rb, rqb) = other.shared_queues();
+        let qa = nic.create_qp_with(QpType::Rc, sa, ra, rqa);
+        let qb = self
+            .fabric
+            .nic(peer)
+            .create_qp_with(QpType::Rc, sb, rb, rqb);
+        self.fabric.connect(&qa, &qb);
+        self.add_qp(peer, qa);
+        other_dp.add_qp(self.node, qb);
+        self.retry.qp_reconnects.fetch_add(1, Ordering::Relaxed);
+        Ok(true)
     }
 
     /// The recovery wrapper around every remote post. Faults are injected
@@ -561,12 +664,9 @@ impl RnicDataPath {
     }
 
     /// The global rkey of `node`, or a graceful [`LiteError::NodeDown`]
-    /// for an id outside the cluster (formerly an indexing panic).
+    /// when `node` has not joined the cluster.
     fn rkey(&self, node: NodeId) -> LiteResult<u32> {
-        self.global_rkeys
-            .get(node)
-            .copied()
-            .ok_or(LiteError::NodeDown { node })
+        self.dir.rkey(node).ok_or(LiteError::NodeDown { node })
     }
 
     /// Applies QoS before an op of `bytes` towards `dst`: HW-Sep
@@ -576,7 +676,7 @@ impl RnicDataPath {
     /// itself will fail cleanly at the rkey/QP lookup.
     fn qos_before(&self, ctx: &mut Ctx, prio: Priority, dst: NodeId, bytes: u64) {
         let state = match self.qos.mode() {
-            QosMode::SwPri => self.all_qos.get(dst).unwrap_or(&self.qos),
+            QosMode::SwPri => self.dir.qos(dst).unwrap_or(&self.qos),
             _ => &self.qos,
         };
         state.before_op(ctx, prio, bytes);
@@ -584,7 +684,7 @@ impl RnicDataPath {
 
     /// Records a completed high-priority op at the receiver's monitor.
     fn qos_after_high(&self, dst: NodeId, finish: Nanos, bytes: u64, latency: Nanos) {
-        if let Some(q) = self.all_qos.get(dst) {
+        if let Some(q) = self.dir.qos(dst) {
             q.after_high_op(finish, bytes, latency);
         }
     }
@@ -867,6 +967,9 @@ impl DataPath for RnicDataPath {
     /// post→completion latency recorded per class, priority, and peer.
     fn post(&self, ctx: &mut Ctx, prio: Priority, op: &Op) -> LiteResult<Completion> {
         let peer = op.dst_node();
+        if peer != self.node {
+            self.ensure_qps(peer)?;
+        }
         let class = op.class();
         self.touch_mm(op);
         let start = ctx.now();
@@ -913,7 +1016,7 @@ impl DataPath for RnicDataPath {
                 // fetch-back, and rebalance. Untracked cells (lock
                 // words, budget-0 runs) keep their physical key,
                 // byte-identical to the pre-tiering behavior.
-                let key = match self.all_mm.get(node).and_then(|mm| mm.logical_cell(addr)) {
+                let key = match self.dir.mm(node).and_then(|mm| mm.logical_cell(addr)) {
                     Some((id, off)) => crate::verify::Key::LogicalCell {
                         node: id.node,
                         idx: id.idx,
@@ -991,6 +1094,7 @@ impl DataPath for RnicDataPath {
                 }
             }
             if j - i >= 2 {
+                self.ensure_qps(run_dst)?;
                 for op in &ops[i..j] {
                     self.touch_mm(op);
                 }

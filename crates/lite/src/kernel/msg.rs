@@ -8,7 +8,7 @@
 //! deadlock.
 
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU32, Ordering};
 
 use rnic::NodeId;
 use simnet::Ctx;
@@ -23,6 +23,7 @@ use super::{
 use crate::error::{LiteError, LiteResult};
 use crate::lmr::{LhEntry, LmrId, Location, MasterRecord, Perm};
 use crate::qos::Priority;
+use crate::shard::ShardedMap;
 use crate::wire::{Dec, Enc, MsgHeader};
 
 /// Owner-side state of one lock word. Every enqueue and every release
@@ -53,19 +54,40 @@ pub(super) struct BarrierState {
     count: u32,
 }
 
+/// Master records, sharded by record index with a sharded name index on
+/// the side. The two maps are updated without a covering lock; the
+/// invariants that keep that safe:
+///
+/// * a record is inserted into `records` *before* its `by_name` binding,
+///   and removed from `records` *before* the binding is scrubbed — so a
+///   `by_name` hit whose record is missing means "being torn down" and
+///   is answered like an unknown name (status 2);
+/// * `by_name` scrubs are conditional (`entry == idx`), so a name that
+///   was freed and re-registered under a new index is never scrubbed by
+///   the old record's teardown.
 pub(super) struct MasterTable {
-    records: HashMap<u32, MasterRecord>,
-    by_name: HashMap<String, u32>,
-    next_idx: u32,
+    records: ShardedMap<u32, MasterRecord>,
+    by_name: ShardedMap<String, u32>,
+    next_idx: AtomicU32,
 }
 
 impl MasterTable {
-    pub(super) fn new() -> Self {
+    pub(super) fn new(shards: usize) -> Self {
         MasterTable {
-            records: HashMap::new(),
-            by_name: HashMap::new(),
-            next_idx: 1,
+            records: ShardedMap::new(shards),
+            by_name: ShardedMap::new(shards),
+            next_idx: AtomicU32::new(1),
         }
+    }
+
+    /// Removes `name → idx` only if it still points at `idx`.
+    fn scrub_name(&self, name: &str, idx: u32) {
+        let key = name.to_string();
+        self.by_name.with_shard_of(&key, |m| {
+            if m.get(&key) == Some(&idx) {
+                m.remove(&key);
+            }
+        });
     }
 }
 
@@ -93,46 +115,42 @@ impl LiteKernel {
 
     pub(crate) fn install_lh(&self, pid: u32, entry: LhEntry) -> u64 {
         let lh = self.next_lh.fetch_add(1, Ordering::Relaxed);
-        self.lhs.lock().insert((pid, lh), entry);
+        self.lhs.insert((pid, lh), entry);
         lh
     }
 
     pub(crate) fn lookup_lh(&self, pid: u32, lh: u64) -> LiteResult<LhEntry> {
-        self.lhs
-            .lock()
-            .get(&(pid, lh))
-            .cloned()
-            .ok_or(LiteError::BadLh { lh })
+        self.lhs.get(&(pid, lh)).ok_or(LiteError::BadLh { lh })
     }
 
     pub(crate) fn reinstall_lh(&self, pid: u32, lh: u64, entry: LhEntry) {
-        self.lhs.lock().insert((pid, lh), entry);
+        self.lhs.insert((pid, lh), entry);
     }
 
     pub(crate) fn remove_lh(&self, pid: u32, lh: u64) -> LiteResult<LhEntry> {
-        self.lhs
-            .lock()
-            .remove(&(pid, lh))
-            .ok_or(LiteError::BadLh { lh })
+        self.lhs.remove(&(pid, lh)).ok_or(LiteError::BadLh { lh })
     }
 
     fn invalidate_lmr(&self, id: LmrId) {
-        for entry in self.lhs.lock().values_mut() {
+        // Snapshot-per-shard: a handle installed into an already-visited
+        // shard mid-sweep belongs to a mapping that re-fetched after the
+        // invalidation, so skipping it is correct.
+        self.lhs.for_each_mut(|_, entry| {
             if entry.id == id {
                 entry.stale = true;
             }
-        }
+        });
     }
 
     /// Marks every local handle on `id` as relocated (not stale): the
     /// LMR still exists, but its cached location moved under the handle.
     /// The API layer re-fetches the mapping and clears the flag.
     pub(crate) fn invalidate_lmr_relocated(&self, id: LmrId) {
-        for entry in self.lhs.lock().values_mut() {
+        self.lhs.for_each_mut(|_, entry| {
             if entry.id == id {
                 entry.relocated = true;
             }
-        }
+        });
     }
 
     // ------------------------------------------------------------------
@@ -141,10 +159,9 @@ impl LiteKernel {
 
     /// Removes a master record created on this node (rollback path).
     pub(crate) fn remove_master_record(&self, idx: u32) {
-        let mut t = self.masters.lock();
-        if let Some(rec) = t.records.remove(&idx) {
+        if let Some(rec) = self.masters.records.remove(&idx) {
             if let Some(name) = rec.name {
-                t.by_name.remove(&name);
+                self.masters.scrub_name(&name, idx);
             }
             // Stop tiering the dropped record's chunks (lt_malloc
             // rollback); the storage itself is freed by the caller's
@@ -162,16 +179,21 @@ impl LiteKernel {
         requester: NodeId,
         new_location: Location,
     ) -> Option<(LmrId, Location, Vec<NodeId>)> {
-        let mut t = self.masters.lock();
-        let idx = *t.by_name.get(name)?;
-        let rec = t.records.get_mut(&idx)?;
-        if requester != self.node && !rec.perm_for(requester).master {
-            return None;
-        }
-        let old = std::mem::replace(&mut rec.location, new_location);
+        let idx = self.masters.by_name.get(&name.to_string())?;
+        let me = self.node;
+        let (id, old, mappers, fresh) = self.masters.records.with_shard_of(&idx, move |m| {
+            let rec = m.get_mut(&idx)?;
+            if requester != me && !rec.perm_for(requester).master {
+                return None;
+            }
+            let old = std::mem::replace(&mut rec.location, new_location);
+            Some((rec.id, old, rec.mapped_by.clone(), rec.location.clone()))
+        })?;
+        // Re-register with the tiering manager outside the shard lock
+        // (the manager takes its own locks).
         self.mm.unregister_lmr(idx);
-        self.mm.register(rec.id, &rec.location);
-        Some((rec.id, old, rec.mapped_by.clone()))
+        self.mm.register(id, &fresh);
+        Some((id, old, mappers))
     }
 
     /// Installs a master record for a freshly allocated LMR.
@@ -181,18 +203,17 @@ impl LiteKernel {
         name: Option<String>,
         default_perm: Perm,
     ) -> LmrId {
-        let mut t = self.masters.lock();
-        let idx = t.next_idx;
-        t.next_idx += 1;
+        let idx = self.masters.next_idx.fetch_add(1, Ordering::Relaxed);
         let id = LmrId {
             node: self.node as u32,
             idx,
         };
         self.mm.register(id, &location);
-        if let Some(n) = &name {
-            t.by_name.insert(n.clone(), idx);
-        }
-        t.records.insert(
+        let binding = name.clone();
+        // Record first, name binding second: a `by_name` hit always has
+        // a live record behind it (or is a teardown race, answered as
+        // "unknown name").
+        self.masters.records.insert(
             idx,
             MasterRecord {
                 id,
@@ -203,6 +224,9 @@ impl LiteKernel {
                 mapped_by: vec![self.node],
             },
         );
+        if let Some(n) = binding {
+            self.masters.by_name.insert(n, idx);
+        }
         id
     }
 
@@ -218,44 +242,43 @@ impl LiteKernel {
         len: u64,
         repl: &[(NodeId, Chunk)],
     ) -> bool {
-        let mut t = self.masters.lock();
-        let Some(rec) = t.records.get_mut(&idx) else {
-            return false;
-        };
-        let mut out = Vec::with_capacity(rec.location.extents.len() + repl.len());
-        let mut cur = 0u64;
-        let mut matched = 0u64;
-        let mut replaced = false;
-        for (node, c) in &rec.location.extents {
-            let start = cur;
-            cur += c.len;
-            if start >= off && cur <= off + len {
-                matched += c.len;
-                if !replaced {
-                    out.extend(repl.iter().copied());
-                    replaced = true;
+        self.masters.records.with_shard_of(&idx, |m| {
+            let Some(rec) = m.get_mut(&idx) else {
+                return false;
+            };
+            let mut out = Vec::with_capacity(rec.location.extents.len() + repl.len());
+            let mut cur = 0u64;
+            let mut matched = 0u64;
+            let mut replaced = false;
+            for (node, c) in &rec.location.extents {
+                let start = cur;
+                cur += c.len;
+                if start >= off && cur <= off + len {
+                    matched += c.len;
+                    if !replaced {
+                        out.extend(repl.iter().copied());
+                        replaced = true;
+                    }
+                } else if cur <= off || start >= off + len {
+                    out.push((*node, *c));
+                } else {
+                    return false; // partial overlap: layout changed under us
                 }
-            } else if cur <= off || start >= off + len {
-                out.push((*node, *c));
-            } else {
-                return false; // partial overlap: layout changed under us
             }
-        }
-        if !replaced || matched != len {
-            return false;
-        }
-        rec.location.extents = out;
-        true
+            if !replaced || matched != len {
+                return false;
+            }
+            rec.location.extents = out;
+            true
+        })
     }
 
     /// The nodes currently mapping record `idx` (relocation notification
     /// targets), if the record still exists.
     pub(crate) fn record_mappers(&self, idx: u32) -> Option<Vec<NodeId>> {
         self.masters
-            .lock()
             .records
-            .get(&idx)
-            .map(|r| r.mapped_by.clone())
+            .with_shard_of(&idx, |m| m.get(&idx).map(|r| r.mapped_by.clone()))
     }
 
     // ------------------------------------------------------------------
@@ -337,124 +360,163 @@ impl LiteKernel {
             FN_REGNAME => {
                 let name = String::from_utf8_lossy(d.bytes()?).into_owned();
                 let master = d.u32()?;
-                let mut names = self.names.lock();
-                match names.entry(name) {
-                    std::collections::hash_map::Entry::Occupied(_) => {
-                        Ok(Some(Enc::new().u8(1).done()))
-                    }
-                    std::collections::hash_map::Entry::Vacant(e) => {
-                        e.insert(master);
-                        Ok(Some(Enc::new().u8(0).done()))
-                    }
+                if self.names.insert_if_absent(name, master) {
+                    Ok(Some(Enc::new().u8(0).done()))
+                } else {
+                    Ok(Some(Enc::new().u8(1).done()))
                 }
             }
             FN_UNREGNAME => {
                 let name = String::from_utf8_lossy(d.bytes()?).into_owned();
-                self.names.lock().remove(&name);
+                // Guarded scrub: the payload carries the master node the
+                // caller believes owns the name. If the name was freed
+                // and re-registered by another node in the meantime, the
+                // newer binding is left alone — an unregister must never
+                // scrub a binding it did not create. (Legacy senders
+                // without the guard fall back to unconditional removal.)
+                match d.u32() {
+                    Ok(expected) => {
+                        self.names.with_shard_of(&name, |m| {
+                            if m.get(&name) == Some(&expected) {
+                                m.remove(&name);
+                            }
+                        });
+                    }
+                    Err(_) => {
+                        self.names.remove(&name);
+                    }
+                }
                 Ok(Some(Enc::new().u8(0).done()))
             }
             FN_QUERYNAME => {
                 let name = String::from_utf8_lossy(d.bytes()?).into_owned();
-                match self.names.lock().get(&name) {
-                    Some(&node) => Ok(Some(Enc::new().u8(0).u32(node).done())),
+                match self.names.get(&name) {
+                    Some(node) => Ok(Some(Enc::new().u8(0).u32(node).done())),
                     None => Ok(Some(Enc::new().u8(2).done())),
                 }
             }
             FN_MAP => {
                 let name = String::from_utf8_lossy(d.bytes()?).into_owned();
-                let mut t = self.masters.lock();
-                let Some(&idx) = t.by_name.get(&name) else {
+                let Some(idx) = self.masters.by_name.get(&name) else {
                     return Ok(Some(Enc::new().u8(2).done()));
                 };
-                let rec = t
-                    .records
-                    .get_mut(&idx)
-                    .ok_or(LiteError::Internal("master table lost an indexed record"))?;
-                let perm = rec.perm_for(hdr.src_node as NodeId);
-                if !rec.mapped_by.contains(&(hdr.src_node as NodeId)) {
-                    rec.mapped_by.push(hdr.src_node as NodeId);
+                let src = hdr.src_node as NodeId;
+                let me = self.node;
+                // Build the reply inside the record's shard; the
+                // map-fault is only *noted* there and reported to the
+                // tiering manager after the shard unlocks (the manager
+                // takes its own locks).
+                let out = self.masters.records.with_shard_of(&idx, |m| {
+                    let rec = m.get_mut(&idx)?;
+                    let perm = rec.perm_for(src);
+                    if !rec.mapped_by.contains(&src) {
+                        rec.mapped_by.push(src);
+                    }
+                    // A mapper re-fetching a location whose extents left
+                    // the master node is a remote fault: enough of them
+                    // pull the LMR home on the next manager sweep.
+                    let fault = rec.id.node as NodeId == me
+                        && rec.location.extents.iter().any(|(n, _)| *n != me);
+                    let mut e = Enc::new()
+                        .u8(0)
+                        .u32(rec.id.node)
+                        .u32(rec.id.idx)
+                        .u8(perm_to_byte(perm))
+                        .u32(rec.location.extents.len() as u32);
+                    for (node, c) in &rec.location.extents {
+                        e = e.u32(*node as u32).u64(c.addr).u64(c.len);
+                    }
+                    Some((fault, e.done()))
+                });
+                match out {
+                    Some((fault, bytes)) => {
+                        if fault {
+                            self.mm.note_map_fault(idx);
+                        }
+                        Ok(Some(bytes))
+                    }
+                    // The record vanished between the name lookup and the
+                    // record lookup (concurrent free/take): same answer
+                    // as an unknown name.
+                    None => Ok(Some(Enc::new().u8(2).done())),
                 }
-                // A mapper re-fetching a location whose extents left the
-                // master node is a remote fault: enough of them pull the
-                // LMR home on the next manager sweep.
-                if rec.id.node as NodeId == self.node
-                    && rec.location.extents.iter().any(|(n, _)| *n != self.node)
-                {
-                    self.mm.note_map_fault(idx);
-                }
-                let mut e = Enc::new()
-                    .u8(0)
-                    .u32(rec.id.node)
-                    .u32(rec.id.idx)
-                    .u8(perm_to_byte(perm))
-                    .u32(rec.location.extents.len() as u32);
-                for (node, c) in &rec.location.extents {
-                    e = e.u32(*node as u32).u64(c.addr).u64(c.len);
-                }
-                Ok(Some(e.done()))
             }
             FN_UNMAP => {
                 let idx = d.u32()?;
                 let node = d.u32()?;
-                let mut t = self.masters.lock();
-                if let Some(rec) = t.records.get_mut(&idx) {
-                    rec.mapped_by.retain(|&n| n != node as NodeId);
-                }
+                self.masters.records.with_shard_of(&idx, |m| {
+                    if let Some(rec) = m.get_mut(&idx) {
+                        rec.mapped_by.retain(|&n| n != node as NodeId);
+                    }
+                });
                 Ok(Some(Enc::new().u8(0).done()))
             }
             FN_TAKE_RECORD => {
                 let name = String::from_utf8_lossy(d.bytes()?).into_owned();
-                let mut t = self.masters.lock();
-                let Some(&idx) = t.by_name.get(&name) else {
+                let Some(idx) = self.masters.by_name.get(&name) else {
                     return Ok(Some(Enc::new().u8(2).done()));
                 };
-                let rec = t
-                    .records
-                    .get(&idx)
-                    .ok_or(LiteError::Internal("master table lost an indexed record"))?;
                 let requester = hdr.src_node as NodeId;
-                let is_master = requester == self.node || rec.perm_for(requester).master;
-                if !is_master {
-                    return Ok(Some(Enc::new().u8(3).done()));
+                let me = self.node;
+                enum Take {
+                    Missing,
+                    Denied,
+                    Got(Box<MasterRecord>),
                 }
-                let rec = t
-                    .records
-                    .remove(&idx)
-                    .ok_or(LiteError::Internal("master table lost an indexed record"))?;
-                t.by_name.remove(&name);
-                self.mm.unregister_lmr(idx);
-                let mut e = Enc::new()
-                    .u8(0)
-                    .u32(rec.id.node)
-                    .u32(rec.id.idx)
-                    .u32(rec.location.extents.len() as u32);
-                for (node, c) in &rec.location.extents {
-                    e = e.u32(*node as u32).u64(c.addr).u64(c.len);
+                let taken = self.masters.records.with_shard_of(&idx, |m| {
+                    let Some(rec) = m.get(&idx) else {
+                        return Take::Missing;
+                    };
+                    if requester != me && !rec.perm_for(requester).master {
+                        return Take::Denied;
+                    }
+                    match m.remove(&idx) {
+                        Some(rec) => Take::Got(Box::new(rec)),
+                        None => Take::Missing,
+                    }
+                });
+                match taken {
+                    Take::Missing => Ok(Some(Enc::new().u8(2).done())),
+                    Take::Denied => Ok(Some(Enc::new().u8(3).done())),
+                    Take::Got(rec) => {
+                        self.masters.scrub_name(&name, idx);
+                        self.mm.unregister_lmr(idx);
+                        let mut e = Enc::new()
+                            .u8(0)
+                            .u32(rec.id.node)
+                            .u32(rec.id.idx)
+                            .u32(rec.location.extents.len() as u32);
+                        for (node, c) in &rec.location.extents {
+                            e = e.u32(*node as u32).u64(c.addr).u64(c.len);
+                        }
+                        e = e.u32(rec.mapped_by.len() as u32);
+                        for n in &rec.mapped_by {
+                            e = e.u32(*n as u32);
+                        }
+                        Ok(Some(e.done()))
+                    }
                 }
-                e = e.u32(rec.mapped_by.len() as u32);
-                for n in &rec.mapped_by {
-                    e = e.u32(*n as u32);
-                }
-                Ok(Some(e.done()))
             }
             FN_GRANT => {
                 let name = String::from_utf8_lossy(d.bytes()?).into_owned();
                 let node = d.u32()?;
                 let perm = byte_to_perm(d.u8()?);
-                let mut t = self.masters.lock();
-                let Some(&idx) = t.by_name.get(&name) else {
+                let Some(idx) = self.masters.by_name.get(&name) else {
                     return Ok(Some(Enc::new().u8(2).done()));
                 };
-                let rec = t
-                    .records
-                    .get_mut(&idx)
-                    .ok_or(LiteError::Internal("master table lost an indexed record"))?;
                 let requester = hdr.src_node as NodeId;
-                if requester != self.node && !rec.perm_for(requester).master {
-                    return Ok(Some(Enc::new().u8(3).done()));
-                }
-                rec.grants.insert(node as NodeId, perm);
-                Ok(Some(Enc::new().u8(0).done()))
+                let me = self.node;
+                let code = self.masters.records.with_shard_of(&idx, |m| {
+                    let Some(rec) = m.get_mut(&idx) else {
+                        return 2u8; // torn down under the name lookup
+                    };
+                    if requester != me && !rec.perm_for(requester).master {
+                        return 3;
+                    }
+                    rec.grants.insert(node as NodeId, perm);
+                    0
+                });
+                Ok(Some(Enc::new().u8(code).done()))
             }
             FN_MEMSET => {
                 let addr = d.u64()?;
@@ -517,15 +579,16 @@ impl LiteKernel {
                 let op = d.u8()?;
                 let addr = d.u64()?;
                 let token = d.u64()?;
-                let mut locks = self.locks.lock();
-                let st = locks.entry(addr).or_default();
                 match op {
                     1 => {
                         // Enqueue a waiter; reply only when granted. A
                         // release that raced ahead of this enqueue will
                         // come back (the unlocker retries releases that
                         // found no waiter), so the waiter just queues.
-                        st.waiters.push_back((token, ReplyRoute::of_hdr(hdr)));
+                        let route = ReplyRoute::of_hdr(hdr);
+                        self.locks.with_shard_of(&addr, |m| {
+                            m.entry(addr).or_default().waiters.push_back((token, route));
+                        });
                         Ok(None)
                     }
                     2 => {
@@ -542,24 +605,35 @@ impl LiteKernel {
                         // waits for can be unwound by an abort, and the
                         // orphaned credit would later grant a waiter
                         // while another holder owns the lock.
-                        let code = if st.releases_seen.contains(&token) {
-                            0
-                        } else {
+                        //
+                        // The state transition happens inside the shard;
+                        // the grant reply is sent after the shard
+                        // unlocks (lock-ordering rule: replies post ops,
+                        // which must never run under a shard lock).
+                        let grant = self.locks.with_shard_of(&addr, |m| {
+                            let st = m.entry(addr).or_default();
+                            if st.releases_seen.contains(&token) {
+                                return Err(0);
+                            }
                             match st.waiters.pop_front() {
                                 Some((wtoken, route)) => {
                                     st.releases_seen.insert(token);
                                     st.granted.insert(wtoken);
-                                    drop(locks);
-                                    // Grant before acking: the waiter's
-                                    // wakeup is never gated on the
-                                    // unlocker's reply path.
-                                    let _ = self.reply_bytes(ctx, route, &[0]);
-                                    return Ok(Some(Enc::new().u8(0).u8(0).done()));
+                                    Ok(route)
                                 }
-                                None => 3,
+                                None => Err(3),
                             }
-                        };
-                        Ok(Some(Enc::new().u8(0).u8(code).done()))
+                        });
+                        match grant {
+                            Ok(route) => {
+                                // Grant before acking: the waiter's
+                                // wakeup is never gated on the unlocker's
+                                // reply path.
+                                let _ = self.reply_bytes(ctx, route, &[0]);
+                                Ok(Some(Enc::new().u8(0).u8(0).done()))
+                            }
+                            Err(code) => Ok(Some(Enc::new().u8(0).u8(code).done())),
+                        }
                     }
                     3 => {
                         // Abort an enqueue whose reply was lost. Replies
@@ -570,23 +644,26 @@ impl LiteKernel {
                         // FIFO and drops are terminal, so by the time
                         // this abort is processed the enqueue either ran
                         // or never will — there is no in-flight window.
-                        let code = match st.aborts_seen.get(&token) {
-                            Some(&c) => c,
-                            None => {
-                                let c = if let Some(pos) =
-                                    st.waiters.iter().position(|(t, _)| *t == token)
-                                {
-                                    st.waiters.remove(pos);
-                                    0
-                                } else if st.granted.remove(&token) {
-                                    1
-                                } else {
-                                    2
-                                };
-                                st.aborts_seen.insert(token, c);
-                                c
+                        let code = self.locks.with_shard_of(&addr, |m| {
+                            let st = m.entry(addr).or_default();
+                            match st.aborts_seen.get(&token) {
+                                Some(&c) => c,
+                                None => {
+                                    let c = if let Some(pos) =
+                                        st.waiters.iter().position(|(t, _)| *t == token)
+                                    {
+                                        st.waiters.remove(pos);
+                                        0
+                                    } else if st.granted.remove(&token) {
+                                        1
+                                    } else {
+                                        2
+                                    };
+                                    st.aborts_seen.insert(token, c);
+                                    c
+                                }
                             }
-                        };
+                        });
                         Ok(Some(Enc::new().u8(0).u8(code).done()))
                     }
                     _ => Err(LiteError::Remote(1)),
@@ -595,18 +672,23 @@ impl LiteKernel {
             FN_BARRIER => {
                 let id = d.u64()?;
                 let count = d.u32()?;
-                let mut barriers = self.barriers.lock();
-                let st = barriers.entry(id).or_insert(BarrierState {
-                    routes: Vec::new(),
-                    count,
+                let route = ReplyRoute::of_hdr(hdr);
+                // Collect the released routes inside the shard, reply
+                // after it unlocks.
+                let released = self.barriers.with_shard_of(&id, |m| {
+                    let st = m.entry(id).or_insert(BarrierState {
+                        routes: Vec::new(),
+                        count,
+                    });
+                    st.routes.push(route);
+                    if st.routes.len() as u32 >= st.count {
+                        m.remove(&id).map(|st| st.routes)
+                    } else {
+                        None
+                    }
                 });
-                st.routes.push(ReplyRoute::of_hdr(hdr));
-                if st.routes.len() as u32 >= st.count {
-                    let Some(st) = barriers.remove(&id) else {
-                        return Ok(None); // raced: another waiter released it
-                    };
-                    drop(barriers);
-                    for route in st.routes {
+                if let Some(routes) = released {
+                    for route in routes {
                         let _ = self.reply_bytes(ctx, route, &[0]);
                     }
                 }
@@ -643,5 +725,39 @@ mod tests {
         for p in [Perm::RO, Perm::RW, Perm::MASTER] {
             assert_eq!(byte_to_perm(perm_to_byte(p)), p);
         }
+    }
+
+    #[test]
+    fn unregname_guard_spares_recycled_bindings() {
+        // Regression for the stale-name bug: an unregister carrying an
+        // expected-master guard must only scrub the binding it created.
+        let cluster = crate::LiteCluster::start(3).unwrap();
+        let mut ctx = simnet::Ctx::new();
+        let mut h1 = cluster.attach(1).unwrap();
+        h1.lt_malloc(&mut ctx, 1, 4096, "guarded", crate::Perm::RW)
+            .unwrap();
+        let mut h2 = cluster.attach(2).unwrap();
+        // Wrong guard (node 2 never registered the name): no-op.
+        h2.kcall(
+            &mut ctx,
+            crate::MANAGER_NODE,
+            FN_UNREGNAME,
+            Enc::new().bytes(b"guarded").u32(2).done(),
+        )
+        .unwrap();
+        let lh = h2.lt_map(&mut ctx, "guarded").unwrap();
+        h2.lt_unmap(&mut ctx, lh).unwrap();
+        // Right guard: the binding goes away.
+        h2.kcall(
+            &mut ctx,
+            crate::MANAGER_NODE,
+            FN_UNREGNAME,
+            Enc::new().bytes(b"guarded").u32(1).done(),
+        )
+        .unwrap();
+        assert!(matches!(
+            h2.lt_map(&mut ctx, "guarded"),
+            Err(LiteError::NameNotFound { .. })
+        ));
     }
 }

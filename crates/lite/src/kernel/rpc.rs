@@ -169,20 +169,60 @@ fn reconstruct_head(cur: u64, granule30: u32) -> u64 {
 }
 
 impl LiteKernel {
-    pub(super) fn client_ring(&self, server: NodeId) -> LiteResult<&ClientRing> {
+    pub(super) fn client_ring(&self, server: NodeId) -> LiteResult<Arc<ClientRing>> {
         self.client_rings
-            .get()
-            .and_then(|rings| rings.get(server))
-            .and_then(Option::as_ref)
+            .read()
+            .get(server)
+            .and_then(|r| r.clone())
             .ok_or(LiteError::NodeDown { node: server })
     }
 
-    pub(super) fn server_ring(&self, client: NodeId) -> LiteResult<&ServerRing> {
+    pub(super) fn server_ring(&self, client: NodeId) -> LiteResult<Arc<ServerRing>> {
         self.server_rings
-            .get()
-            .and_then(|rings| rings.get(client))
-            .and_then(Option::as_ref)
+            .read()
+            .get(client)
+            .and_then(|r| r.clone())
             .ok_or(LiteError::NodeDown { node: client })
+    }
+
+    /// Ensures the RPC ring pair towards `server` exists, wiring it on
+    /// first use under the directory's connect lock (incremental
+    /// membership: boot wires no rings except self-loopback). The wiring
+    /// is client-driven and installs the *server's* ring state before
+    /// the local client view, so a request can never arrive at a server
+    /// that lacks ring state.
+    pub(crate) fn ensure_ring(&self, server: NodeId) -> LiteResult<()> {
+        if self
+            .client_rings
+            .read()
+            .get(server)
+            .is_some_and(Option::is_some)
+        {
+            return Ok(());
+        }
+        let start = std::time::Instant::now();
+        let dir = self.try_dir()?;
+        let _g = dir.lock_connect();
+        // Double-check under the lock (another thread may have wired
+        // the pair while this one waited).
+        if self
+            .client_rings
+            .read()
+            .get(server)
+            .ok_or(LiteError::NodeDown { node: server })?
+            .is_some()
+        {
+            return Ok(());
+        }
+        let srv = dir
+            .kernel(server)
+            .ok_or(LiteError::NodeDown { node: server })?;
+        let base = srv.alloc_ring(self.node)?;
+        let size = srv.config.rpc_ring_bytes;
+        srv.install_server_ring(self.node, Arc::new(ServerRing::new(base, size)?));
+        self.client_rings.write()[server] = Some(Arc::new(ClientRing::new(base, size)?));
+        self.note_mesh_ns(start.elapsed().as_nanos() as u64);
+        Ok(())
     }
 
     /// Posts a write-imm carrying `len` bytes from `src_chunks` to
@@ -230,6 +270,9 @@ impl LiteKernel {
         server: NodeId,
         total_len: u64,
     ) -> LiteResult<Reservation> {
+        // The single chokepoint every outgoing RPC passes through: wire
+        // the ring pair lazily here.
+        self.ensure_ring(server)?;
         let ring = self.client_ring(server)?;
         let deadline = std::time::Instant::now() + self.config.op_timeout;
         loop {
@@ -261,18 +304,15 @@ impl LiteKernel {
                 continue;
             }
             let slot = Arc::new(CallSlot::new());
-            let mut slots = self.slots.lock();
-            if slots.contains_key(&id) {
-                continue;
+            if self.slots.insert_if_absent(id, Arc::clone(&slot)) {
+                return (id, slot);
             }
-            slots.insert(id, Arc::clone(&slot));
-            return (id, slot);
         }
     }
 
     /// Drops a completion slot (after wait or timeout).
     pub(crate) fn free_slot(&self, id: u32) {
-        self.slots.lock().remove(&id);
+        self.slots.remove(&id);
     }
 
     /// Binds an RPC function id to a fresh queue (LT_regRPC).
@@ -280,19 +320,14 @@ impl LiteKernel {
         if func < USER_FUNC_MIN {
             return Err(LiteError::ReservedFunc { func });
         }
-        self.queues
-            .write()
-            .entry(func)
-            .or_insert_with(|| Arc::new(RpcQueue::new()));
+        self.queues.with_shard_of(&func, |m| {
+            m.entry(func).or_insert_with(|| Arc::new(RpcQueue::new()));
+        });
         Ok(())
     }
 
     pub(crate) fn queue_of(&self, func: u8) -> LiteResult<Arc<RpcQueue>> {
-        self.queues
-            .read()
-            .get(&func)
-            .cloned()
-            .ok_or(LiteError::UnknownRpc { func })
+        self.queues.get(&func).ok_or(LiteError::UnknownRpc { func })
     }
 
     /// Blocking dequeue of the next call for `func` (LT_recvRPC's kernel
@@ -343,10 +378,9 @@ impl LiteKernel {
         let total = HEADER_BYTES as u64 + inc.hdr.len as u64;
         let ring = self.server_ring(client)?;
         if let Some(head) = ring.consume(inc.ring_offset, total, inc.hdr.skip as u64) {
-            let sink = *self
-                .head_sinks
-                .get()
-                .and_then(|s| s.get(client))
+            let sink = self
+                .try_dir()?
+                .head_sink(client)
                 .ok_or(LiteError::NodeDown { node: client })?;
             let imm = Imm::Head {
                 granule: ((head / RING_GRANULE) & ((1 << 30) - 1)) as u32,
@@ -367,7 +401,7 @@ impl LiteKernel {
         let total = HEADER_BYTES as u64 + inc.hdr.len as u64;
         let ring = self.server_ring(client).ok()?;
         let head = ring.consume(inc.ring_offset, total, inc.hdr.skip as u64)?;
-        let sink = *self.head_sinks.get()?.get(client)?;
+        let sink = self.try_dir().ok()?.head_sink(client)?;
         let imm = Imm::Head {
             granule: ((head / RING_GRANULE) & ((1 << 30) - 1)) as u32,
         };
@@ -518,7 +552,7 @@ impl LiteKernel {
                     self.handle_request(&mut ctx, src_node, offset, wc.ready_at);
                 }
                 Imm::Reply { slot } => {
-                    if let Some(s) = self.slots.lock().get(&slot) {
+                    if let Some(s) = self.slots.get(&slot) {
                         s.complete(SlotResult {
                             stamp: ctx.now(),
                             len: wc.byte_len as u32,
@@ -527,7 +561,7 @@ impl LiteKernel {
                     }
                 }
                 Imm::ReplyErr { slot } => {
-                    if let Some(s) = self.slots.lock().get(&slot) {
+                    if let Some(s) = self.slots.get(&slot) {
                         s.complete(SlotResult {
                             stamp: ctx.now(),
                             len: 0,
@@ -563,7 +597,7 @@ impl LiteKernel {
             stamp,
         };
         if hdr.func >= USER_FUNC_MIN || hdr.func == FN_MSG {
-            match self.queues.read().get(&hdr.func) {
+            match self.queues.get(&hdr.func) {
                 Some(q) => q.push(inc),
                 None => {
                     // No handler bound: error-reply and release the ring.

@@ -50,6 +50,13 @@ pub struct KernelStats {
     /// unreachable, unwind failed, or a release grant undeliverable) —
     /// the lock involved should be considered poisoned.
     pub sync_leaks: u64,
+    /// Host-wall nanoseconds this node's boot (`finish_setup`) took.
+    pub boot_ns: u64,
+    /// Host-wall nanoseconds spent wiring peer pairs lazily (shared QP
+    /// pools + RPC rings) after boot.
+    pub mesh_ns: u64,
+    /// Peer pairs this node wired on first use (incremental membership).
+    pub lazy_connects: u64,
 }
 
 /// The kernel's live counters (relaxed atomics; snapshot via
@@ -135,6 +142,11 @@ impl KernelCounters {
             cleanup_failures: r(&self.cleanup_failures),
             lock_unwinds: r(&self.lock_unwinds),
             sync_leaks: r(&self.sync_leaks),
+            // Gauges owned by the kernel/datapath; folded in by
+            // `LiteKernel::stats` after this snapshot.
+            boot_ns: 0,
+            mesh_ns: 0,
+            lazy_connects: 0,
         }
     }
 }

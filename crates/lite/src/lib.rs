@@ -50,6 +50,7 @@
 pub mod api;
 pub mod cluster;
 pub mod config;
+pub mod directory;
 pub mod error;
 pub mod kernel;
 pub mod lmr;
@@ -57,12 +58,14 @@ pub mod mm;
 pub mod observe;
 pub mod qos;
 pub mod ring;
+pub mod shard;
 pub mod verify;
 pub mod wire;
 
 pub use api::{Lh, LiteHandle, LockId, RpcCall};
 pub use cluster::LiteCluster;
 pub use config::LiteConfig;
+pub use directory::ClusterDirectory;
 pub use error::{LiteError, LiteResult};
 pub use kernel::datapath::{
     Chunk, Completion, DataPath, DataPathBarrier, Op, RnicDataPath, TcpDataPath,
@@ -75,6 +78,7 @@ pub use observe::{
     QosReport, StatsReport, TraceEvent, TraceRing, TraceStats,
 };
 pub use qos::{Priority, QosConfig, QosMode, QosState};
+pub use shard::ShardedMap;
 pub use verify::{
     explore, fingerprint, proc_id, run_mixed, CheckOutcome, ExploreReport, HistOp, History,
     HistoryLog, Key, MixedWorkload, OpKind, SeedReport, Violation,

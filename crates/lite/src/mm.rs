@@ -295,6 +295,9 @@ pub struct MemManager {
     swap_nodes: Vec<NodeId>,
     next_swap: AtomicUsize,
     state: Mutex<MmState>,
+    /// Peer managers via cluster membership (normal wiring).
+    dir: OnceLock<Arc<crate::directory::ClusterDirectory>>,
+    /// Peer managers as an explicit vector (standalone tests).
     cluster: OnceLock<Vec<Arc<MemManager>>>,
     queue: StdMutex<VecDeque<MmRequest>>,
     wake: Condvar,
@@ -328,6 +331,7 @@ impl MemManager {
                 evicted_bytes: 0,
                 hosted_bytes: 0,
             }),
+            dir: OnceLock::new(),
             cluster: OnceLock::new(),
             queue: StdMutex::new(VecDeque::new()),
             wake: Condvar::new(),
@@ -352,11 +356,23 @@ impl MemManager {
         self.budget
     }
 
+    /// Wires peer-manager lookup through the cluster directory (normal
+    /// boot path; resolves late joiners too).
+    pub(crate) fn set_directory(&self, dir: Arc<crate::directory::ClusterDirectory>) {
+        let _ = self.dir.set(dir);
+    }
+
+    /// Wires peer-manager lookup through an explicit vector (standalone
+    /// unit tests that run managers without kernels).
+    #[cfg(test)]
     pub(crate) fn set_cluster(&self, all: Vec<Arc<MemManager>>) {
         let _ = self.cluster.set(all);
     }
 
     pub(crate) fn peer(&self, node: NodeId) -> Option<&Arc<MemManager>> {
+        if let Some(dir) = self.dir.get() {
+            return dir.mm(node);
+        }
         self.cluster.get()?.get(node)
     }
 

@@ -466,7 +466,11 @@ impl PeerStats {
 pub struct Observability {
     /// class × priority latency histograms (post → completion).
     class_lat: Vec<ConcurrentHistogram>, // [class][prio] flattened
-    peers: Vec<PeerStats>,
+    /// Per-peer accounting, materialized on first traffic to the peer.
+    /// Eager allocation here was O(peers × histogram) per node — the
+    /// dominant boot cost at hundreds of nodes — for tables most peers
+    /// never populate.
+    peers: Vec<OnceLock<Box<PeerStats>>>,
     ring: TraceRing,
     /// Record 1 in `sample_rate` latency samples (lifecycle *error*
     /// events — retried/reconnected/failed — are always recorded).
@@ -486,7 +490,7 @@ impl Observability {
             class_lat: (0..OP_CLASSES.len() * 2)
                 .map(|_| ConcurrentHistogram::new())
                 .collect(),
-            peers: (0..peers).map(|_| PeerStats::new()).collect(),
+            peers: (0..peers).map(|_| OnceLock::new()).collect(),
             ring: TraceRing::new(ring_slots),
             sample_rate: sample_rate.max(1),
             next_op: AtomicU64::new(1),
@@ -550,7 +554,7 @@ impl Observability {
         if sampled {
             self.class_hist(class, prio).record(latency);
         }
-        if let Some(p) = self.peers.get(peer) {
+        if let Some(p) = self.peer_touch(peer) {
             p.ops.fetch_add(1, Ordering::Relaxed);
             p.bytes.fetch_add(bytes, Ordering::Relaxed);
             if sampled {
@@ -569,14 +573,14 @@ impl Observability {
 
     /// Counts a failed op towards `peer`.
     pub fn record_failure(&self, peer: NodeId) {
-        if let Some(p) = self.peers.get(peer) {
+        if let Some(p) = self.peer_touch(peer) {
             p.failures.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     /// Counts a retried attempt towards `peer`.
     pub fn record_retry(&self, peer: NodeId) {
-        if let Some(p) = self.peers.get(peer) {
+        if let Some(p) = self.peer_touch(peer) {
             p.retries.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -601,8 +605,22 @@ impl Observability {
         });
     }
 
+    /// The peer's stats slot, materializing it on first use (recording
+    /// paths: the caller has real traffic towards this peer). After the
+    /// first touch this is one acquire load.
+    fn peer_touch(&self, peer: NodeId) -> Option<&PeerStats> {
+        self.peers
+            .get(peer)
+            .map(|slot| &**slot.get_or_init(|| Box::new(PeerStats::new())))
+    }
+
+    /// The peer's stats, if any traffic ever materialized them
+    /// (read-only: reporting must not inflate the table).
     pub(crate) fn peer_stats(&self, peer: NodeId) -> Option<&PeerStats> {
-        self.peers.get(peer)
+        self.peers
+            .get(peer)
+            .and_then(|slot| slot.get())
+            .map(|b| &**b)
     }
 
     /// Configured sampling rate (1 = every op).
@@ -783,10 +801,10 @@ impl StatsReport {
         ));
         let k = &self.kernel;
         s.push_str(&format!(
-            "\"rpc_dispatched\":{},\"lt_writes\":{},\"lt_reads\":{},\"lt_bytes\":{},\"qps\":{},\"retries\":{},\"qp_reconnects\":{},\"peers_marked_dead\":{},\"ops_failed\":{},\"cleanup_failures\":{},\"lock_unwinds\":{},\"sync_leaks\":{}}}",
+            "\"rpc_dispatched\":{},\"lt_writes\":{},\"lt_reads\":{},\"lt_bytes\":{},\"qps\":{},\"retries\":{},\"qp_reconnects\":{},\"peers_marked_dead\":{},\"ops_failed\":{},\"cleanup_failures\":{},\"lock_unwinds\":{},\"sync_leaks\":{},\"boot_ns\":{},\"mesh_ns\":{},\"lazy_connects\":{}}}",
             k.rpc_dispatched, k.lt_writes, k.lt_reads, k.lt_bytes, k.qps, k.retries,
             k.qp_reconnects, k.peers_marked_dead, k.ops_failed, k.cleanup_failures,
-            k.lock_unwinds, k.sync_leaks
+            k.lock_unwinds, k.sync_leaks, k.boot_ns, k.mesh_ns, k.lazy_connects
         ));
         s.push_str(",\"classes\":{");
         for (i, c) in self.classes.iter().enumerate() {

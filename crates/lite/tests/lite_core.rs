@@ -366,7 +366,9 @@ fn multicast_rpc_gathers_all_replies() {
 
 #[test]
 fn qp_sharing_counts_match_section_6_1() {
-    // LITE uses K×(N-1) QPs per node regardless of thread count.
+    // LITE uses K×(N-1) QPs per node regardless of thread count — and
+    // with incremental membership (DESIGN.md §12) pairs are wired on
+    // first use, so boot itself creates *zero* data QPs.
     let cluster = LiteCluster::start_with(
         rnic::IbConfig::with_nodes(5),
         lite::LiteConfig::with_qp_factor(2),
@@ -374,10 +376,50 @@ fn qp_sharing_counts_match_section_6_1() {
     )
     .unwrap();
     for node in 0..5 {
+        assert_eq!(cluster.kernel(node).stats().qps, 0);
+    }
+    assert_eq!(cluster.fabric().nic(0).stats().live_qps, 0);
+    // Touch every pair once; each unordered pair is wired exactly once
+    // no matter which side posted first.
+    let mut ctx = Ctx::new();
+    for node in 0..5usize {
+        let mut h = cluster.attach(node).unwrap();
+        h.lt_malloc(&mut ctx, node, 4096, &format!("qp{node}"), Perm::RW)
+            .unwrap();
+    }
+    for node in 0..5usize {
+        let mut h = cluster.attach(node).unwrap();
+        for peer in 0..5 {
+            if peer != node {
+                let lh = h.lt_map(&mut ctx, &format!("qp{peer}")).unwrap();
+                h.lt_write(&mut ctx, lh, 0, &[peer as u8]).unwrap();
+            }
+        }
+    }
+    // Fully meshed now: K×(N-1) per node, and the NIC sees exactly
+    // those QPs, not 2×N×T.
+    for node in 0..5 {
         assert_eq!(cluster.kernel(node).stats().qps, 2 * 4);
     }
-    // And the NIC sees exactly those QPs, not 2×N×T.
     assert_eq!(cluster.fabric().nic(0).stats().live_qps, 8);
+}
+
+#[test]
+fn eager_mesh_restores_boot_time_wiring() {
+    // The ablation switch for the old behavior: eager_mesh pre-wires
+    // every pair (and every ring) during start.
+    let cluster = LiteCluster::start_with(
+        rnic::IbConfig::with_nodes(4),
+        lite::LiteConfig {
+            eager_mesh: true,
+            ..lite::LiteConfig::with_qp_factor(2)
+        },
+        lite::QosConfig::default(),
+    )
+    .unwrap();
+    for node in 0..4 {
+        assert_eq!(cluster.kernel(node).stats().qps, 2 * 3);
+    }
 }
 
 #[test]

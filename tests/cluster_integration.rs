@@ -82,8 +82,11 @@ fn whole_stack_mixed_workload() {
 }
 
 /// The sharing claim of §6.1, checked against the raw NIC: LITE's QP
-/// count is K×(N-1) per node no matter how many threads run, while a
-/// per-thread verbs design would need 2×N×T.
+/// count is K per *used* peer pair no matter how many threads run —
+/// K×(N-1) once a node has talked to everyone — while a per-thread
+/// verbs design would need 2×N×T. Pairs are wired lazily on first use
+/// (incremental membership, DESIGN.md §12), so six threads hammering
+/// all three peers still leave exactly 2 × 3 = 6 QPs on node 0.
 #[test]
 fn qp_sharing_beats_per_thread_connections() {
     let cluster = LiteCluster::start(4).unwrap();
@@ -94,8 +97,11 @@ fn qp_sharing_beats_per_thread_connections() {
         joins.push(std::thread::spawn(move || {
             let mut h = cluster.attach(0).unwrap();
             let mut ctx = Ctx::new();
+            // Spread the LMRs across every peer so node 0 wires all
+            // three pairs, from multiple threads at once.
+            let target = 1 + t % 3;
             let lh = h
-                .lt_malloc(&mut ctx, 1, 4096, &format!("qs{t}"), Perm::RW)
+                .lt_malloc(&mut ctx, target, 4096, &format!("qs{t}"), Perm::RW)
                 .unwrap();
             h.lt_write(&mut ctx, lh, 0, b"x").unwrap();
         }));
@@ -103,7 +109,8 @@ fn qp_sharing_beats_per_thread_connections() {
     for j in joins {
         j.join().unwrap();
     }
-    // Default K = 2, N = 4: 2 × 3 = 6 QPs on node 0 — not 2 × 4 × 6.
+    // Default K = 2, all 3 peers used: 2 × 3 = 6 QPs on node 0 — not
+    // 2 × 4 × 6.
     assert_eq!(cluster.fabric().nic(0).stats().live_qps, 6);
 }
 

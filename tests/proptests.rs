@@ -343,3 +343,62 @@ fn merge_sorted_equals_hash_aggregation() {
         assert_eq!(text_merge, expect);
     }
 }
+
+// ---------------------------------------------------------------------
+// ShardedMap: equivalent to one big map under any key distribution and
+// any shard count (DESIGN.md §12).
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sharded_map_matches_hashmap_model(
+        shards in 0usize..40,
+        // Skewed key spaces on purpose: tiny (everything collides into
+        // few shards), clustered, and wide.
+        ops in prop::collection::vec((0u8..5, 0u64..96, any::<u16>()), 1..200)
+    ) {
+        let m: lite::ShardedMap<u64, u16> = lite::ShardedMap::new(shards);
+        let mut model: HashMap<u64, u16> = HashMap::new();
+        for (kind, key, val) in ops {
+            match kind {
+                0 => {
+                    prop_assert_eq!(m.insert(key, val), model.insert(key, val));
+                }
+                1 => {
+                    let fresh = m.insert_if_absent(key, val);
+                    prop_assert_eq!(fresh, !model.contains_key(&key));
+                    if fresh {
+                        model.insert(key, val);
+                    }
+                }
+                2 => {
+                    prop_assert_eq!(m.remove(&key), model.remove(&key));
+                }
+                3 => {
+                    prop_assert_eq!(m.get(&key), model.get(&key).copied());
+                    prop_assert_eq!(m.contains_key(&key), model.contains_key(&key));
+                }
+                _ => {
+                    let r = m.with_shard_of(&key, |s| {
+                        s.get_mut(&key).map(|v| { *v = v.wrapping_add(1); *v })
+                    });
+                    let rm = model.get_mut(&key).map(|v| { *v = v.wrapping_add(1); *v });
+                    prop_assert_eq!(r, rm);
+                }
+            }
+            prop_assert_eq!(m.len(), model.len());
+        }
+        // Snapshot-per-shard iteration sees exactly the model's entries
+        // when the map is quiescent.
+        let mut snap = m.snapshot();
+        snap.sort_unstable();
+        let mut expect: Vec<(u64, u16)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        expect.sort_unstable();
+        prop_assert_eq!(snap, expect);
+        m.retain(|k, _| k % 2 == 0);
+        model.retain(|k, _| k % 2 == 0);
+        prop_assert_eq!(m.len(), model.len());
+    }
+}
