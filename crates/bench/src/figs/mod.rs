@@ -6,6 +6,7 @@ pub mod chaos;
 pub mod latency;
 pub mod mempressure;
 pub mod micro;
+pub mod regcost;
 pub mod rpc;
 pub mod scale;
 pub mod scale_qos;

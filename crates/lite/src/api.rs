@@ -362,6 +362,7 @@ impl LiteHandle {
         default_perm: Perm,
     ) -> LiteResult<Lh> {
         self.enter(ctx);
+        let reg_started = ctx.now();
         let max_chunk = self.kernel.config.max_lmr_chunk;
         let resp = self.kcall(
             ctx,
@@ -444,6 +445,9 @@ impl LiteHandle {
                 relocated: false,
             },
         );
+        self.kernel
+            .mm()
+            .record_reg_latency(ctx.now().saturating_sub(reg_started));
         self.exit(ctx);
         Ok(lh)
     }
@@ -568,23 +572,36 @@ impl LiteHandle {
     /// byte offset), closing the window where a cached location points
     /// at freed-and-recycled memory. `Err(Relocated)` means the caller
     /// should refresh the lh and retry; no side effect has happened yet.
+    ///
+    /// Under lazy pinning this is also where memory becomes real: pages
+    /// never touched before fault in here (the simulated NIC page
+    /// fault), and each one charges the fault-service cost to the
+    /// caller's clock — first touch is dear, steady state is free.
     fn pin_pieces(
         &self,
+        ctx: &mut Ctx,
         entry: &LhEntry,
         offset: u64,
         pieces: &[(NodeId, Chunk)],
     ) -> LiteResult<Vec<crate::mm::PinGuard>> {
         let mut guards = Vec::new();
         let mut lmr_off = offset;
+        let mut faulted = 0usize;
         for (node, c) in pieces {
             if let Some(mm) = self.kernel.mm().peer(*node) {
-                match mm.pin(c.addr, c.len, entry.id, lmr_off) {
-                    crate::mm::PinOutcome::Untracked => {}
-                    crate::mm::PinOutcome::Pinned(g) => guards.push(g),
-                    crate::mm::PinOutcome::Relocated => return Err(LiteError::Relocated),
+                match mm.pin_touch(c.addr, c.len, entry.id, lmr_off) {
+                    (crate::mm::PinOutcome::Untracked, _) => {}
+                    (crate::mm::PinOutcome::Pinned(g), f) => {
+                        guards.push(g);
+                        faulted += f;
+                    }
+                    (crate::mm::PinOutcome::Relocated, _) => return Err(LiteError::Relocated),
                 }
             }
             lmr_off += c.len;
+        }
+        if faulted > 0 {
+            ctx.work(self.kernel.fabric().cost().fault_page_ns * faulted as u64);
         }
         Ok(guards)
     }
@@ -858,7 +875,7 @@ impl LiteHandle {
             };
             // Pins are taken before any byte is posted, so a Relocated
             // here (or from check) retries with zero side effects.
-            let _pins = match self.pin_pieces(&entry, offset, &pieces) {
+            let _pins = match self.pin_pieces(ctx, &entry, offset, &pieces) {
                 Ok(g) => g,
                 Err(LiteError::Relocated) => continue,
                 Err(e) => {
@@ -943,7 +960,7 @@ impl LiteHandle {
                     return Err(e);
                 }
             };
-            let _pins = match self.pin_pieces(&entry, offset, &pieces) {
+            let _pins = match self.pin_pieces(ctx, &entry, offset, &pieces) {
                 Ok(g) => g,
                 Err(LiteError::Relocated) => continue,
                 Err(e) => {
@@ -1669,16 +1686,14 @@ impl LiteHandle {
                     return Err(e);
                 }
             };
-            let (node, c) = match single_piece(offset, &pieces) {
-                Ok(p) => p,
-                Err(e) => {
-                    self.exit(ctx);
-                    return Err(e);
-                }
-            };
             // The pin is taken before the atomic posts, so a retry after
-            // Relocated never re-applies a landed fetch-add.
-            let _pin = match self.pin_pieces(&entry, offset, &pieces) {
+            // Relocated never re-applies a landed fetch-add — and the
+            // target address is only read out of the piece list *after*
+            // the pin has verified that list against the live mapping.
+            // (Extracting it first reads from a snapshot a concurrent
+            // eviction may already have invalidated; the pin would still
+            // catch it, but only because nothing was cached before it.)
+            let pin = match self.pin_pieces(ctx, &entry, offset, &pieces) {
                 Ok(g) => g,
                 Err(LiteError::Relocated) => continue,
                 Err(e) => {
@@ -1686,7 +1701,17 @@ impl LiteHandle {
                     return Err(e);
                 }
             };
+            let (node, c) = match single_piece(offset, &pieces) {
+                Ok(p) => p,
+                Err(e) => {
+                    self.exit(ctx);
+                    return Err(e);
+                }
+            };
             result = self.kernel.fetch_add(ctx, self.prio, node, c.addr, delta);
+            // The guard must outlive the post: eviction drains pins, so
+            // the chunk cannot move (or be freed) mid-atomic.
+            drop(pin);
             break;
         }
         self.exit(ctx);
@@ -1722,16 +1747,19 @@ impl LiteHandle {
                     return Err(e);
                 }
             };
-            let (node, c) = match single_piece(offset, &pieces) {
-                Ok(p) => p,
+            // Same discipline as `lt_fetch_add`: pin first, then read
+            // the target address out of the now-verified piece list, and
+            // hold the guard across the post.
+            let pin = match self.pin_pieces(ctx, &entry, offset, &pieces) {
+                Ok(g) => g,
+                Err(LiteError::Relocated) => continue,
                 Err(e) => {
                     self.exit(ctx);
                     return Err(e);
                 }
             };
-            let _pin = match self.pin_pieces(&entry, offset, &pieces) {
-                Ok(g) => g,
-                Err(LiteError::Relocated) => continue,
+            let (node, c) = match single_piece(offset, &pieces) {
+                Ok(p) => p,
                 Err(e) => {
                     self.exit(ctx);
                     return Err(e);
@@ -1740,6 +1768,7 @@ impl LiteHandle {
             result = self
                 .kernel
                 .cmp_swap(ctx, self.prio, node, c.addr, expect, new);
+            drop(pin);
             break;
         }
         self.exit(ctx);

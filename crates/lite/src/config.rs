@@ -95,6 +95,13 @@ pub struct LiteConfig {
     /// the rebalancer migrates the chunk toward that accessor. 0 (the
     /// default) disables rebalancing.
     pub mm_rebalance_threshold: u64,
+    /// Pin-free on-demand registration (DESIGN.md §13). `false` (the
+    /// default) pins every LMR page up front, so registration cost
+    /// scales with size (the paper's Fig 8 malloc line). `true` defers
+    /// pinning to first touch at the datapath — O(1) registration, a
+    /// one-time page-fault penalty per touched page, and a background
+    /// unpinner that releases pages cold for a full sweep epoch.
+    pub lazy_pinning: bool,
 
     // ---- ablation switches ----
     /// `false` reverts §5.2's crossing optimizations: every RPC pays
@@ -140,6 +147,7 @@ impl Default for LiteConfig {
             mm_swap_nodes: Vec::new(),
             mm_fetch_back_faults: 3,
             mm_rebalance_threshold: 0,
+            lazy_pinning: false,
             fast_syscalls: true,
             adaptive_poll: true,
             use_global_mr: true,

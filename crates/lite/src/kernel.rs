@@ -408,10 +408,10 @@ impl LiteKernel {
             .spawn(move || me.poll_loop())
             .map_err(|_| LiteError::Internal("could not spawn the polling thread"))?;
         *self.poller.lock() = Some(handle);
-        // The tiering manager only runs when a budget is configured, so
-        // budget-0 clusters (the default, and the ablation baseline) get
-        // no extra thread and byte-identical behavior.
-        if self.mm.enabled() {
+        // The tiering manager only runs when it has work — a budget to
+        // enforce or lazy pins to reap — so default clusters (neither)
+        // get no extra thread and byte-identical behavior.
+        if self.mm.tracking() {
             let me = Arc::clone(self);
             let mm_handle = std::thread::Builder::new()
                 .name(format!("lite-mm-{}", self.node))

@@ -321,6 +321,17 @@ impl LiteKernel {
                         // recycled address would answer Relocated
                         // forever.
                         self.mm.on_alloc(&chunks);
+                        // Eager mode pins every page up front, the
+                        // get_user_pages cost that makes registration
+                        // scale with size (Fig 8). Lazy mode defers it
+                        // to first touch at the datapath.
+                        if !self.config().lazy_pinning {
+                            let pages = chunks
+                                .iter()
+                                .map(|c| (c.len + smem::PAGE_SIZE as u64 - 1) >> smem::PAGE_SHIFT)
+                                .sum::<u64>();
+                            ctx.work(self.fabric.cost().pin_page_ns * pages);
+                        }
                         let mut e = Enc::new().u8(0).u32(chunks.len() as u32);
                         for c in &chunks {
                             e = e.u64(c.addr).u64(c.len);
@@ -525,8 +536,13 @@ impl LiteKernel {
                 // Status 4: the range migrated under the caller's cached
                 // location — it refreshes the mapping and retries.
                 let _pin = match self.mm.pin_raw_nowait(addr, len) {
-                    crate::mm::PinOutcome::Relocated => return Ok(Some(Enc::new().u8(4).done())),
-                    pin => pin,
+                    (crate::mm::PinOutcome::Relocated, _) => {
+                        return Ok(Some(Enc::new().u8(4).done()))
+                    }
+                    (pin, faulted) => {
+                        ctx.work(self.fabric.cost().fault_page_ns * faulted as u64);
+                        pin
+                    }
                 };
                 self.mem().fill(addr, len as usize, byte)?;
                 ctx.work(self.fabric.cost().memcpy_time(len));
@@ -539,8 +555,13 @@ impl LiteKernel {
                 let dst_node = d.u32()? as NodeId;
                 let dst = d.u64()?;
                 let _src_pin = match self.mm.pin_raw_nowait(src, len) {
-                    crate::mm::PinOutcome::Relocated => return Ok(Some(Enc::new().u8(4).done())),
-                    pin => pin,
+                    (crate::mm::PinOutcome::Relocated, _) => {
+                        return Ok(Some(Enc::new().u8(4).done()))
+                    }
+                    (pin, faulted) => {
+                        ctx.work(self.fabric.cost().fault_page_ns * faulted as u64);
+                        pin
+                    }
                 };
                 let local_dst = op == 0 || dst_node == self.node;
                 // Fence the destination at whichever node hosts it: a
@@ -555,10 +576,14 @@ impl LiteKernel {
                     self.mm.peer(dst_node)
                 };
                 let _dst_pin = match dst_mm.map(|mm| mm.pin_raw_nowait(dst, len)) {
-                    Some(crate::mm::PinOutcome::Relocated) => {
+                    Some((crate::mm::PinOutcome::Relocated, _)) => {
                         return Ok(Some(Enc::new().u8(4).done()))
                     }
-                    pin => pin,
+                    Some((pin, faulted)) => {
+                        ctx.work(self.fabric.cost().fault_page_ns * faulted as u64);
+                        Some(pin)
+                    }
+                    None => None,
                 };
                 let mut data = vec![0u8; len as usize];
                 self.mem().read(src, &mut data)?;

@@ -14,15 +14,29 @@
 //! # Residency state machine
 //!
 //! Every tracked *segment* (one physically-consecutive piece of an LMR,
-//! initially 1:1 with its allocation chunks) is in one of four states:
+//! initially 1:1 with its allocation chunks) is in one of five states:
 //!
 //! ```text
 //!             evict: drain pins, copy out, update record
 //!   Resident ──────────▶ Evicting ──────────▶ Remote
-//!      ▲                                        │
-//!      └────── FetchingBack ◀────────────────────┘
+//!    ▲ ▲  │                  ▲                  │
+//!    │ │  │ bg unpin (cold,  │ evict            │
+//!    │ │  │  lazy mode)      │                  │
+//!    │ │  ▼                  │                  │
+//!    │ └─ Unpinned ──────────┘                  │
+//!    │   first-touch fault (pages pin on pin()) │
+//!    └────────── FetchingBack ◀─────────────────┘
 //!          fetch-back: drain pins, copy home, update record
 //! ```
+//!
+//! `Unpinned` is the pin-free registration tier
+//! ([`crate::LiteConfig::lazy_pinning`], NP-RDMA's first-touch model):
+//! the bytes are home but their pages hold no pin — registration was
+//! O(1). The first access faults the touched pages in (the datapath
+//! charges the NIC page-fault cost) and promotes the segment to
+//! `Resident`; the sweeper demotes cold, pin-free segments back to
+//! `Unpinned`, releasing their page pins. Eviction may start from either
+//! tier — `Unpinned` segments are the cheapest victims.
 //!
 //! `Evicting`/`FetchingBack` fence new accesses (pins wait); in-flight
 //! accesses hold a pin that the migrator drains before moving bytes.
@@ -76,18 +90,24 @@ pub enum Residency {
     Remote,
     /// A fetch-back is draining pins and copying home.
     FetchingBack,
+    /// Bytes are home but their pages hold no pin (lazy mode): the next
+    /// access faults them in; the background sweeper parks cold segments
+    /// here.
+    Unpinned,
 }
 
 const R_RESIDENT: u8 = 0;
 const R_EVICTING: u8 = 1;
 const R_REMOTE: u8 = 2;
 const R_FETCHING: u8 = 3;
+const R_UNPINNED: u8 = 4;
 
 fn residency_of(v: u8) -> Residency {
     match v {
         R_EVICTING => Residency::Evicting,
         R_REMOTE => Residency::Remote,
         R_FETCHING => Residency::FetchingBack,
+        R_UNPINNED => Residency::Unpinned,
         _ => Residency::Resident,
     }
 }
@@ -124,6 +144,9 @@ pub struct Segment {
     dead: AtomicBool,
     /// Per-node access counts (rebalancer input).
     heat: Vec<AtomicU64>,
+    /// Sweep epoch of the last access (background-unpinner input: a
+    /// segment untouched for a full epoch is cold enough to unpin).
+    last_touch: AtomicU64,
 }
 
 impl Segment {
@@ -137,6 +160,7 @@ impl Segment {
             pins: AtomicU32::new(0),
             dead: AtomicBool::new(false),
             heat: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
+            last_touch: AtomicU64::new(0),
         }
     }
 
@@ -290,6 +314,8 @@ pub struct MemManager {
     node: NodeId,
     nodes: usize,
     budget: u64,
+    /// Pin-free registration ([`crate::LiteConfig::lazy_pinning`]).
+    lazy: bool,
     fetch_back_faults: u32,
     rebalance_threshold: u64,
     swap_nodes: Vec<NodeId>,
@@ -309,6 +335,14 @@ pub struct MemManager {
     hits: AtomicU64,
     misses: AtomicU64,
     fetch_back_lat: ConcurrentHistogram,
+    /// Page-granular pin accounting for tracked ranges on this node.
+    pins: smem::PinTable,
+    /// Sweep epoch: bumped once per manager sweep; cold detection input.
+    epoch: AtomicU64,
+    first_touch_faults: AtomicU64,
+    bg_unpins: AtomicU64,
+    /// Registration (`lt_malloc`/`lt_map`) latency, virtual ns.
+    reg_lat: ConcurrentHistogram,
 }
 
 impl MemManager {
@@ -318,6 +352,7 @@ impl MemManager {
             node,
             nodes,
             budget: config.mem_budget_bytes,
+            lazy: config.lazy_pinning,
             fetch_back_faults: config.mm_fetch_back_faults.max(1),
             rebalance_threshold: config.mm_rebalance_threshold,
             swap_nodes: config.mm_swap_nodes.clone(),
@@ -343,12 +378,33 @@ impl MemManager {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             fetch_back_lat: ConcurrentHistogram::new(),
+            pins: smem::PinTable::new(),
+            epoch: AtomicU64::new(1),
+            first_touch_faults: AtomicU64::new(0),
+            bg_unpins: AtomicU64::new(0),
+            reg_lat: ConcurrentHistogram::new(),
         }
     }
 
     /// Whether tiering is on (a budget was configured).
     pub fn enabled(&self) -> bool {
         self.budget > 0
+    }
+
+    /// Whether this manager tracks segments at all: tiering (budget) or
+    /// pin-free registration (lazy) — either needs the residency machine
+    /// and the manager thread.
+    pub fn tracking(&self) -> bool {
+        self.budget > 0 || self.lazy
+    }
+
+    /// Whether pin-free (lazy) registration is on.
+    pub fn lazy(&self) -> bool {
+        self.lazy
+    }
+
+    fn current_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
     }
 
     /// The configured budget in bytes (0 = disabled).
@@ -384,17 +440,26 @@ impl MemManager {
     /// locally-mastered LMR. Remote extents (cross-node LMRs) stay
     /// untracked, exactly as before this module existed.
     pub(crate) fn register(&self, id: LmrId, location: &Location) {
-        if !self.enabled() || id.node as NodeId != self.node {
+        if !self.tracking() || id.node as NodeId != self.node {
             return;
         }
+        // Lazy mode registers pin-free: segments start Unpinned and the
+        // datapath faults their pages in on first touch. Eager mode pins
+        // the whole extent now (the Figure 8 register-time cost).
+        let residency = if self.lazy { R_UNPINNED } else { R_RESIDENT };
+        let epoch = self.current_epoch();
         let mut st = self.state.lock();
         let mut off = 0u64;
         for (node, c) in &location.extents {
             if *node == self.node && c.len > 0 {
                 let key = SegKey { id, off };
                 let seg = Arc::new(Segment::new(
-                    key, c.len, c.addr, self.node, R_RESIDENT, self.nodes,
+                    key, c.len, c.addr, self.node, residency, self.nodes,
                 ));
+                seg.last_touch.store(epoch, Ordering::Relaxed);
+                if !self.lazy {
+                    self.pins.fault_in(c.addr, c.len);
+                }
                 st.scrub_moved(c.addr, c.len);
                 st.by_addr.insert(c.addr, Slot::Entry(Arc::clone(&seg)));
                 st.segs.insert(key, seg);
@@ -409,7 +474,7 @@ impl MemManager {
     /// Hosted copies at other nodes are cleaned up by the `FN_FREE_CHUNKS`
     /// traffic that accompanies the free/move.
     pub(crate) fn unregister_lmr(&self, idx: u32) {
-        if !self.enabled() {
+        if !self.tracking() {
             return;
         }
         let mut st = self.state.lock();
@@ -430,6 +495,7 @@ impl MemManager {
                 if matches!(st.by_addr.get(&addr), Some(Slot::Entry(e)) if Arc::ptr_eq(e, &seg)) {
                     st.by_addr.remove(&addr);
                 }
+                self.pins.unpin_all(addr, seg.len);
                 st.resident_bytes = st.resident_bytes.saturating_sub(seg.len);
             } else {
                 st.evicted_bytes = st.evicted_bytes.saturating_sub(seg.len);
@@ -439,25 +505,38 @@ impl MemManager {
     }
 
     /// A chunk at `addr` was freed through the allocator service. Drops
-    /// whatever slot covered it (hosted entry, own entry, or tombstone).
+    /// the segment that covered it but leaves a `Moved` tombstone in its
+    /// place (and keeps an existing one): the freed range is exactly
+    /// where a stale mapper view may still point, and removing the slot
+    /// would let that view pin `Untracked` — no fence at all — and post
+    /// into recycled memory. The tombstone bounces it `Relocated` into a
+    /// refresh instead, and is scrubbed when the range is next handed
+    /// out (`on_alloc` / `register` / the migration stages).
     pub(crate) fn on_free(&self, addr: u64) {
-        if !self.enabled() {
+        if !self.tracking() {
             return;
         }
         let mut st = self.state.lock();
-        let Some(slot) = st.by_addr.remove(&addr) else {
+        let Some(Slot::Entry(seg)) = st.by_addr.get(&addr) else {
             return;
         };
-        if let Slot::Entry(seg) = slot {
-            seg.dead.store(true, Ordering::Release);
-            if seg.key.id.node as NodeId == self.node {
+        let seg = Arc::clone(seg);
+        st.by_addr.insert(addr, Slot::Moved(seg.len));
+        seg.dead.store(true, Ordering::Release);
+        self.pins.unpin_all(addr, seg.len);
+        if seg.key.id.node as NodeId == self.node {
+            let key = seg.key;
+            // A staged landing (mid-migration) lives in by_addr only:
+            // it never counted toward resident_bytes and must not
+            // decrement it — or evict a committed segment that happens
+            // to share its key.
+            if matches!(st.segs.get(&key), Some(e) if Arc::ptr_eq(e, &seg)) {
                 st.resident_bytes = st.resident_bytes.saturating_sub(seg.len);
-                let key = seg.key;
                 st.segs.remove(&key);
                 st.lru.remove(&key);
-            } else {
-                st.hosted_bytes = st.hosted_bytes.saturating_sub(seg.len);
             }
+        } else {
+            st.hosted_bytes = st.hosted_bytes.saturating_sub(seg.len);
         }
     }
 
@@ -467,7 +546,7 @@ impl MemManager {
     /// for ranges that are never `register()`ed here, e.g. cross-node
     /// LMR storage).
     pub(crate) fn on_alloc(&self, chunks: &[Chunk]) {
-        if !self.enabled() {
+        if !self.tracking() {
             return;
         }
         let mut st = self.state.lock();
@@ -483,7 +562,7 @@ impl MemManager {
     /// Records one access to `[addr, addr+len)` from node `from`:
     /// promotes the segment in the LRU and feeds the rebalancer's heat.
     pub(crate) fn touch(&self, addr: u64, _len: u64, from: NodeId) {
-        if !self.enabled() {
+        if !self.tracking() {
             return;
         }
         let mut st = self.state.lock();
@@ -498,6 +577,8 @@ impl MemManager {
         if let Some(h) = seg.heat.get(from) {
             h.fetch_add(1, Ordering::Relaxed);
         }
+        seg.last_touch
+            .store(self.current_epoch(), Ordering::Relaxed);
         if seg.key.id.node as NodeId == self.node {
             st.lru.touch(&seg.key);
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -508,7 +589,21 @@ impl MemManager {
     /// belongs to LMR `id` at byte offset `lmr_off`. Verifying the
     /// identity closes the ABA window where the range was freed and
     /// recycled for a different tracked LMR.
+    #[cfg(test)]
     pub(crate) fn pin(&self, addr: u64, len: u64, id: LmrId, lmr_off: u64) -> PinOutcome {
+        self.pin_inner(addr, len, Some((id, lmr_off)), true).0
+    }
+
+    /// Like [`MemManager::pin`], but also reports how many pages the
+    /// access faulted in (lazy mode's first-touch pins), so the caller
+    /// can charge the NIC page-fault cost in virtual time.
+    pub(crate) fn pin_touch(
+        &self,
+        addr: u64,
+        len: u64,
+        id: LmrId,
+        lmr_off: u64,
+    ) -> (PinOutcome, usize) {
         self.pin_inner(addr, len, Some((id, lmr_off)), true)
     }
 
@@ -516,8 +611,8 @@ impl MemManager {
     /// addresses, e.g. `FN_MEMSET`): no identity expectation, and no
     /// waiting — these run on the poller, which must never block, so a
     /// mid-migration range answers `Relocated` immediately and the
-    /// caller retries after a refresh.
-    pub(crate) fn pin_raw_nowait(&self, addr: u64, len: u64) -> PinOutcome {
+    /// caller retries after a refresh. Also reports first-touch faults.
+    pub(crate) fn pin_raw_nowait(&self, addr: u64, len: u64) -> (PinOutcome, usize) {
         self.pin_inner(addr, len, None, false)
     }
 
@@ -527,47 +622,86 @@ impl MemManager {
         len: u64,
         expect: Option<(LmrId, u64)>,
         wait: bool,
-    ) -> PinOutcome {
-        if !self.enabled() {
-            return PinOutcome::Untracked;
+    ) -> (PinOutcome, usize) {
+        if !self.tracking() {
+            return (PinOutcome::Untracked, 0);
         }
         let deadline = Instant::now() + PIN_DEADLINE;
         loop {
             {
                 let st = self.state.lock();
                 let Some((start, slot)) = st.covering(addr) else {
-                    return PinOutcome::Untracked;
+                    return (PinOutcome::Untracked, 0);
                 };
                 let Slot::Entry(seg) = slot else {
                     self.misses.fetch_add(1, Ordering::Relaxed);
                     self.redirects.fetch_add(1, Ordering::Relaxed);
-                    return PinOutcome::Relocated;
+                    return (PinOutcome::Relocated, 0);
                 };
                 if addr + len > start + seg.len {
                     // Straddles out of the tracked range — stale view.
                     self.redirects.fetch_add(1, Ordering::Relaxed);
-                    return PinOutcome::Relocated;
+                    return (PinOutcome::Relocated, 0);
                 }
                 if let Some((id, lmr_off)) = expect {
                     let actual_off = seg.key.off + (addr - start);
                     if seg.key.id != id || actual_off != lmr_off {
                         self.redirects.fetch_add(1, Ordering::Relaxed);
-                        return PinOutcome::Relocated;
+                        return (PinOutcome::Relocated, 0);
                     }
                 }
                 match seg.residency.load(Ordering::Acquire) {
                     R_EVICTING | R_FETCHING => { /* wait below, lock released */ }
-                    _ => {
-                        seg.pins.fetch_add(1, Ordering::AcqRel);
-                        return PinOutcome::Pinned(PinGuard {
-                            seg: Arc::clone(seg),
-                        });
+                    r => {
+                        // Lazy mode: fault the touched pages in (only the
+                        // ones not yet resident) and promote an Unpinned
+                        // segment. Done under the state lock, so the
+                        // background unpinner (which also holds it) can
+                        // never unpin between fault-in and the pin.
+                        let mut faulted = 0;
+                        if self.lazy {
+                            faulted = self.pins.fault_in(addr, len);
+                            if faulted > 0 {
+                                self.first_touch_faults
+                                    .fetch_add(faulted as u64, Ordering::Relaxed);
+                            }
+                            if r == R_UNPINNED {
+                                seg.residency.store(R_RESIDENT, Ordering::Release);
+                            }
+                        }
+                        seg.last_touch
+                            .store(self.current_epoch(), Ordering::Relaxed);
+                        seg.pins.fetch_add(1, Ordering::SeqCst);
+                        // Our state lock only serializes against claims
+                        // on segments WE master. A hosted copy is the
+                        // origin's Arc: its evict/fetch-back claim runs
+                        // under the origin's lock, so it can land between
+                        // the residency read above and the increment —
+                        // with its pin drain reading zero in that window
+                        // and migrating under a live pin. Publish the pin
+                        // first, then re-validate; both sides are SeqCst
+                        // RMW-then-load, so at least one observes the
+                        // other (see drain_pins).
+                        if matches!(
+                            seg.residency.load(Ordering::SeqCst),
+                            R_EVICTING | R_FETCHING
+                        ) {
+                            seg.pins.fetch_sub(1, Ordering::AcqRel);
+                            // Lost to a claim: wait below, lock released.
+                        } else {
+                            return (
+                                PinOutcome::Pinned(PinGuard {
+                                    seg: Arc::clone(seg),
+                                }),
+                                faulted,
+                            );
+                        }
                     }
                 }
             }
             if !wait || Instant::now() >= deadline {
                 self.redirects.fetch_add(1, Ordering::Relaxed);
-                return PinOutcome::Relocated;
+                return (PinOutcome::Relocated, 0);
             }
             std::thread::sleep(Duration::from_micros(20));
         }
@@ -577,7 +711,7 @@ impl MemManager {
     /// owning LMR and the byte's offset within it. Used to key atomic
     /// histories by logical location so they survive migration.
     pub(crate) fn logical_cell(&self, addr: u64) -> Option<(LmrId, u64)> {
-        if !self.enabled() {
+        if !self.tracking() {
             return None;
         }
         let st = self.state.lock();
@@ -592,7 +726,7 @@ impl MemManager {
     /// mapper re-fetched a location with remote extents). Enough faults
     /// trigger a fetch-back on the next sweep.
     pub(crate) fn note_map_fault(&self, idx: u32) {
-        if !self.enabled() {
+        if !self.tracking() {
             return;
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
@@ -605,7 +739,7 @@ impl MemManager {
 
     /// Enqueues an asynchronous request for the manager thread.
     pub fn request(&self, req: MmRequest) {
-        if !self.enabled() {
+        if !self.tracking() {
             return;
         }
         self.queue.lock().expect("mm queue").push_back(req);
@@ -631,6 +765,12 @@ impl MemManager {
         self.shutdown.load(Ordering::Acquire)
     }
 
+    /// Records one registration's virtual latency (whole `lt_malloc` /
+    /// `lt_map` call) into the `reg_lat` histogram.
+    pub(crate) fn record_reg_latency(&self, ns: u64) {
+        self.reg_lat.record(ns.max(1));
+    }
+
     /// Memory-tiering gauges (folded into [`crate::StatsReport`]).
     pub fn stats(&self) -> MmReport {
         let (resident_bytes, evicted_bytes, hosted_bytes, resident_chunks, evicted_chunks) = {
@@ -652,6 +792,7 @@ impl MemManager {
         let misses = self.misses.load(Ordering::Relaxed);
         MmReport {
             enabled: self.enabled(),
+            lazy: self.lazy,
             budget_bytes: self.budget,
             resident_bytes,
             evicted_bytes,
@@ -669,7 +810,11 @@ impl MemManager {
             } else {
                 0.0
             },
+            pinned_pages: self.pins.pinned_pages(),
+            first_touch_faults: self.first_touch_faults.load(Ordering::Relaxed),
+            bg_unpins: self.bg_unpins.load(Ordering::Relaxed),
             fetch_back_lat: LatencySummary::of(&self.fetch_back_lat),
+            reg_lat: LatencySummary::of(&self.reg_lat),
         }
     }
 
@@ -678,18 +823,23 @@ impl MemManager {
     // ------------------------------------------------------------------
 
     /// Bytes of locally-resident tracked segments over the budget.
+    /// Always zero without a budget (lazy-only mode must not evict).
     fn pressure(&self) -> u64 {
+        if self.budget == 0 {
+            return 0;
+        }
         self.state.lock().resident_bytes.saturating_sub(self.budget)
     }
 
     /// The coldest locally-resident segment (LRU order, falling back to
-    /// map order for segments the LRU shed).
+    /// map order for segments the LRU shed). Unpinned segments qualify —
+    /// they are the cheapest victims (no pages to release).
     fn pick_victim(&self) -> Option<SegKey> {
         let st = self.state.lock();
         let resident = |key: &SegKey| {
-            st.segs
-                .get(key)
-                .is_some_and(|s| s.residency.load(Ordering::Acquire) == R_RESIDENT)
+            st.segs.get(key).is_some_and(|s| {
+                matches!(s.residency.load(Ordering::Acquire), R_RESIDENT | R_UNPINNED)
+            })
         };
         if let Some(key) = st.lru.iter_lru().find(|k| resident(k)).copied() {
             return Some(key);
@@ -726,15 +876,25 @@ impl MemManager {
     // Migration primitives (called from the manager thread only)
     // ------------------------------------------------------------------
 
-    /// Claims `key` for eviction: Resident → Evicting. `None` when the
-    /// segment is gone or mid-transition.
-    fn begin_evict(&self, key: &SegKey) -> Option<Arc<Segment>> {
+    /// Claims `key` for eviction: Resident/Unpinned → Evicting. Returns
+    /// the segment and the state it came from (for rollback); `None`
+    /// when the segment is gone or mid-transition.
+    fn begin_evict(&self, key: &SegKey) -> Option<(Arc<Segment>, u8)> {
         let st = self.state.lock();
         let seg = st.segs.get(key)?;
-        seg.residency
-            .compare_exchange(R_RESIDENT, R_EVICTING, Ordering::AcqRel, Ordering::Acquire)
-            .ok()?;
-        Some(Arc::clone(seg))
+        for from in [R_RESIDENT, R_UNPINNED] {
+            // SeqCst pairs with pin_inner's publish-then-revalidate: the
+            // claim RMW and the drain's pin load must order as a unit
+            // against the pin RMW and its residency re-load.
+            if seg
+                .residency
+                .compare_exchange(from, R_EVICTING, Ordering::SeqCst, Ordering::Acquire)
+                .is_ok()
+            {
+                return Some((Arc::clone(seg), from));
+            }
+        }
+        None
     }
 
     /// Claims `key` for fetch-back: Remote → FetchingBack.
@@ -742,7 +902,7 @@ impl MemManager {
         let st = self.state.lock();
         let seg = st.segs.get(key)?;
         seg.residency
-            .compare_exchange(R_REMOTE, R_FETCHING, Ordering::AcqRel, Ordering::Acquire)
+            .compare_exchange(R_REMOTE, R_FETCHING, Ordering::SeqCst, Ordering::Acquire)
             .ok()?;
         Some(Arc::clone(seg))
     }
@@ -754,7 +914,10 @@ impl MemManager {
     /// Waits for in-flight pins to drain; `false` on deadline.
     fn drain_pins(&self, seg: &Segment) -> bool {
         let deadline = Instant::now() + DRAIN_DEADLINE;
-        while seg.pins.load(Ordering::Acquire) != 0 {
+        // SeqCst: see pin_inner's publish-then-revalidate. If a pin's
+        // increment is not visible here, the claim preceding this load
+        // is visible to that pin's residency re-check, and it backs off.
+        while seg.pins.load(Ordering::SeqCst) != 0 {
             if Instant::now() >= deadline || self.stopping() {
                 return false;
             }
@@ -763,62 +926,103 @@ impl MemManager {
         true
     }
 
-    /// Finalizes an outbound migration: replaces `seg` with one segment
-    /// per landed chunk (all Remote at `target`), registers the hosted
-    /// copies at the target's manager, and tombstones the local range.
-    /// Returns the local address to free — or `None` when the LMR was
-    /// unregistered (freed/moved/taken) between `replace_extents` and
-    /// here, in which case everything is rolled back: committing would
-    /// resurrect segments of a dead LMR (leaking `evicted_bytes`) and
-    /// leave hosted entries over chunks the dropper frees at the target.
-    fn finish_evict(&self, seg: &Arc<Segment>, target: NodeId, chunks: &[Chunk]) -> Option<u64> {
-        let mut new_segs = Vec::with_capacity(chunks.len());
+    /// Builds one per-chunk segment for a migration landing zone,
+    /// created directly in claimed state `state` so datapath pins block
+    /// (or bounce, for no-wait pins) instead of posting unfenced against
+    /// bytes that are still being copied.
+    fn landing_segs(
+        &self,
+        seg: &Segment,
+        chunks: &[Chunk],
+        host: NodeId,
+        state: u8,
+    ) -> Vec<Arc<Segment>> {
+        let mut staged = Vec::with_capacity(chunks.len());
         let mut off = seg.key.off;
         for c in chunks {
-            new_segs.push(Arc::new(Segment::new(
+            staged.push(Arc::new(Segment::new(
                 SegKey {
                     id: seg.key.id,
                     off,
                 },
                 c.len,
                 c.addr,
-                target,
-                R_REMOTE,
+                host,
+                state,
                 self.nodes,
             )));
             off += c.len;
         }
-        // Register hosted copies at the target first (its lock, then
-        // ours — never both at once, so cross-node managers cannot
-        // deadlock on each other).
+        staged
+    }
+
+    /// Stages an outbound migration's landing range at the target
+    /// *before* the data copy: hosted entries in the claimed Evicting
+    /// state. Without this, the window between `replace_extents` (which
+    /// publishes the new location) and registration — and, worse, a
+    /// stale view of a recycled address whose `Moved` tombstone the
+    /// landing `FN_MALLOC` just scrubbed — pins `Untracked` and posts
+    /// unfenced while the bytes are in flight: a concurrent claim's
+    /// pin drain reads zero and migrates under a live access, losing
+    /// the op's effect. `finish_evict` flips the stage Remote once the
+    /// record points at it; `unstage_hosted` removes it on any abort.
+    fn stage_hosted(&self, seg: &Segment, target: NodeId, chunks: &[Chunk]) -> Vec<Arc<Segment>> {
+        let staged = self.landing_segs(seg, chunks, target, R_EVICTING);
         if let Some(peer) = self.peer(target) {
             let mut pst = peer.state.lock();
-            for s in &new_segs {
+            for s in &staged {
                 let addr = s.addr.load(Ordering::Relaxed);
                 pst.scrub_moved(addr, s.len);
+                peer.pins.fault_in(addr, s.len);
                 pst.by_addr.insert(addr, Slot::Entry(Arc::clone(s)));
                 pst.hosted_bytes += s.len;
             }
         }
+        staged
+    }
+
+    /// Rolls a staged outbound landing back out of the target's address
+    /// map (aborted copy, vanished record, or dead LMR).
+    fn unstage_hosted(&self, target: NodeId, staged: &[Arc<Segment>]) {
+        if let Some(peer) = self.peer(target) {
+            let mut pst = peer.state.lock();
+            for s in staged {
+                let addr = s.addr.load(Ordering::Relaxed);
+                if matches!(pst.by_addr.get(&addr), Some(Slot::Entry(e)) if Arc::ptr_eq(e, s)) {
+                    pst.by_addr.remove(&addr);
+                    peer.pins.unpin_all(addr, s.len);
+                    pst.hosted_bytes = pst.hosted_bytes.saturating_sub(s.len);
+                }
+            }
+        }
+    }
+
+    /// Finalizes an outbound migration: tombstones the local range and
+    /// replaces `seg` with the staged hosted segments, flipped Remote
+    /// now that the record points at them (releasing any pins that
+    /// queued against the stage during the copy). Returns the local
+    /// address to free — or `None` when the LMR was unregistered
+    /// (freed/moved/taken) mid-flight, in which case the stage is
+    /// rolled back: committing would resurrect segments of a dead LMR
+    /// (leaking `evicted_bytes`) and leave hosted entries over chunks
+    /// the dropper frees at the target.
+    fn finish_evict(
+        &self,
+        seg: &Arc<Segment>,
+        target: NodeId,
+        staged: &[Arc<Segment>],
+    ) -> Option<u64> {
         let old_addr = seg.addr.load(Ordering::Acquire);
         let mut st = self.state.lock();
         // Re-verify liveness under our own lock: unregister_lmr/on_free
         // serialize on it, so a dead or replaced segment is definitely
-        // visible here.
+        // visible here. (Target lock and ours are never held at once,
+        // so cross-node managers cannot deadlock on each other.)
         if seg.dead.load(Ordering::Acquire)
             || !matches!(st.segs.get(&seg.key), Some(e) if Arc::ptr_eq(e, seg))
         {
             drop(st);
-            if let Some(peer) = self.peer(target) {
-                let mut pst = peer.state.lock();
-                for s in &new_segs {
-                    let addr = s.addr.load(Ordering::Relaxed);
-                    if matches!(pst.by_addr.get(&addr), Some(Slot::Entry(e)) if Arc::ptr_eq(e, s)) {
-                        pst.by_addr.remove(&addr);
-                        pst.hosted_bytes = pst.hosted_bytes.saturating_sub(s.len);
-                    }
-                }
-            }
+            self.unstage_hosted(target, staged);
             return None;
         }
         st.segs.remove(&seg.key);
@@ -826,27 +1030,70 @@ impl MemManager {
         if matches!(st.by_addr.get(&old_addr), Some(Slot::Entry(e)) if Arc::ptr_eq(e, seg)) {
             st.by_addr.insert(old_addr, Slot::Moved(seg.len));
         }
+        // The local pages are about to be freed: release whatever pins
+        // they held (all of them eager, only the faulted subset lazy).
+        self.pins.unpin_all(old_addr, seg.len);
         st.resident_bytes = st.resident_bytes.saturating_sub(seg.len);
         st.evicted_bytes += seg.len;
-        for s in new_segs {
-            st.segs.insert(s.key, s);
+        for s in staged {
+            st.segs.insert(s.key, Arc::clone(s));
+            s.residency.store(R_REMOTE, Ordering::Release);
         }
         Some(old_addr)
     }
 
+    /// Stages an inbound migration's landing range in our own address
+    /// map *before* the data copy (claimed FetchingBack entries), for
+    /// the same reason as [`MemManager::stage_hosted`]: a stale view of
+    /// the recycled local address must block on the stage, not pin
+    /// `Untracked` and post unfenced against bytes still in flight.
+    fn stage_local(&self, seg: &Segment, chunks: &[Chunk]) -> Vec<Arc<Segment>> {
+        let staged = self.landing_segs(seg, chunks, self.node, R_FETCHING);
+        let mut st = self.state.lock();
+        for s in &staged {
+            let addr = s.addr.load(Ordering::Relaxed);
+            st.scrub_moved(addr, s.len);
+            self.pins.fault_in(addr, s.len);
+            st.by_addr.insert(addr, Slot::Entry(Arc::clone(s)));
+        }
+        staged
+    }
+
+    /// Rolls a staged inbound landing back out of our address map. The
+    /// chunks themselves stay allocated — the caller (or, when the LMR
+    /// died after `replace_extents` adopted them, the dropper) frees
+    /// them.
+    fn unstage_local(&self, staged: &[Arc<Segment>]) {
+        let mut st = self.state.lock();
+        for s in staged {
+            let addr = s.addr.load(Ordering::Relaxed);
+            if matches!(st.by_addr.get(&addr), Some(Slot::Entry(e)) if Arc::ptr_eq(e, s)) {
+                st.by_addr.remove(&addr);
+                self.pins.unpin_all(addr, s.len);
+            }
+        }
+    }
+
     /// Finalizes an inbound migration: replaces the remote `seg` with
-    /// one Resident segment per landed local chunk, tombstones the range
-    /// at the old host, and returns the remote address to free there —
-    /// or `None` when the LMR was unregistered between `replace_extents`
-    /// and here (the caller still frees the remote copy; the landed
-    /// local chunks belong to the record and are freed by the dropper).
-    fn finish_fetch_back(&self, seg: &Arc<Segment>, host: NodeId, chunks: &[Chunk]) -> Option<u64> {
+    /// the staged local segments (flipped Resident now that the record
+    /// points at them), tombstones the range at the old host, and
+    /// returns the remote address to free there — or `None` when the
+    /// LMR was unregistered mid-flight (the stage is rolled back; the
+    /// caller still frees the remote copy, while the landed local
+    /// chunks belong to the record and are freed by the dropper).
+    fn finish_fetch_back(
+        &self,
+        seg: &Arc<Segment>,
+        host: NodeId,
+        staged: &[Arc<Segment>],
+    ) -> Option<u64> {
         let remote_addr = seg.addr.load(Ordering::Acquire);
         if let Some(peer) = self.peer(host) {
             let mut pst = peer.state.lock();
             if matches!(pst.by_addr.get(&remote_addr), Some(Slot::Entry(e)) if Arc::ptr_eq(e, seg))
             {
                 pst.by_addr.insert(remote_addr, Slot::Moved(seg.len));
+                peer.pins.unpin_all(remote_addr, seg.len);
                 pst.hosted_bytes = pst.hosted_bytes.saturating_sub(seg.len);
             }
         }
@@ -856,25 +1103,21 @@ impl MemManager {
         if seg.dead.load(Ordering::Acquire)
             || !matches!(st.segs.get(&seg.key), Some(e) if Arc::ptr_eq(e, seg))
         {
+            drop(st);
+            self.unstage_local(staged);
             return None;
         }
         st.segs.remove(&seg.key);
         st.evicted_bytes = st.evicted_bytes.saturating_sub(seg.len);
-        let mut off = seg.key.off;
-        for c in chunks {
-            let key = SegKey {
-                id: seg.key.id,
-                off,
-            };
-            let s = Arc::new(Segment::new(
-                key, c.len, c.addr, self.node, R_RESIDENT, self.nodes,
-            ));
-            st.scrub_moved(c.addr, c.len);
-            st.by_addr.insert(c.addr, Slot::Entry(Arc::clone(&s)));
-            st.segs.insert(key, s);
-            st.lru.insert(key, ());
-            st.resident_bytes += c.len;
-            off += c.len;
+        for s in staged {
+            // The bytes just DMAed in, so they land pinned (the stage
+            // faulted them) and warm (a fetch-back is demand-driven).
+            s.last_touch
+                .store(self.epoch.load(Ordering::Relaxed), Ordering::Relaxed);
+            st.segs.insert(s.key, Arc::clone(s));
+            st.lru.insert(s.key, ());
+            st.resident_bytes += s.len;
+            s.residency.store(R_RESIDENT, Ordering::Release);
         }
         Some(remote_addr)
     }
@@ -956,6 +1199,41 @@ impl MemManager {
             })
             .collect()
     }
+
+    /// Background unpinner (lazy mode only): closes the sweep epoch and
+    /// demotes locally-resident segments that went a full epoch without
+    /// a touch and have no pins in flight — Resident → Unpinned, pages
+    /// released. Runs entirely under the state lock, so it can never
+    /// interleave with `pin_inner`'s fault-in/pin sequence: a segment is
+    /// either demoted before a pin (the pin refaults it) or after (the
+    /// pin count blocks the demotion).
+    fn bg_unpin_sweep(&self) {
+        if !self.lazy {
+            return;
+        }
+        // `prev` is the epoch that just ended; anything last touched
+        // before it has been cold for at least one full sweep interval.
+        let prev = self.epoch.fetch_add(1, Ordering::AcqRel);
+        let st = self.state.lock();
+        for seg in st.segs.values() {
+            if seg.host.load(Ordering::Relaxed) != self.node
+                || seg.pins.load(Ordering::Acquire) != 0
+                || seg.last_touch.load(Ordering::Relaxed) >= prev
+                || seg
+                    .residency
+                    .compare_exchange(R_RESIDENT, R_UNPINNED, Ordering::AcqRel, Ordering::Acquire)
+                    .is_err()
+            {
+                continue;
+            }
+            let released = self
+                .pins
+                .unpin_all(seg.addr.load(Ordering::Acquire), seg.len);
+            if released > 0 {
+                self.bg_unpins.fetch_add(released as u64, Ordering::Relaxed);
+            }
+        }
+    }
 }
 
 /// Memory-tiering gauges for one node.
@@ -963,6 +1241,8 @@ impl MemManager {
 pub struct MmReport {
     /// Whether a budget is configured.
     pub enabled: bool,
+    /// Whether pin-free (lazy) registration is on.
+    pub lazy: bool,
     /// The configured budget, bytes.
     pub budget_bytes: u64,
     /// Bytes of tracked chunks resident on this node.
@@ -990,8 +1270,16 @@ pub struct MmReport {
     pub lru_misses: u64,
     /// `lru_hits / (lru_hits + lru_misses)`, 0.0 when idle.
     pub hit_rate: f64,
+    /// Pages of tracked memory currently pinned on this node.
+    pub pinned_pages: usize,
+    /// Pages pinned at the datapath by lazy first-touch faults.
+    pub first_touch_faults: u64,
+    /// Pages released by the background unpinner.
+    pub bg_unpins: u64,
     /// Fetch-back latency (virtual nanoseconds, whole operation).
     pub fetch_back_lat: LatencySummary,
+    /// Registration latency (virtual nanoseconds, whole `lt_malloc`).
+    pub reg_lat: LatencySummary,
 }
 
 impl MmReport {
@@ -999,8 +1287,9 @@ impl MmReport {
     /// stats report).
     pub fn json(&self) -> String {
         format!(
-            "{{\"enabled\":{},\"budget_bytes\":{},\"resident_bytes\":{},\"evicted_bytes\":{},\"hosted_bytes\":{},\"resident_chunks\":{},\"evicted_chunks\":{},\"evictions\":{},\"fetch_backs\":{},\"rebalances\":{},\"redirects\":{},\"lru_hits\":{},\"lru_misses\":{},\"hit_rate\":{:.4},\"fetch_back_lat\":{{\"count\":{},\"mean_ns\":{:.1},\"p50\":{},\"p99\":{}}}}}",
+            "{{\"enabled\":{},\"lazy\":{},\"budget_bytes\":{},\"resident_bytes\":{},\"evicted_bytes\":{},\"hosted_bytes\":{},\"resident_chunks\":{},\"evicted_chunks\":{},\"evictions\":{},\"fetch_backs\":{},\"rebalances\":{},\"redirects\":{},\"lru_hits\":{},\"lru_misses\":{},\"hit_rate\":{:.4},\"pinned_pages\":{},\"first_touch_faults\":{},\"bg_unpins\":{},\"fetch_back_lat\":{{\"count\":{},\"mean_ns\":{:.1},\"p50\":{},\"p99\":{}}},\"reg_lat\":{{\"count\":{},\"mean_ns\":{:.1},\"p50\":{},\"p99\":{}}}}}",
             self.enabled,
+            self.lazy,
             self.budget_bytes,
             self.resident_bytes,
             self.evicted_bytes,
@@ -1014,10 +1303,17 @@ impl MmReport {
             self.lru_hits,
             self.lru_misses,
             self.hit_rate,
+            self.pinned_pages,
+            self.first_touch_faults,
+            self.bg_unpins,
             self.fetch_back_lat.count,
             self.fetch_back_lat.mean_ns,
             self.fetch_back_lat.p50,
             self.fetch_back_lat.p99,
+            self.reg_lat.count,
+            self.reg_lat.mean_ns,
+            self.reg_lat.p50,
+            self.reg_lat.p99,
         )
     }
 }
@@ -1100,6 +1396,8 @@ fn sweep(kernel: &Arc<LiteKernel>, ctx: &mut Ctx, handle: &mut LiteHandle) {
         }
         let _ = evict_one(kernel, ctx, handle, key, Some(target));
     }
+    // 4. Lazy mode: release pins of segments cold for a full epoch.
+    mm.bg_unpin_sweep();
 }
 
 /// Remote-allocates `len` bytes on `target` through the kernel allocator
@@ -1196,11 +1494,11 @@ fn evict_one(
     let Some(target) = target.or_else(|| mm.pick_swap_node(alive)) else {
         return Err(LiteError::Internal("no alive swap node"));
     };
-    let Some(seg) = mm.begin_evict(&key) else {
+    let Some((seg, was)) = mm.begin_evict(&key) else {
         return Ok(()); // gone or mid-transition; nothing to do
     };
     if !mm.drain_pins(&seg) {
-        mm.abort_transition(&seg, R_RESIDENT);
+        mm.abort_transition(&seg, was);
         return Err(LiteError::Timeout);
     }
     let src_addr = seg.addr.load(Ordering::Acquire);
@@ -1208,10 +1506,14 @@ fn evict_one(
     let chunks = match remote_alloc(kernel, ctx, handle, target, seg.len) {
         Ok(c) => c,
         Err(e) => {
-            mm.abort_transition(&seg, R_RESIDENT);
+            mm.abort_transition(&seg, was);
             return Err(e);
         }
     };
+    // Fence the landing range at the target before any byte moves, so
+    // a stale (or freshly-refreshed) view of those addresses blocks on
+    // the staged entries instead of posting unfenced mid-copy.
+    let staged = mm.stage_hosted(&seg, target, &chunks);
     // Copy out over the datapath (one-sided writes from the segment's
     // own physical range — no staging copy).
     let mut done = 0u64;
@@ -1223,8 +1525,9 @@ fn evict_one(
         match kernel.rdma_write(ctx, Priority::Low, target, c.addr, &src, c.len as usize) {
             Ok(comp) => ctx.wait_until(comp),
             Err(e) => {
+                mm.unstage_hosted(target, &staged);
                 remote_free(kernel, ctx, handle, target, &chunks);
-                mm.abort_transition(&seg, R_RESIDENT);
+                mm.abort_transition(&seg, was);
                 return Err(e);
             }
         }
@@ -1234,12 +1537,13 @@ fn evict_one(
     // vanished (freed/moved concurrently) — roll back.
     let repl: Vec<(NodeId, Chunk)> = chunks.iter().map(|c| (target, *c)).collect();
     if !kernel.replace_extents(key.id.idx, key.off, seg.len, &repl) {
+        mm.unstage_hosted(target, &staged);
         remote_free(kernel, ctx, handle, target, &chunks);
-        mm.abort_transition(&seg, R_RESIDENT);
+        mm.abort_transition(&seg, was);
         return Err(LiteError::Internal("record vanished during migration"));
     }
     let mappers = kernel.record_mappers(key.id.idx).unwrap_or_default();
-    let Some(old_addr) = mm.finish_evict(&seg, target, &chunks) else {
+    let Some(old_addr) = mm.finish_evict(&seg, target, &staged) else {
         // The LMR was freed/moved after replace_extents pointed its
         // record at the landed chunks: the dropper owns (and frees)
         // those, but nothing else releases our local copy.
@@ -1294,6 +1598,10 @@ fn fetch_back_one(
             return Err(e.into());
         }
     };
+    // Fence the landing range before any byte moves (see stage_hosted
+    // for why): a stale view of a recycled local address must block on
+    // the stage, not post unfenced against a half-copied range.
+    let staged = mm.stage_local(&seg, &local);
     let remote_addr = seg.addr.load(Ordering::Acquire);
     let mut done = 0u64;
     for c in &local {
@@ -1308,6 +1616,7 @@ fn fetch_back_one(
         ) {
             Ok(comp) => ctx.wait_until(comp),
             Err(e) => {
+                mm.unstage_local(&staged);
                 let mut a = kernel.alloc.lock();
                 let _ = a.free_chunks(&local);
                 drop(a);
@@ -1319,6 +1628,7 @@ fn fetch_back_one(
     }
     let repl: Vec<(NodeId, Chunk)> = local.iter().map(|c| (kernel.node(), *c)).collect();
     if !kernel.replace_extents(key.id.idx, key.off, seg.len, &repl) {
+        mm.unstage_local(&staged);
         let mut a = kernel.alloc.lock();
         let _ = a.free_chunks(&local);
         drop(a);
@@ -1326,7 +1636,7 @@ fn fetch_back_one(
         return Err(LiteError::Internal("record vanished during fetch-back"));
     }
     let mappers = kernel.record_mappers(key.id.idx).unwrap_or_default();
-    let Some(freed_remote) = mm.finish_fetch_back(&seg, host, &local) else {
+    let Some(freed_remote) = mm.finish_fetch_back(&seg, host, &staged) else {
         // The LMR was freed after replace_extents pointed its record at
         // the landed local chunks: the dropper frees those; the remote
         // copy is still ours to release.
@@ -1483,7 +1793,8 @@ mod tests {
         let id = LmrId { node: 0, idx: 1 };
         mm.register(id, &loc(0, &[(0x1000, 4096)]));
         let key = SegKey { id, off: 0 };
-        let seg = mm.begin_evict(&key).expect("claim");
+        let (seg, was) = mm.begin_evict(&key).expect("claim");
+        assert_eq!(was, R_RESIDENT);
         let mm2 = Arc::clone(&mm);
         let t = std::thread::spawn(move || {
             // Blocks while Evicting, succeeds once reverted.
@@ -1519,7 +1830,7 @@ mod tests {
             len: 4096,
         }]);
         assert!(matches!(
-            mm.pin_raw_nowait(0x1000, 64),
+            mm.pin_raw_nowait(0x1000, 64).0,
             PinOutcome::Untracked
         ));
     }
@@ -1539,14 +1850,15 @@ mod tests {
         let id = LmrId { node: 0, idx: 1 };
         a.register(id, &loc(0, &[(0x1000, 4096)]));
         let key = SegKey { id, off: 0 };
-        let seg = a.begin_evict(&key).expect("claim");
-        // The LMR is freed while the migration is mid-flight.
-        a.unregister_lmr(1);
+        let (seg, _) = a.begin_evict(&key).expect("claim");
         let landed = [Chunk {
             addr: 0x9000,
             len: 4096,
         }];
-        assert!(a.finish_evict(&seg, 1, &landed).is_none());
+        let staged = a.stage_hosted(&seg, 1, &landed);
+        // The LMR is freed while the migration is mid-flight.
+        a.unregister_lmr(1);
+        assert!(a.finish_evict(&seg, 1, &staged).is_none());
         // Nothing resurrected on the master, nothing left at the target.
         assert_eq!(a.stats().evicted_bytes, 0);
         assert_eq!(a.stats().resident_bytes, 0);
@@ -1572,15 +1884,19 @@ mod tests {
             st.hosted_bytes = 4096;
         }
         let seg = a.begin_fetch_back(&key).expect("claim");
-        a.unregister_lmr(2);
         let landed = [Chunk {
             addr: 0x2000,
             len: 4096,
         }];
-        assert!(a.finish_fetch_back(&seg, 1, &landed).is_none());
+        let staged = a.stage_local(&seg, &landed);
+        a.unregister_lmr(2);
+        assert!(a.finish_fetch_back(&seg, 1, &staged).is_none());
         assert_eq!(a.stats().resident_bytes, 0);
         assert_eq!(a.stats().evicted_bytes, 0);
         assert!(a.state.lock().segs.is_empty());
+        // The rolled-back stage leaves no pinned pages or address slots.
+        assert_eq!(a.stats().pinned_pages, 0);
+        assert!(!a.state.lock().by_addr.contains_key(&0x2000));
     }
 
     #[test]

@@ -63,6 +63,11 @@ pub struct CostModel {
     pub dereg_mr_base_ns: Nanos,
     /// Per-page unpin cost during deregistration.
     pub unpin_page_ns: Nanos,
+    /// First-touch page-fault service for a lazily registered page: the
+    /// NIC raises an event, the host pins the page and patches the NIC
+    /// page table (the ODP/NP-RDMA pin-free path). Much dearer than a
+    /// register-time pin, which is the eager-vs-lazy tradeoff.
+    pub fault_page_ns: Nanos,
 
     // ---- memory ----
     /// Host memcpy bandwidth (user<->kernel moves, local memcpy).
@@ -97,6 +102,7 @@ impl Default for CostModel {
             pin_page_ns: 350,
             dereg_mr_base_ns: 3_000,
             unpin_page_ns: 250,
+            fault_page_ns: 1_800,
             memcpy_bytes_per_sec: 10_000_000_000,
             ud_extra_ns: 150,
             ud_max_payload: 4_096,

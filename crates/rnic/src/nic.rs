@@ -1,13 +1,13 @@
 //! The per-node RNIC: MR registry, QP registry, SRAM caches, request
 //! engine, and the implementation of every verb.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
 use parking_lot::{Mutex, RwLock};
 use simnet::{Ctx, Lru, Nanos, Resource};
-use smem::{AddrSpace, Chunk, PhysMem, PAGE_SHIFT};
+use smem::{AddrSpace, Chunk, PhysMem, PAGE_SHIFT, PAGE_SIZE};
 
 use crate::cost::CostModel;
 use crate::cq::Cq;
@@ -33,6 +33,10 @@ struct MrInner {
     key: u32,
     kind: MrKind,
     access: Access,
+    /// Pin-free (lazy) MR: pages pin on first datapath touch instead of
+    /// at registration; this set holds the vpns faulted in so far.
+    /// `None` for eagerly pinned and physical MRs.
+    lazy_pins: Option<Mutex<BTreeSet<u64>>>,
 }
 
 /// A registered memory region handle.
@@ -109,6 +113,8 @@ pub struct NicStats {
     pub pte_misses: u64,
     /// QP-context cache misses.
     pub qp_misses: u64,
+    /// First-touch page faults served for lazily registered MRs.
+    pub page_faults: u64,
     /// Registered MRs currently live.
     pub live_mrs: usize,
     /// QPs currently live.
@@ -133,6 +139,7 @@ pub struct Nic {
     one_sided_ops: AtomicU64,
     send_ops: AtomicU64,
     bytes_tx: AtomicU64,
+    page_faults: AtomicU64,
 }
 
 /// Local buffer resolved to physical fragments.
@@ -194,6 +201,7 @@ impl Nic {
             one_sided_ops: AtomicU64::new(0),
             send_ops: AtomicU64::new(0),
             bytes_tx: AtomicU64::new(0),
+            page_faults: AtomicU64::new(0),
         }
     }
 
@@ -227,6 +235,7 @@ impl Nic {
             pte_hits: c.ptes.hits(),
             pte_misses: c.ptes.misses(),
             qp_misses: c.qpc.misses(),
+            page_faults: self.page_faults.load(Ordering::Relaxed),
             live_mrs: self.mrs.read().len(),
             live_qps: self.qps.read().len(),
         }
@@ -274,6 +283,42 @@ impl Nic {
                 len,
             },
             access,
+            lazy_pins: None,
+        });
+        self.mrs.write().insert(key, inner.clone());
+        Ok(Mr {
+            inner,
+            node: self.node,
+        })
+    }
+
+    /// Registers a user-space MR in pin-free mode (ODP / NP-RDMA style):
+    /// no page is pinned up front, so the cost is O(1) in the region size.
+    /// Pages pin on first datapath touch — the resolve paths emulate the
+    /// NIC page fault, charging [`CostModel::fault_page_ns`] per faulted
+    /// page — and deregistration unpins only what actually faulted in.
+    pub fn register_mr_lazy(
+        &self,
+        ctx: &mut Ctx,
+        space: &Arc<AddrSpace>,
+        addr: u64,
+        len: u64,
+        access: Access,
+    ) -> VerbsResult<Mr> {
+        // Bounds must still be mapped; only the pinning is deferred.
+        space.translate(addr)?;
+        space.translate(addr + len.max(1) - 1)?;
+        ctx.work(self.cost.reg_mr_base_ns);
+        let key = self.fabric().alloc_key();
+        let inner = Arc::new(MrInner {
+            key,
+            kind: MrKind::Virt {
+                space: Arc::clone(space),
+                base: addr,
+                len,
+            },
+            access,
+            lazy_pins: Some(Mutex::new(BTreeSet::new())),
         });
         self.mrs.write().insert(key, inner.clone());
         Ok(Mr {
@@ -298,6 +343,7 @@ impl Nic {
             key,
             kind: MrKind::Phys { base, len },
             access,
+            lazy_pins: None,
         });
         self.mrs.write().insert(key, inner.clone());
         Ok(Mr {
@@ -307,21 +353,72 @@ impl Nic {
     }
 
     /// Deregisters an MR, unpinning user pages.
+    ///
+    /// Deregistration is continue-and-collect: the MR identity (registry
+    /// entry and key-cache line) dies first and unconditionally, then
+    /// every page is unpinned individually, so an unpin failure mid-list
+    /// can neither resurrect the MR nor leave later pages pinned. The
+    /// first unpin error, if any, is returned after the sweep completes.
     pub fn deregister_mr(&self, ctx: &mut Ctx, mr: &Mr) -> VerbsResult<()> {
         let removed = self
             .mrs
             .write()
             .remove(&mr.inner.key)
             .ok_or(VerbsError::BadKey { key: mr.inner.key })?;
+        self.caches.lock().mr_keys.remove(&mr.inner.key);
         match &removed.kind {
             MrKind::Virt { space, base, len } => {
-                let pages = space.unpin_range(*base, *len)?;
-                ctx.work(self.cost.dereg_mr_base_ns + self.cost.unpin_page_ns * pages as u64);
+                let (unpinned, first_err) = match &removed.lazy_pins {
+                    // Lazy MR: only the faulted-in pages hold pins.
+                    Some(pinned) => {
+                        let vpns: Vec<u64> =
+                            std::mem::take(&mut *pinned.lock()).into_iter().collect();
+                        Self::unpin_each(space, vpns.into_iter())
+                    }
+                    None => {
+                        // Fast path: the whole range unpins atomically.
+                        match space.unpin_range(*base, *len) {
+                            Ok(pages) => (pages as u64, None),
+                            // A page was unpinned behind our back: fall
+                            // back to per-page sweep so the rest of the
+                            // range is still released.
+                            Err(_) => {
+                                let first = *base >> PAGE_SHIFT;
+                                let last = (*base + (*len).max(1) - 1) >> PAGE_SHIFT;
+                                Self::unpin_each(space, first..=last)
+                            }
+                        }
+                    }
+                };
+                ctx.work(self.cost.dereg_mr_base_ns + self.cost.unpin_page_ns * unpinned);
+                if let Some(e) = first_err {
+                    return Err(e.into());
+                }
             }
             MrKind::Phys { .. } => ctx.work(self.cost.dereg_mr_base_ns),
         }
-        self.caches.lock().mr_keys.remove(&mr.inner.key);
         Ok(())
+    }
+
+    /// Unpins each page (by vpn), continuing past failures; returns the
+    /// number of pages released and the first error encountered.
+    fn unpin_each(
+        space: &Arc<AddrSpace>,
+        vpns: impl Iterator<Item = u64>,
+    ) -> (u64, Option<smem::MemError>) {
+        let mut unpinned = 0u64;
+        let mut first_err = None;
+        for vpn in vpns {
+            match space.unpin_range(vpn << PAGE_SHIFT, PAGE_SIZE as u64) {
+                Ok(_) => unpinned += 1,
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        (unpinned, first_err)
     }
 
     // ------------------------------------------------------------------
@@ -437,6 +534,34 @@ impl Nic {
             .ok_or(VerbsError::BadKey { key })
     }
 
+    /// Emulated NIC page fault for pin-free MRs: pins any page of
+    /// `[addr, addr+len)` not yet faulted in and returns the service
+    /// penalty (`fault_page_ns` per fault). No-op for eager MRs.
+    fn fault_in_lazy(
+        &self,
+        mr: &MrInner,
+        space: &Arc<AddrSpace>,
+        addr: u64,
+        len: usize,
+    ) -> VerbsResult<Nanos> {
+        let Some(pinned) = &mr.lazy_pins else {
+            return Ok(0);
+        };
+        let first = addr >> PAGE_SHIFT;
+        let last = (addr + len.max(1) as u64 - 1) >> PAGE_SHIFT;
+        let mut pen = 0;
+        let mut set = pinned.lock();
+        for vpn in first..=last {
+            if !set.contains(&vpn) {
+                space.pin_range(vpn << PAGE_SHIFT, 1)?;
+                set.insert(vpn);
+                pen += self.cost.fault_page_ns;
+                self.page_faults.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(pen)
+    }
+
     /// Resolves a local SGE to physical fragments, charging SRAM
     /// penalties exactly as the hardware would.
     fn resolve_local(&self, sge: &Sge) -> VerbsResult<Resolved> {
@@ -454,6 +579,7 @@ impl Nic {
                 check_bounds(*addr, *len, *base, *mrlen)?;
                 let mut penalty = self.touch_mr_key(*lkey);
                 penalty += self.touch_ptes(*lkey, *addr, *len);
+                penalty += self.fault_in_lazy(&mr, space, *addr, *len)?;
                 let chunks = space.translate_range(*addr, *len as u64)?;
                 Ok(Resolved { chunks, penalty })
             }
@@ -501,6 +627,7 @@ impl Nic {
                 check_bounds(remote.addr, len, *base, *mrlen)?;
                 let mut penalty = self.touch_mr_key(remote.rkey);
                 penalty += self.touch_ptes(remote.rkey, remote.addr, len);
+                penalty += self.fault_in_lazy(&mr, space, remote.addr, len)?;
                 let chunks = space.translate_range(remote.addr, len as u64)?;
                 Ok(Resolved { chunks, penalty })
             }

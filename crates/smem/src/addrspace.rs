@@ -155,12 +155,22 @@ impl AddrSpace {
         let mut inner = self.inner.lock();
         let first = vaddr >> PAGE_SHIFT;
         let last = (vaddr + len.max(1) - 1) >> PAGE_SHIFT;
-        // Validate before mutating so a partial range does not half-pin.
+        // Validate before mutating so a partial range does not half-pin;
+        // this includes the saturation check, which would otherwise wrap
+        // the counter silently in release builds.
         for vpn in first..=last {
-            if !inner.page_table.contains_key(&vpn) {
-                return Err(MemError::NotMapped {
-                    vaddr: vpn << PAGE_SHIFT,
-                });
+            match inner.page_table.get(&vpn) {
+                None => {
+                    return Err(MemError::NotMapped {
+                        vaddr: vpn << PAGE_SHIFT,
+                    })
+                }
+                Some(pte) if pte.pinned == u32::MAX => {
+                    return Err(MemError::PinOverflow {
+                        vaddr: vpn << PAGE_SHIFT,
+                    })
+                }
+                Some(_) => {}
             }
         }
         for vpn in first..=last {
@@ -188,6 +198,24 @@ impl AddrSpace {
             inner.page_table.get_mut(&vpn).expect("validated").pinned -= 1;
         }
         Ok((last - first + 1) as usize)
+    }
+
+    /// Pin count of the page containing `vaddr`, or `None` if unmapped.
+    pub fn pin_count(&self, vaddr: VirtAddr) -> Option<u32> {
+        self.inner
+            .lock()
+            .page_table
+            .get(&(vaddr >> PAGE_SHIFT))
+            .map(|pte| pte.pinned)
+    }
+
+    /// Forces the pin count of the page containing `vaddr`. Test hook for
+    /// exercising saturation without 2^32 pin calls; not part of the model.
+    #[doc(hidden)]
+    pub fn set_pin_count(&self, vaddr: VirtAddr, count: u32) {
+        if let Some(pte) = self.inner.lock().page_table.get_mut(&(vaddr >> PAGE_SHIFT)) {
+            pte.pinned = count;
+        }
     }
 
     /// Number of currently mapped pages.
@@ -253,6 +281,27 @@ mod tests {
         assert_eq!(a.unpin_range(v, 1).unwrap(), 1);
         assert_eq!(a.pinned_pages(), 0);
         assert!(a.unpin_range(v, 1).is_err(), "over-unpin rejected");
+    }
+
+    #[test]
+    fn pin_overflow_is_typed_and_atomic() {
+        let a = space();
+        let v = a.mmap(3 * PAGE_SIZE as u64).unwrap();
+        // Saturate the middle page; pinning across it must fail with the
+        // typed error and leave the neighbours untouched.
+        a.set_pin_count(v + PAGE_SIZE as u64, u32::MAX);
+        assert_eq!(
+            a.pin_range(v, 3 * PAGE_SIZE as u64),
+            Err(MemError::PinOverflow {
+                vaddr: v + PAGE_SIZE as u64
+            })
+        );
+        assert_eq!(a.pin_count(v), Some(0), "no partial pin on overflow");
+        assert_eq!(a.pin_count(v + 2 * PAGE_SIZE as u64), Some(0));
+        // One step below saturation still pins.
+        a.set_pin_count(v + PAGE_SIZE as u64, u32::MAX - 1);
+        assert_eq!(a.pin_range(v, 3 * PAGE_SIZE as u64).unwrap(), 3);
+        assert_eq!(a.pin_count(v + PAGE_SIZE as u64), Some(u32::MAX));
     }
 
     #[test]

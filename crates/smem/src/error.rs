@@ -38,6 +38,13 @@ pub enum MemError {
         /// The page's virtual address.
         vaddr: u64,
     },
+    /// Pinning a page whose pin count is already saturated; incrementing
+    /// further would wrap the counter and corrupt accounting.
+    PinOverflow {
+        /// The page's address (virtual for page-table pins, physical for
+        /// pin-table pins).
+        vaddr: u64,
+    },
     /// A chunked allocation asked for chunks smaller than the allocation
     /// granule — no split could ever satisfy it.
     BadChunkSize {
@@ -61,6 +68,9 @@ impl fmt::Display for MemError {
                 write!(f, "atomic access misaligned or page-crossing at {addr:#x}")
             }
             MemError::NotPinned { vaddr } => write!(f, "page not pinned: {vaddr:#x}"),
+            MemError::PinOverflow { vaddr } => {
+                write!(f, "pin count saturated for page {vaddr:#x}")
+            }
             MemError::BadChunkSize { max_chunk } => {
                 write!(
                     f,

@@ -26,8 +26,10 @@ pub mod addrspace;
 pub mod alloc;
 pub mod error;
 pub mod phys;
+pub mod pin;
 
 pub use addrspace::{AddrSpace, VirtAddr};
 pub use alloc::{Chunk, PhysAllocator};
 pub use error::MemError;
 pub use phys::{PhysAddr, PhysMem, PAGE_SHIFT, PAGE_SIZE};
+pub use pin::PinTable;

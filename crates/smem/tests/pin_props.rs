@@ -1,0 +1,140 @@
+//! Property tests: pin/unpin accounting against a reference-count oracle.
+//!
+//! The pin machinery has two implementations — per-PTE counts in
+//! [`smem::AddrSpace`] (the Verbs MR path) and per-frame counts in
+//! [`smem::PinTable`] (the LITE global-MR path, including the lazy mode's
+//! first-touch `fault_in` and wholesale `unpin_all`). Both are driven here
+//! with interleaved, partially-overlapping ranges and checked page-by-page
+//! against a plain `Vec<u32>` of reference counts.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use smem::{AddrSpace, PhysAllocator, PinTable, PAGE_SIZE};
+
+const PAGES: usize = 16;
+const P: u64 = PAGE_SIZE as u64;
+
+/// Pages overlapped by `[addr, addr+len)`, mirroring the implementation's
+/// span arithmetic (len 0 behaves as len 1).
+fn span(addr: u64, len: u64) -> (u64, u64) {
+    (addr / P, (addr + len.max(1) - 1) / P)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Interleaved counted pins, first-touch faults, and wholesale unpins
+    /// on a PinTable match a per-page reference-count oracle, including
+    /// partial (sub-page, straddling) ranges.
+    #[test]
+    fn pin_table_matches_oracle(
+        ops in prop::collection::vec(
+            (0u8..4, 0u64..(PAGES as u64 * P), 1u64..(4 * P)),
+            1..64,
+        )
+    ) {
+        let table = PinTable::new();
+        let mut oracle = [0u32; PAGES];
+        for (op, addr, len) in ops {
+            // Clip to the modeled region so the oracle stays in bounds.
+            let len = len.min(PAGES as u64 * P - addr);
+            let (first, last) = span(addr, len);
+            let pages = (first..=last).map(|p| p as usize);
+            match op {
+                0 => {
+                    // Counted pin: always succeeds below saturation.
+                    let n = table.pin_range(addr, len).unwrap();
+                    prop_assert_eq!(n as u64, last - first + 1);
+                    for p in pages {
+                        oracle[p] += 1;
+                    }
+                }
+                1 => {
+                    // Counted unpin: atomic failure if any page is at 0.
+                    let expect_ok = pages.clone().all(|p| oracle[p] > 0);
+                    let got = table.unpin_range(addr, len);
+                    prop_assert_eq!(got.is_ok(), expect_ok);
+                    if expect_ok {
+                        for p in pages {
+                            oracle[p] -= 1;
+                        }
+                    }
+                }
+                2 => {
+                    // First-touch fault-in: only absent pages, no stacking.
+                    let expect = pages.clone().filter(|&p| oracle[p] == 0).count();
+                    prop_assert_eq!(table.fault_in(addr, len), expect);
+                    for p in pages {
+                        if oracle[p] == 0 {
+                            oracle[p] = 1;
+                        }
+                    }
+                }
+                _ => {
+                    // Wholesale release: counts drop to zero regardless.
+                    let expect = pages.clone().filter(|&p| oracle[p] > 0).count();
+                    prop_assert_eq!(table.unpin_all(addr, len), expect);
+                    for p in pages {
+                        oracle[p] = 0;
+                    }
+                }
+            }
+            // Spot-check a page inside the op's range every step.
+            prop_assert_eq!(table.pin_count(first * P), oracle[first as usize]);
+        }
+        for (p, &count) in oracle.iter().enumerate() {
+            prop_assert_eq!(table.pin_count(p as u64 * P), count);
+        }
+        prop_assert_eq!(
+            table.pinned_pages(),
+            oracle.iter().filter(|&&c| c > 0).count()
+        );
+    }
+
+    /// AddrSpace PTE pin counts match the oracle under interleaved
+    /// pin/unpin, and ranges that run past the mapping fail atomically.
+    #[test]
+    fn addrspace_pins_match_oracle(
+        ops in prop::collection::vec(
+            (any::<bool>(), 0u64..(PAGES as u64 * P), 1u64..(6 * P)),
+            1..64,
+        )
+    ) {
+        let space = AddrSpace::new(Arc::new(Mutex::new(PhysAllocator::new(0, 1 << 24))));
+        let base = space.mmap(PAGES as u64 * P).unwrap();
+        let mut oracle = [0u32; PAGES];
+        for (pin, off, len) in ops {
+            let (first, last) = span(off, len);
+            let in_bounds = last < PAGES as u64;
+            if pin {
+                let got = space.pin_range(base + off, len);
+                // Out-of-bounds ranges hit the guard page: atomic NotMapped.
+                prop_assert_eq!(got.is_ok(), in_bounds);
+                if in_bounds {
+                    for p in first..=last {
+                        oracle[p as usize] += 1;
+                    }
+                }
+            } else {
+                let expect_ok =
+                    in_bounds && (first..=last).all(|p| oracle[p as usize] > 0);
+                let got = space.unpin_range(base + off, len);
+                prop_assert_eq!(got.is_ok(), expect_ok);
+                if expect_ok {
+                    for p in first..=last {
+                        oracle[p as usize] -= 1;
+                    }
+                }
+            }
+        }
+        for (p, &count) in oracle.iter().enumerate() {
+            prop_assert_eq!(space.pin_count(base + p as u64 * P), Some(count));
+        }
+        prop_assert_eq!(
+            space.pinned_pages(),
+            oracle.iter().filter(|&&c| c > 0).count()
+        );
+    }
+}
