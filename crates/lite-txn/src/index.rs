@@ -1,0 +1,218 @@
+//! An append-friendly ordered index (B-tree-lite) over a [`TxnTable`].
+//!
+//! Entries live as a single sorted run: record 0 is the metadata root
+//! (entry count), records `1..=count` hold `(key, value)` pairs in key
+//! order. The structure is optimized for the log/time-series shape —
+//! mostly-ascending inserts:
+//!
+//! * **Append fast path**: a key ≥ the current tail commits with two
+//!   writes (the new entry and the count) regardless of index size.
+//! * **Out-of-order inserts** binary-search their position and shift
+//!   the tail right inside one transaction — correct but bounded by
+//!   the table's `max_writes`, the "lite" in B-tree-lite.
+//! * **Lookups and range scans** are read-only transactions over the
+//!   binary-search path, so a concurrent insert that commits mid-scan
+//!   aborts and retries the scan instead of returning a torn run.
+
+use lite::LiteHandle;
+use simnet::Ctx;
+
+use crate::table::{with_txn_retry, TableSpec, Txn, TxnError, TxnResult, TxnTable};
+
+const PAYLOAD: usize = 16; // key | value
+
+fn unpack(p: &[u8]) -> (u64, u64) {
+    (
+        u64::from_le_bytes(p[..8].try_into().unwrap()),
+        u64::from_le_bytes(p[8..16].try_into().unwrap()),
+    )
+}
+
+fn pack(key: u64, value: u64) -> [u8; PAYLOAD] {
+    let mut p = [0u8; PAYLOAD];
+    p[..8].copy_from_slice(&key.to_le_bytes());
+    p[8..].copy_from_slice(&value.to_le_bytes());
+    p
+}
+
+/// An ordered `u64 -> u64` index with an O(1)-write append path.
+pub struct OrderedIndex {
+    table: TxnTable,
+    capacity: u64,
+}
+
+/// Default OCC retries for one index operation under contention.
+const IDX_RETRIES: u32 = 64;
+
+impl OrderedIndex {
+    /// Creates an index holding up to `capacity` entries, homed on
+    /// `home`. `shift_budget` bounds how far an out-of-order insert may
+    /// displace the tail (it sizes the per-transaction write set).
+    pub fn create(
+        h: &mut LiteHandle,
+        ctx: &mut Ctx,
+        home: usize,
+        name: &str,
+        capacity: u64,
+        shift_budget: usize,
+    ) -> TxnResult<Self> {
+        let spec = TableSpec {
+            max_writes: shift_budget.max(2) + 2,
+            ..TableSpec::new(capacity + 1, PAYLOAD)
+        };
+        let table = TxnTable::create(h, ctx, home, name, spec)?;
+        Ok(OrderedIndex { table, capacity })
+    }
+
+    /// Opens an index created elsewhere by name.
+    pub fn open(h: &mut LiteHandle, ctx: &mut Ctx, name: &str) -> TxnResult<Self> {
+        let table = TxnTable::open(h, ctx, name)?;
+        let capacity = table.spec().records - 1;
+        Ok(OrderedIndex { table, capacity })
+    }
+
+    /// The backing table (e.g. to arm a txn log on it).
+    pub fn table_mut(&mut self) -> &mut TxnTable {
+        &mut self.table
+    }
+
+    fn count(&self, h: &mut LiteHandle, ctx: &mut Ctx, txn: &mut Txn<'_>) -> TxnResult<u64> {
+        Ok(unpack(&txn.read(h, ctx, 0)?).0)
+    }
+
+    fn entry(
+        &self,
+        h: &mut LiteHandle,
+        ctx: &mut Ctx,
+        txn: &mut Txn<'_>,
+        i: u64,
+    ) -> TxnResult<(u64, u64)> {
+        Ok(unpack(&txn.read(h, ctx, 1 + i)?))
+    }
+
+    /// Binary search: the index of the first entry with `entry.key >=
+    /// key`, in `0..=n`.
+    fn lower_bound(
+        &self,
+        h: &mut LiteHandle,
+        ctx: &mut Ctx,
+        txn: &mut Txn<'_>,
+        n: u64,
+        key: u64,
+    ) -> TxnResult<u64> {
+        let (mut lo, mut hi) = (0u64, n);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.entry(h, ctx, txn, mid)?.0 < key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(lo)
+    }
+
+    /// Inserts `key -> value` (updating in place on a duplicate key).
+    pub fn insert(&self, h: &mut LiteHandle, ctx: &mut Ctx, key: u64, value: u64) -> TxnResult<()> {
+        with_txn_retry(h, ctx, IDX_RETRIES, |h, ctx| {
+            let mut txn = self.table.begin();
+            let n = self.count(h, ctx, &mut txn)?;
+            // Append fast path: empty index or key >= tail.
+            if n == 0 || self.entry(h, ctx, &mut txn, n - 1)?.0 <= key {
+                if n > 0 {
+                    let (tail_key, _) = self.entry(h, ctx, &mut txn, n - 1)?;
+                    if tail_key == key {
+                        txn.write(n, &pack(key, value))?; // in-place update
+                        return txn.commit(h, ctx);
+                    }
+                }
+                if n >= self.capacity {
+                    return Err(TxnError::Invalid("index full"));
+                }
+                txn.write(1 + n, &pack(key, value))?;
+                txn.write(0, &pack(n + 1, 0))?;
+                return txn.commit(h, ctx);
+            }
+            // Out-of-order: find the spot, shift the tail right.
+            let pos = self.lower_bound(h, ctx, &mut txn, n, key)?;
+            if pos < n && self.entry(h, ctx, &mut txn, pos)?.0 == key {
+                txn.write(1 + pos, &pack(key, value))?;
+                return txn.commit(h, ctx);
+            }
+            if n >= self.capacity {
+                return Err(TxnError::Invalid("index full"));
+            }
+            if (n - pos) as usize + 2 > self.table.spec().max_writes {
+                return Err(TxnError::Invalid(
+                    "non-append insert displaces more than the shift budget",
+                ));
+            }
+            for i in (pos..n).rev() {
+                let (k, v) = self.entry(h, ctx, &mut txn, i)?;
+                txn.write(1 + i + 1, &pack(k, v))?;
+            }
+            txn.write(1 + pos, &pack(key, value))?;
+            txn.write(0, &pack(n + 1, 0))?;
+            txn.commit(h, ctx)
+        })
+    }
+
+    /// Point lookup (serializable snapshot).
+    pub fn get(&self, h: &mut LiteHandle, ctx: &mut Ctx, key: u64) -> TxnResult<Option<u64>> {
+        with_txn_retry(h, ctx, IDX_RETRIES, |h, ctx| {
+            let mut txn = self.table.begin();
+            let n = self.count(h, ctx, &mut txn)?;
+            let pos = self.lower_bound(h, ctx, &mut txn, n, key)?;
+            let found = if pos < n {
+                let (k, v) = self.entry(h, ctx, &mut txn, pos)?;
+                (k == key).then_some(v)
+            } else {
+                None
+            };
+            txn.commit(h, ctx)?;
+            Ok(found)
+        })
+    }
+
+    /// All entries with `lo <= key <= hi`, in key order, as one
+    /// serializable snapshot.
+    pub fn range(
+        &self,
+        h: &mut LiteHandle,
+        ctx: &mut Ctx,
+        lo: u64,
+        hi: u64,
+    ) -> TxnResult<Vec<(u64, u64)>> {
+        with_txn_retry(h, ctx, IDX_RETRIES, |h, ctx| {
+            let mut txn = self.table.begin();
+            let n = self.count(h, ctx, &mut txn)?;
+            let mut out = Vec::new();
+            let mut i = self.lower_bound(h, ctx, &mut txn, n, lo)?;
+            while i < n {
+                let (k, v) = self.entry(h, ctx, &mut txn, i)?;
+                if k > hi {
+                    break;
+                }
+                out.push((k, v));
+                i += 1;
+            }
+            txn.commit(h, ctx)?;
+            Ok(out)
+        })
+    }
+
+    /// Number of entries (serializable snapshot).
+    pub fn len(&self, h: &mut LiteHandle, ctx: &mut Ctx) -> TxnResult<u64> {
+        with_txn_retry(h, ctx, IDX_RETRIES, |h, ctx| {
+            let mut txn = self.table.begin();
+            let n = self.count(h, ctx, &mut txn)?;
+            txn.commit(h, ctx)?;
+            Ok(n)
+        })
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self, h: &mut LiteHandle, ctx: &mut Ctx) -> TxnResult<bool> {
+        Ok(self.len(h, ctx)? == 0)
+    }
+}

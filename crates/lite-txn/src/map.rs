@@ -1,0 +1,162 @@
+//! A fixed-bucket remote hash map with transactional operations.
+//!
+//! Each bucket is one [`TxnTable`] record holding `(tag, key, value)`;
+//! collisions resolve by linear probing. Every operation is one OCC
+//! transaction, so a `put` that probes across several buckets is atomic
+//! and a `get` is serializable against concurrent writers — no reader
+//! can observe a half-moved entry.
+
+use lite::LiteHandle;
+use simnet::Ctx;
+
+use crate::table::{with_txn_retry, TableSpec, TxnError, TxnResult, TxnTable};
+
+const TAG_EMPTY: u64 = 0;
+const TAG_USED: u64 = 1;
+const TAG_TOMB: u64 = 2;
+
+const PAYLOAD: usize = 24; // tag | key | value
+
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn unpack(p: &[u8]) -> (u64, u64, u64) {
+    let w = |i: usize| u64::from_le_bytes(p[i * 8..i * 8 + 8].try_into().unwrap());
+    (w(0), w(1), w(2))
+}
+
+fn pack(tag: u64, key: u64, value: u64) -> [u8; PAYLOAD] {
+    let mut p = [0u8; PAYLOAD];
+    p[..8].copy_from_slice(&tag.to_le_bytes());
+    p[8..16].copy_from_slice(&key.to_le_bytes());
+    p[16..].copy_from_slice(&value.to_le_bytes());
+    p
+}
+
+/// A remote `u64 -> u64` hash map over one [`TxnTable`].
+pub struct RemoteHashMap {
+    table: TxnTable,
+    buckets: u64,
+}
+
+/// Default OCC retries for one map operation under contention.
+const MAP_RETRIES: u32 = 64;
+
+impl RemoteHashMap {
+    /// Creates a map with `buckets` slots, homed on `home`.
+    pub fn create(
+        h: &mut LiteHandle,
+        ctx: &mut Ctx,
+        home: usize,
+        name: &str,
+        buckets: u64,
+    ) -> TxnResult<Self> {
+        let table = TxnTable::create(h, ctx, home, name, TableSpec::new(buckets, PAYLOAD))?;
+        Ok(RemoteHashMap { table, buckets })
+    }
+
+    /// Opens a map created elsewhere by name.
+    pub fn open(h: &mut LiteHandle, ctx: &mut Ctx, name: &str) -> TxnResult<Self> {
+        let table = TxnTable::open(h, ctx, name)?;
+        let buckets = table.spec().records;
+        Ok(RemoteHashMap { table, buckets })
+    }
+
+    /// The backing table (e.g. to arm a txn log on it).
+    pub fn table_mut(&mut self) -> &mut TxnTable {
+        &mut self.table
+    }
+
+    fn probe_start(&self, key: u64) -> u64 {
+        mix(key) % self.buckets
+    }
+
+    /// Looks a key up (serializable snapshot).
+    pub fn get(&self, h: &mut LiteHandle, ctx: &mut Ctx, key: u64) -> TxnResult<Option<u64>> {
+        with_txn_retry(h, ctx, MAP_RETRIES, |h, ctx| {
+            let mut txn = self.table.begin();
+            let mut found = None;
+            for i in 0..self.buckets {
+                let rec = (self.probe_start(key) + i) % self.buckets;
+                let (tag, k, v) = unpack(&txn.read(h, ctx, rec)?);
+                if tag == TAG_EMPTY {
+                    break;
+                }
+                if tag == TAG_USED && k == key {
+                    found = Some(v);
+                    break;
+                }
+            }
+            txn.commit(h, ctx)?;
+            Ok(found)
+        })
+    }
+
+    /// Inserts or updates a key, returning the previous value.
+    pub fn put(
+        &self,
+        h: &mut LiteHandle,
+        ctx: &mut Ctx,
+        key: u64,
+        value: u64,
+    ) -> TxnResult<Option<u64>> {
+        with_txn_retry(h, ctx, MAP_RETRIES, |h, ctx| {
+            let mut txn = self.table.begin();
+            let mut target = None; // first tombstone seen, else first empty
+            let mut prev = None;
+            for i in 0..self.buckets {
+                let rec = (self.probe_start(key) + i) % self.buckets;
+                let (tag, k, v) = unpack(&txn.read(h, ctx, rec)?);
+                match tag {
+                    TAG_USED if k == key => {
+                        target = Some(rec);
+                        prev = Some(v);
+                        break;
+                    }
+                    TAG_TOMB => {
+                        target.get_or_insert(rec);
+                    }
+                    TAG_EMPTY => {
+                        target.get_or_insert(rec);
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            let Some(rec) = target else {
+                return Err(TxnError::Invalid("hash map full"));
+            };
+            txn.write(rec, &pack(TAG_USED, key, value))?;
+            txn.commit(h, ctx)?;
+            Ok(prev)
+        })
+    }
+
+    /// Removes a key, returning the value it held.
+    pub fn remove(&self, h: &mut LiteHandle, ctx: &mut Ctx, key: u64) -> TxnResult<Option<u64>> {
+        with_txn_retry(h, ctx, MAP_RETRIES, |h, ctx| {
+            let mut txn = self.table.begin();
+            let mut prev = None;
+            for i in 0..self.buckets {
+                let rec = (self.probe_start(key) + i) % self.buckets;
+                let (tag, k, v) = unpack(&txn.read(h, ctx, rec)?);
+                if tag == TAG_EMPTY {
+                    break;
+                }
+                if tag == TAG_USED && k == key {
+                    prev = Some(v);
+                    // Tombstone, not empty: later keys in this probe
+                    // chain must stay reachable.
+                    txn.write(rec, &pack(TAG_TOMB, 0, 0))?;
+                    break;
+                }
+            }
+            txn.commit(h, ctx)?;
+            Ok(prev)
+        })
+    }
+}

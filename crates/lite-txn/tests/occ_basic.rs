@@ -1,0 +1,203 @@
+//! Core OCC semantics: atomic visibility, read-your-writes, conflicts,
+//! validation, and the stats surface.
+
+use std::sync::Arc;
+
+use lite::{LiteCluster, TxnHistory, TxnLog};
+use lite_txn::{TableSpec, TxnError, TxnTable};
+use simnet::Ctx;
+
+fn start(nodes: usize) -> Arc<LiteCluster> {
+    LiteCluster::start(nodes).unwrap()
+}
+
+fn u64s(bytes: &[u8]) -> u64 {
+    u64::from_le_bytes(bytes[..8].try_into().unwrap())
+}
+
+#[test]
+fn commit_makes_writes_atomically_visible() {
+    let cluster = start(2);
+    let mut h0 = cluster.attach(0).unwrap();
+    let mut h1 = cluster.attach(1).unwrap();
+    let mut c0 = Ctx::new();
+    let mut c1 = Ctx::new();
+    let t0 = TxnTable::create(&mut h0, &mut c0, 1, "txn.basic", TableSpec::new(8, 8)).unwrap();
+    let t1 = TxnTable::open(&mut h1, &mut c1, "txn.basic").unwrap();
+
+    // Stage two writes; nothing is visible before commit.
+    let mut w = t0.begin();
+    w.write(2, &7u64.to_le_bytes()).unwrap();
+    w.write(5, &9u64.to_le_bytes()).unwrap();
+    let mut r = t1.begin();
+    assert_eq!(u64s(&r.read(&mut h1, &mut c1, 2).unwrap()), 0);
+    assert_eq!(u64s(&r.read(&mut h1, &mut c1, 5).unwrap()), 0);
+    r.commit(&mut h1, &mut c1).unwrap();
+
+    w.commit(&mut h0, &mut c0).unwrap();
+    let mut r = t1.begin();
+    assert_eq!(u64s(&r.read(&mut h1, &mut c1, 2).unwrap()), 7);
+    assert_eq!(u64s(&r.read(&mut h1, &mut c1, 5).unwrap()), 9);
+    r.commit(&mut h1, &mut c1).unwrap();
+}
+
+#[test]
+fn read_your_own_writes() {
+    let cluster = start(2);
+    let mut h = cluster.attach(0).unwrap();
+    let mut ctx = Ctx::new();
+    let t = TxnTable::create(&mut h, &mut ctx, 1, "txn.ryw", TableSpec::new(4, 8)).unwrap();
+
+    let mut txn = t.begin();
+    assert_eq!(u64s(&txn.read(&mut h, &mut ctx, 1).unwrap()), 0);
+    txn.write(1, &42u64.to_le_bytes()).unwrap();
+    assert_eq!(u64s(&txn.read(&mut h, &mut ctx, 1).unwrap()), 42);
+    txn.commit(&mut h, &mut ctx).unwrap();
+}
+
+#[test]
+fn stale_read_set_fails_validation() {
+    let cluster = start(2);
+    let mut h = cluster.attach(0).unwrap();
+    let mut ctx = Ctx::new();
+    let t = TxnTable::create(&mut h, &mut ctx, 1, "txn.stale", TableSpec::new(4, 8)).unwrap();
+
+    // T1 reads record 0 then record 1; between the two, T2 commits a
+    // write to record 0. T1's write-commit must fail validation.
+    let mut t1 = t.begin();
+    let _ = t1.read(&mut h, &mut ctx, 0).unwrap();
+    let mut t2 = t.begin();
+    t2.write(0, &5u64.to_le_bytes()).unwrap();
+    t2.commit(&mut h, &mut ctx).unwrap();
+    let _ = t1.read(&mut h, &mut ctx, 1).unwrap();
+    t1.write(1, &6u64.to_le_bytes()).unwrap();
+    assert_eq!(
+        t1.commit(&mut h, &mut ctx),
+        Err(TxnError::Conflict { validation: true })
+    );
+
+    // The abort unwound cleanly: record 1 is untouched and writable.
+    let mut t3 = t.begin();
+    assert_eq!(u64s(&t3.read(&mut h, &mut ctx, 1).unwrap()), 0);
+    t3.write(1, &8u64.to_le_bytes()).unwrap();
+    t3.commit(&mut h, &mut ctx).unwrap();
+}
+
+#[test]
+fn read_only_txn_validates_too() {
+    let cluster = start(2);
+    let mut h = cluster.attach(0).unwrap();
+    let mut ctx = Ctx::new();
+    let t = TxnTable::create(&mut h, &mut ctx, 1, "txn.ro", TableSpec::new(4, 8)).unwrap();
+
+    let mut ro = t.begin();
+    let _ = ro.read(&mut h, &mut ctx, 0).unwrap();
+    let mut w = t.begin();
+    w.write(0, &1u64.to_le_bytes()).unwrap();
+    w.commit(&mut h, &mut ctx).unwrap();
+    assert_eq!(
+        ro.commit(&mut h, &mut ctx),
+        Err(TxnError::Conflict { validation: true })
+    );
+}
+
+#[test]
+fn lost_update_is_impossible() {
+    // Two increments racing on one record: OCC must serialize them —
+    // one may abort and retry, but the final value counts both.
+    let cluster = start(2);
+    let mut h0 = cluster.attach(0).unwrap();
+    let mut h1 = cluster.attach(1).unwrap();
+    let mut c0 = Ctx::new();
+    let mut c1 = Ctx::new();
+    let t0 = TxnTable::create(&mut h0, &mut c0, 1, "txn.incr", TableSpec::new(2, 8)).unwrap();
+    let t1 = TxnTable::open(&mut h1, &mut c1, "txn.incr").unwrap();
+
+    // Interleave: both read 0, both try to write 1; the loser retries.
+    let mut a = t0.begin();
+    let va = u64s(&a.read(&mut h0, &mut c0, 0).unwrap());
+    let mut b = t1.begin();
+    let vb = u64s(&b.read(&mut h1, &mut c1, 0).unwrap());
+    a.write(0, &(va + 1).to_le_bytes()).unwrap();
+    b.write(0, &(vb + 1).to_le_bytes()).unwrap();
+    assert!(a.commit(&mut h0, &mut c0).is_ok());
+    assert!(matches!(
+        b.commit(&mut h1, &mut c1),
+        Err(TxnError::Conflict { .. })
+    ));
+    // The loser's retry sees the winner's value.
+    let mut b = t1.begin();
+    let vb = u64s(&b.read(&mut h1, &mut c1, 0).unwrap());
+    assert_eq!(vb, 1);
+    b.write(0, &(vb + 1).to_le_bytes()).unwrap();
+    b.commit(&mut h1, &mut c1).unwrap();
+
+    let mut r = t0.begin();
+    assert_eq!(u64s(&r.read(&mut h0, &mut c0, 0).unwrap()), 2);
+    r.commit(&mut h0, &mut c0).unwrap();
+}
+
+#[test]
+fn explicit_abort_leaves_no_trace() {
+    let cluster = start(2);
+    let mut h = cluster.attach(0).unwrap();
+    let mut ctx = Ctx::new();
+    let t = TxnTable::create(&mut h, &mut ctx, 1, "txn.abort", TableSpec::new(2, 8)).unwrap();
+
+    let mut a = t.begin();
+    a.write(0, &99u64.to_le_bytes()).unwrap();
+    a.abort(&mut h, &mut ctx);
+    let mut r = t.begin();
+    assert_eq!(u64s(&r.read(&mut h, &mut ctx, 0).unwrap()), 0);
+    r.commit(&mut h, &mut ctx).unwrap();
+}
+
+#[test]
+fn stats_gauges_count_commits_and_aborts() {
+    let cluster = start(2);
+    let mut h = cluster.attach(0).unwrap();
+    let mut ctx = Ctx::new();
+    let t = TxnTable::create(&mut h, &mut ctx, 1, "txn.stats", TableSpec::new(4, 8)).unwrap();
+
+    let mut a = t.begin();
+    a.write(0, &1u64.to_le_bytes()).unwrap();
+    a.commit(&mut h, &mut ctx).unwrap();
+
+    let mut ro = t.begin();
+    let _ = ro.read(&mut h, &mut ctx, 0).unwrap();
+    let mut w = t.begin();
+    w.write(0, &2u64.to_le_bytes()).unwrap();
+    w.commit(&mut h, &mut ctx).unwrap();
+    let _ = ro.commit(&mut h, &mut ctx); // validation abort
+
+    let mut e = t.begin();
+    e.write(1, &3u64.to_le_bytes()).unwrap();
+    e.abort(&mut h, &mut ctx); // explicit abort
+
+    let ks = h.lt_stats().kernel;
+    assert_eq!(ks.txn_commits, 2);
+    assert_eq!(ks.txn_aborts, 2);
+    assert_eq!(ks.txn_validation_fails, 1);
+}
+
+#[test]
+fn armed_log_yields_serializable_history() {
+    let cluster = start(2);
+    let mut h = cluster.attach(0).unwrap();
+    let mut ctx = Ctx::new();
+    let log = Arc::new(TxnLog::new());
+    let mut t = TxnTable::create(&mut h, &mut ctx, 1, "txn.log", TableSpec::new(4, 8)).unwrap();
+    t.arm_txn_log(log.clone());
+
+    for i in 1..=4u64 {
+        let mut w = t.begin();
+        let cur = u64s(&w.read(&mut h, &mut ctx, 0).unwrap());
+        w.write(0, &(cur + i).to_le_bytes()).unwrap();
+        w.commit(&mut h, &mut ctx).unwrap();
+    }
+    let history: TxnHistory = log.take();
+    assert_eq!(history.txns.len(), 4);
+    let out = history.check();
+    assert!(out.is_serializable(), "{:?}", out.violation);
+    assert_eq!(out.committed, 4);
+}

@@ -1,0 +1,175 @@
+//! Seeded chaos sweep for the OCC layer: a concurrent bank-transfer
+//! workload with crash-of-committer injection, checked for (a)
+//! txn-level serializability via the armed [`TxnLog`], (b) conservation
+//! of the total balance, and (c) full reclamation of CAS lock words
+//! after every crash.
+//!
+//! `LITE_TXN_SEEDS` overrides the sweep width (CI runs 54).
+
+use std::sync::Arc;
+
+use lite::{LiteCluster, TxnLog};
+use lite_txn::{CrashPoint, TableSpec, TxnError, TxnTable};
+use simnet::Ctx;
+
+const ACCOUNTS: u64 = 8;
+const INITIAL: u64 = 100;
+const THREADS: usize = 3;
+const OPS_PER_THREAD: usize = 14;
+
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn u64s(bytes: &[u8]) -> u64 {
+    u64::from_le_bytes(bytes[..8].try_into().unwrap())
+}
+
+/// Zipfian-ish pick: half the draws hit the two hottest accounts.
+fn pick_account(r: u64) -> u64 {
+    let hot = r & 1 == 0;
+    if hot {
+        (r >> 1) % 2
+    } else {
+        2 + (r >> 1) % (ACCOUNTS - 2)
+    }
+}
+
+/// One seeded run; returns the armed log's verdict inputs.
+fn run_seed(seed: u64) -> (Arc<TxnLog>, u64) {
+    let cluster = LiteCluster::start(3).unwrap();
+    let log = Arc::new(TxnLog::new());
+
+    // Node 0 creates and funds the table.
+    let mut h0 = cluster.attach(0).unwrap();
+    let mut c0 = Ctx::new();
+    let spec = TableSpec {
+        lease_ms: 15,
+        ..TableSpec::new(ACCOUNTS, 8)
+    };
+    let mut t0 = TxnTable::create(&mut h0, &mut c0, 1, "chaos.bank", spec).unwrap();
+    t0.arm_txn_log(log.clone());
+    let mut init = t0.begin();
+    for a in 0..ACCOUNTS {
+        init.write(a, &INITIAL.to_le_bytes()).unwrap();
+    }
+    init.commit(&mut h0, &mut c0).unwrap();
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let cluster = &cluster;
+            let log = log.clone();
+            scope.spawn(move || {
+                let mut h = cluster.attach(t % 3).unwrap();
+                let mut ctx = Ctx::new();
+                let mut table = TxnTable::open(&mut h, &mut ctx, "chaos.bank").unwrap();
+                table.arm_txn_log(log);
+                for op in 0..OPS_PER_THREAD {
+                    let r = mix(seed ^ ((t as u64) << 40) ^ op as u64);
+                    ctx.work(r % 3_000);
+                    if r % 5 == 4 {
+                        // Read-only audit: sum two accounts.
+                        let mut txn = table.begin();
+                        let a = pick_account(r >> 8);
+                        let b = pick_account(r >> 16);
+                        let ok = txn.read(&mut h, &mut ctx, a).is_ok()
+                            && txn.read(&mut h, &mut ctx, b).is_ok();
+                        if ok {
+                            let _ = txn.commit(&mut h, &mut ctx);
+                        } else {
+                            txn.abort(&mut h, &mut ctx);
+                        }
+                        continue;
+                    }
+                    // Transfer between two distinct accounts.
+                    let from = pick_account(r >> 8);
+                    let to = (from + 1 + (r >> 24) % (ACCOUNTS - 1)) % ACCOUNTS;
+                    let amount = 1 + (r >> 32) % 5;
+                    let mut txn = table.begin();
+                    let (Ok(fb), Ok(tb)) = (
+                        txn.read(&mut h, &mut ctx, from).map(|p| u64s(&p)),
+                        txn.read(&mut h, &mut ctx, to).map(|p| u64s(&p)),
+                    ) else {
+                        txn.abort(&mut h, &mut ctx);
+                        continue;
+                    };
+                    if fb < amount {
+                        txn.abort(&mut h, &mut ctx);
+                        continue;
+                    }
+                    txn.write(from, &(fb - amount).to_le_bytes()).unwrap();
+                    txn.write(to, &(tb + amount).to_le_bytes()).unwrap();
+                    // Thread 0 occasionally crashes its committer at a
+                    // seeded protocol stage.
+                    let crash = if t == 0 && r.is_multiple_of(7) {
+                        match (r >> 16) % 4 {
+                            0 => CrashPoint::AfterLock,
+                            1 => CrashPoint::AfterDecide,
+                            2 => CrashPoint::MidApply,
+                            _ => CrashPoint::MidRelease,
+                        }
+                    } else {
+                        CrashPoint::None
+                    };
+                    match txn.commit_at(&mut h, &mut ctx, crash) {
+                        Ok(()) | Err(TxnError::Conflict { .. }) | Err(TxnError::Indeterminate) => {}
+                        Err(e) => panic!("seed {seed}: unexpected txn error {e}"),
+                    }
+                }
+            });
+        }
+    });
+
+    // Final audit through a fresh handle: every lock word must be
+    // reclaimable (a whole-table write txn commits, possibly after
+    // waiting out the last crashed lease) and the total conserved.
+    let mut h = cluster.attach(2).unwrap();
+    let mut ctx = Ctx::new();
+    let mut table = TxnTable::open(&mut h, &mut ctx, "chaos.bank").unwrap();
+    table.arm_txn_log(log.clone());
+    let total = lite_txn::with_txn_retry(&mut h, &mut ctx, 64, |h, ctx| {
+        let mut sweep = table.begin();
+        let mut total = 0u64;
+        for a in 0..ACCOUNTS {
+            let bal = u64s(&sweep.read(h, ctx, a)?);
+            total += bal;
+            sweep.write(a, &bal.to_le_bytes())?; // rewrite: proves the lock is takeable
+        }
+        sweep.commit(h, ctx)?;
+        Ok(total)
+    })
+    .unwrap();
+    (log, total)
+}
+
+#[test]
+fn txn_workload_serializable_across_seeds() {
+    let seeds: u64 = std::env::var("LITE_TXN_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let mut checked_txns = 0usize;
+    for seed in 0..seeds {
+        let (log, total) = run_seed(seed);
+        assert_eq!(
+            total,
+            ACCOUNTS * INITIAL,
+            "seed {seed}: transfers must conserve the total balance"
+        );
+        let history = log.take();
+        checked_txns += history.txns.len();
+        let out = history.check();
+        assert!(
+            out.is_serializable(),
+            "seed {seed}: {:?} ({} committed, {} aborted, {} indeterminate)",
+            out.violation,
+            out.committed,
+            out.aborted,
+            out.indeterminate
+        );
+    }
+    assert!(checked_txns > 0);
+}

@@ -1,0 +1,203 @@
+//! The data structures built on the OCC layer: the fixed-bucket
+//! [`RemoteHashMap`] and the append-friendly [`OrderedIndex`], exercised
+//! single-threaded for semantics and multi-threaded for atomicity.
+
+use std::sync::Arc;
+
+use lite::{LiteCluster, TxnLog};
+use lite_txn::{OrderedIndex, RemoteHashMap, TxnError};
+use simnet::Ctx;
+
+fn start(nodes: usize) -> Arc<LiteCluster> {
+    LiteCluster::start(nodes).unwrap()
+}
+
+#[test]
+fn map_put_get_remove_roundtrip() {
+    let cluster = start(2);
+    let mut h = cluster.attach(0).unwrap();
+    let mut ctx = Ctx::new();
+    let map = RemoteHashMap::create(&mut h, &mut ctx, 1, "map.rt", 32).unwrap();
+
+    assert_eq!(map.get(&mut h, &mut ctx, 7).unwrap(), None);
+    assert_eq!(map.put(&mut h, &mut ctx, 7, 70).unwrap(), None);
+    assert_eq!(map.put(&mut h, &mut ctx, 7, 71).unwrap(), Some(70));
+    assert_eq!(map.get(&mut h, &mut ctx, 7).unwrap(), Some(71));
+    assert_eq!(map.remove(&mut h, &mut ctx, 7).unwrap(), Some(71));
+    assert_eq!(map.get(&mut h, &mut ctx, 7).unwrap(), None);
+    assert_eq!(map.remove(&mut h, &mut ctx, 7).unwrap(), None);
+}
+
+#[test]
+fn map_probe_chains_survive_tombstones() {
+    // Force collisions with a tiny map: keys landing in one chain must
+    // stay reachable after a middle entry is tombstoned.
+    let cluster = start(2);
+    let mut h = cluster.attach(0).unwrap();
+    let mut ctx = Ctx::new();
+    let map = RemoteHashMap::create(&mut h, &mut ctx, 1, "map.tomb", 4).unwrap();
+
+    for k in 0..4u64 {
+        assert_eq!(map.put(&mut h, &mut ctx, k, k * 10).unwrap(), None);
+    }
+    // Map is full; the chain wraps the whole table.
+    assert!(matches!(
+        map.put(&mut h, &mut ctx, 99, 0),
+        Err(TxnError::Invalid(_))
+    ));
+    assert_eq!(map.remove(&mut h, &mut ctx, 1).unwrap(), Some(10));
+    for k in [0u64, 2, 3] {
+        assert_eq!(map.get(&mut h, &mut ctx, k).unwrap(), Some(k * 10));
+    }
+    // The tombstone is reusable.
+    assert_eq!(map.put(&mut h, &mut ctx, 99, 990).unwrap(), None);
+    assert_eq!(map.get(&mut h, &mut ctx, 99).unwrap(), Some(990));
+}
+
+#[test]
+fn map_concurrent_puts_are_atomic() {
+    // Two nodes hammer disjoint key ranges plus one shared key; every
+    // key must hold the last value some committed txn wrote, and the
+    // armed log must admit a serial order.
+    let cluster = start(2);
+    let log = Arc::new(TxnLog::new());
+    {
+        let mut h = cluster.attach(0).unwrap();
+        let mut ctx = Ctx::new();
+        RemoteHashMap::create(&mut h, &mut ctx, 1, "map.conc", 64).unwrap();
+    }
+    std::thread::scope(|scope| {
+        for t in 0..2usize {
+            let cluster = &cluster;
+            let log = log.clone();
+            scope.spawn(move || {
+                let mut h = cluster.attach(t).unwrap();
+                let mut ctx = Ctx::new();
+                let mut map = RemoteHashMap::open(&mut h, &mut ctx, "map.conc").unwrap();
+                map.table_mut().arm_txn_log(log);
+                for i in 0..8u64 {
+                    let own = 100 * (t as u64 + 1) + i;
+                    map.put(&mut h, &mut ctx, own, own).unwrap();
+                    map.put(&mut h, &mut ctx, 7, own).unwrap(); // shared
+                }
+            });
+        }
+    });
+    let mut h = cluster.attach(0).unwrap();
+    let mut ctx = Ctx::new();
+    let map = RemoteHashMap::open(&mut h, &mut ctx, "map.conc").unwrap();
+    for t in 0..2u64 {
+        for i in 0..8u64 {
+            let own = 100 * (t + 1) + i;
+            assert_eq!(map.get(&mut h, &mut ctx, own).unwrap(), Some(own));
+        }
+    }
+    let shared = map.get(&mut h, &mut ctx, 7).unwrap().unwrap();
+    assert!(shared == 107 || shared == 207, "shared key holds {shared}");
+    let out = log.take().check();
+    assert!(out.is_serializable(), "{:?}", out.violation);
+}
+
+#[test]
+fn index_append_and_lookup() {
+    let cluster = start(2);
+    let mut h = cluster.attach(0).unwrap();
+    let mut ctx = Ctx::new();
+    let idx = OrderedIndex::create(&mut h, &mut ctx, 1, "idx.app", 32, 4).unwrap();
+
+    assert!(idx.is_empty(&mut h, &mut ctx).unwrap());
+    for k in [10u64, 20, 30, 40] {
+        idx.insert(&mut h, &mut ctx, k, k * 2).unwrap();
+    }
+    assert_eq!(idx.len(&mut h, &mut ctx).unwrap(), 4);
+    assert_eq!(idx.get(&mut h, &mut ctx, 30).unwrap(), Some(60));
+    assert_eq!(idx.get(&mut h, &mut ctx, 35).unwrap(), None);
+    // Duplicate key updates in place — on the tail fast path too.
+    idx.insert(&mut h, &mut ctx, 40, 99).unwrap();
+    assert_eq!(idx.len(&mut h, &mut ctx).unwrap(), 4);
+    assert_eq!(idx.get(&mut h, &mut ctx, 40).unwrap(), Some(99));
+}
+
+#[test]
+fn index_out_of_order_insert_shifts_the_tail() {
+    let cluster = start(2);
+    let mut h = cluster.attach(0).unwrap();
+    let mut ctx = Ctx::new();
+    let idx = OrderedIndex::create(&mut h, &mut ctx, 1, "idx.ooo", 32, 4).unwrap();
+
+    for k in [10u64, 20, 40, 50] {
+        idx.insert(&mut h, &mut ctx, k, k).unwrap();
+    }
+    // 30 lands between 20 and 40: shifts two entries, within budget.
+    idx.insert(&mut h, &mut ctx, 30, 33).unwrap();
+    assert_eq!(
+        idx.range(&mut h, &mut ctx, 0, u64::MAX).unwrap(),
+        vec![(10, 10), (20, 20), (30, 33), (40, 40), (50, 50)]
+    );
+    // In-place update of a middle key never shifts.
+    idx.insert(&mut h, &mut ctx, 30, 34).unwrap();
+    assert_eq!(idx.get(&mut h, &mut ctx, 30).unwrap(), Some(34));
+    assert_eq!(idx.len(&mut h, &mut ctx).unwrap(), 5);
+}
+
+#[test]
+fn index_shift_budget_is_enforced() {
+    let cluster = start(2);
+    let mut h = cluster.attach(0).unwrap();
+    let mut ctx = Ctx::new();
+    let idx = OrderedIndex::create(&mut h, &mut ctx, 1, "idx.budget", 32, 3).unwrap();
+
+    for k in [10u64, 20, 30, 40, 50, 60] {
+        idx.insert(&mut h, &mut ctx, k, k).unwrap();
+    }
+    // Inserting 5 would displace 5 entries > budget 3.
+    assert!(matches!(
+        idx.insert(&mut h, &mut ctx, 5, 5),
+        Err(TxnError::Invalid(_))
+    ));
+    // A near-tail insert (displaces 1) still works.
+    idx.insert(&mut h, &mut ctx, 55, 55).unwrap();
+    assert_eq!(idx.get(&mut h, &mut ctx, 55).unwrap(), Some(55));
+}
+
+#[test]
+fn index_range_scans_are_serializable_snapshots() {
+    // A writer appends while a reader range-scans; scans retry on
+    // conflict and must never observe a count/entry mismatch (which
+    // would surface as a read of a never-written record or a torn run).
+    let cluster = start(2);
+    {
+        let mut h = cluster.attach(0).unwrap();
+        let mut ctx = Ctx::new();
+        OrderedIndex::create(&mut h, &mut ctx, 1, "idx.scan", 64, 4).unwrap();
+    }
+    std::thread::scope(|scope| {
+        let cluster = &cluster;
+        scope.spawn(move || {
+            let mut h = cluster.attach(0).unwrap();
+            let mut ctx = Ctx::new();
+            let idx = OrderedIndex::open(&mut h, &mut ctx, "idx.scan").unwrap();
+            for k in 1..=30u64 {
+                idx.insert(&mut h, &mut ctx, k, k * 7).unwrap();
+            }
+        });
+        scope.spawn(move || {
+            let mut h = cluster.attach(1).unwrap();
+            let mut ctx = Ctx::new();
+            let idx = OrderedIndex::open(&mut h, &mut ctx, "idx.scan").unwrap();
+            for _ in 0..20 {
+                let run = idx.range(&mut h, &mut ctx, 0, u64::MAX).unwrap();
+                // Each snapshot is a sorted prefix 1..=n with v = 7k.
+                for (i, &(k, v)) in run.iter().enumerate() {
+                    assert_eq!(k, i as u64 + 1);
+                    assert_eq!(v, k * 7);
+                }
+                ctx.work(500);
+            }
+        });
+    });
+    let mut h = cluster.attach(0).unwrap();
+    let mut ctx = Ctx::new();
+    let idx = OrderedIndex::open(&mut h, &mut ctx, "idx.scan").unwrap();
+    assert_eq!(idx.len(&mut h, &mut ctx).unwrap(), 30);
+}

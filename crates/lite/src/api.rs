@@ -23,6 +23,7 @@
 //! | `LT_barrier`     | [`LiteHandle::lt_barrier`]               |
 //! | `LT_fetch-add`   | [`LiteHandle::lt_fetch_add`]             |
 //! | `LT_test-set`    | [`LiteHandle::lt_test_set`]              |
+//! | `LT_cmp-swap`    | [`LiteHandle::lt_cmp_swap`] (general CAS; `lt_test_set` delegates) |
 
 use std::sync::Arc;
 
@@ -1092,6 +1093,24 @@ impl LiteHandle {
         dst_off: u64,
         len: usize,
     ) -> LiteResult<()> {
+        self.copy_ranges(ctx, src_lh, src_off, dst_lh, dst_off, len, false)
+    }
+
+    /// Shared body of `lt_memcpy`/`lt_memmove`. `reverse` issues the
+    /// per-piece copies from the highest address down — each FN_MEMCPY
+    /// call buffers its whole subrange before writing, so segment order
+    /// is the only thing that matters for overlapping ranges.
+    #[allow(clippy::too_many_arguments)]
+    fn copy_ranges(
+        &mut self,
+        ctx: &mut Ctx,
+        src_lh: Lh,
+        src_off: u64,
+        dst_lh: Lh,
+        dst_off: u64,
+        len: usize,
+        reverse: bool,
+    ) -> LiteResult<()> {
         self.enter(ctx);
         let mut result = Err(LiteError::Relocated);
         'attempt: for attempt in 0..3 {
@@ -1125,34 +1144,19 @@ impl LiteHandle {
                     return Err(e);
                 }
             };
-            // Walk both piece lists in lockstep.
+            // Walk both piece lists in lockstep to build the per-call
+            // segments, then issue them in copy order. A retry after
+            // Relocated rebuilds from fresh pieces, so a stale segment
+            // list is never re-issued.
             let (mut si, mut di) = (0usize, 0usize);
             let (mut s_used, mut d_used) = (0u64, 0u64);
             let mut remaining = len as u64;
+            let mut segs: Vec<(NodeId, u64, NodeId, u64, u64)> = Vec::new();
             while remaining > 0 {
                 let (s_node, s_c) = &src_pieces[si];
                 let (d_node, d_c) = &dst_pieces[di];
                 let n = (s_c.len - s_used).min(d_c.len - d_used).min(remaining);
-                let op = if s_node == d_node { 0u8 } else { 1u8 };
-                match self.kcall(
-                    ctx,
-                    *s_node,
-                    FN_MEMCPY,
-                    Enc::new()
-                        .u8(op)
-                        .u64(s_c.addr + s_used)
-                        .u64(n)
-                        .u32(*d_node as u32)
-                        .u64(d_c.addr + d_used)
-                        .done(),
-                ) {
-                    Ok(_) => {}
-                    Err(LiteError::Relocated) => continue 'attempt,
-                    Err(e) => {
-                        self.exit(ctx);
-                        return Err(e);
-                    }
-                }
+                segs.push((*s_node, s_c.addr + s_used, *d_node, d_c.addr + d_used, n));
                 s_used += n;
                 d_used += n;
                 remaining -= n;
@@ -1165,6 +1169,31 @@ impl LiteHandle {
                     d_used = 0;
                 }
             }
+            if reverse {
+                segs.reverse();
+            }
+            for (s_node, s_addr, d_node, d_addr, n) in segs {
+                let op = if s_node == d_node { 0u8 } else { 1u8 };
+                match self.kcall(
+                    ctx,
+                    s_node,
+                    FN_MEMCPY,
+                    Enc::new()
+                        .u8(op)
+                        .u64(s_addr)
+                        .u64(n)
+                        .u32(d_node as u32)
+                        .u64(d_addr)
+                        .done(),
+                ) {
+                    Ok(_) => {}
+                    Err(LiteError::Relocated) => continue 'attempt,
+                    Err(e) => {
+                        self.exit(ctx);
+                        return Err(e);
+                    }
+                }
+            }
             result = Ok(());
             break;
         }
@@ -1172,8 +1201,13 @@ impl LiteHandle {
         result
     }
 
-    /// LT_memmove: same as memcpy (pieces never alias across LMRs; within
-    /// one LMR the remote memmove handler copies through a bounce buffer).
+    /// LT_memmove: memcpy with memmove semantics for overlapping ranges
+    /// inside one LMR. Each FN_MEMCPY call buffers its whole subrange
+    /// before writing, so a single segment can never tear itself; the
+    /// overlap hazard is *between* segments — a later segment reading
+    /// source bytes an earlier segment already overwrote. Copying
+    /// ascending is safe when the destination sits below the source;
+    /// descending when it sits above (exactly `memmove`'s rule).
     pub fn lt_memmove(
         &mut self,
         ctx: &mut Ctx,
@@ -1183,7 +1217,14 @@ impl LiteHandle {
         dst_off: u64,
         len: usize,
     ) -> LiteResult<()> {
-        self.lt_memcpy(ctx, src_lh, src_off, dst_lh, dst_off, len)
+        let same_lmr = {
+            let src_entry = self.kernel.lookup_lh(self.pid, src_lh)?;
+            let dst_entry = self.kernel.lookup_lh(self.pid, dst_lh)?;
+            src_entry.id == dst_entry.id
+        };
+        let overlaps = same_lmr && src_off < dst_off + len as u64 && dst_off < src_off + len as u64;
+        let reverse = overlaps && dst_off > src_off;
+        self.copy_ranges(ctx, src_lh, src_off, dst_lh, dst_off, len, reverse)
     }
 
     // ------------------------------------------------------------------
@@ -1720,8 +1761,28 @@ impl LiteHandle {
 
     /// LT_test-set on a u64 inside an LMR: compare-and-swap
     /// `expect -> new`; returns the previous value (acquired iff it
-    /// equals `expect`).
+    /// equals `expect`). A convenience alias of [`Self::lt_cmp_swap`],
+    /// kept for the paper's API surface (Table 1).
     pub fn lt_test_set(
+        &mut self,
+        ctx: &mut Ctx,
+        lh: Lh,
+        offset: u64,
+        expect: u64,
+        new: u64,
+    ) -> LiteResult<u64> {
+        self.lt_cmp_swap(ctx, lh, offset, expect, new)
+    }
+
+    /// Compare-and-swap on a u64 inside an LMR: atomically replaces the
+    /// word with `new` iff it currently equals `expect`; returns the
+    /// previous value (the CAS won iff it equals `expect`). This is the
+    /// primitive OCC commit protocols build on (lock-word acquire and
+    /// version-check release), exposed with the same Relocated-healing
+    /// and pin discipline as [`Self::lt_fetch_add`]; the datapath records
+    /// the CAS in the verification history so `lite::verify` sees lock
+    /// traffic.
+    pub fn lt_cmp_swap(
         &mut self,
         ctx: &mut Ctx,
         lh: Lh,

@@ -337,6 +337,21 @@ impl LiteKernel {
         self.counters.count_lock_unwind();
     }
 
+    /// Counts a committed OCC transaction. Public: the transaction layer
+    /// (`lite-txn`) lives outside the kernel, entirely on the `lt_*`
+    /// API, and reports outcomes through these gauges so they show up in
+    /// [`LiteKernel::lt_stats`] next to the datapath counters.
+    pub fn note_txn_commit(&self) {
+        self.counters.count_txn_commit();
+    }
+
+    /// Counts an aborted OCC transaction; `validation_fail` marks the
+    /// aborts caused by read-set validation (the OCC conflict signal),
+    /// as opposed to lock conflicts, faults, or explicit aborts.
+    pub fn note_txn_abort(&self, validation_fail: bool) {
+        self.counters.count_txn_abort(validation_fail);
+    }
+
     /// Counts a synchronization-state leak: a lock fault path that could
     /// not restore consistency (abort unreachable, unwind failed, or a
     /// release grant undeliverable). Also traced as Mgmt/Failed.

@@ -241,6 +241,11 @@ pub struct RnicDataPath {
     mesh_ns: AtomicU64,
     /// Lazy pair connects performed from this end (gauge).
     lazy_connects: AtomicU64,
+    /// Per-logical-op sequence for remote atomics. Allocated once in
+    /// `post` — *outside* the retry loop — so every retry attempt of the
+    /// same fetch-add/cmp-swap carries the same exactly-once token to
+    /// the responder NIC's dedup filter.
+    atomic_seq: AtomicU64,
 }
 
 /// Observability identity of one in-flight op, threaded through the
@@ -294,6 +299,7 @@ impl RnicDataPath {
             )),
             mesh_ns: AtomicU64::new(0),
             lazy_connects: AtomicU64::new(0),
+            atomic_seq: AtomicU64::new(0),
         }
     }
 
@@ -776,7 +782,13 @@ impl RnicDataPath {
     /// the recovery layer existed. Faults are injected before any side
     /// effect, so the retry wrapper can replay this safely; local ops
     /// cannot fault and never repeat.
-    fn post_once(&self, ctx: &mut Ctx, prio: Priority, op: &Op) -> LiteResult<Completion> {
+    fn post_once(
+        &self,
+        ctx: &mut Ctx,
+        prio: Priority,
+        op: &Op,
+        aseq: u64,
+    ) -> LiteResult<Completion> {
         match op {
             Op::Write {
                 dst_node,
@@ -898,7 +910,10 @@ impl RnicDataPath {
                     return Ok(Completion { stamp, value });
                 }
                 let qp = self.qp_to(*node, prio)?;
-                let value = self.fabric.nic(self.node).fetch_add(
+                // Tagged with the logical-op sequence: a retry after a
+                // lost ack hits the responder's dedup filter instead of
+                // applying the delta a second time.
+                let value = self.fabric.nic(self.node).fetch_add_tagged(
                     ctx,
                     &qp,
                     RemoteAddr {
@@ -906,6 +921,7 @@ impl RnicDataPath {
                         addr: *addr,
                     },
                     *delta,
+                    (self.node, aseq),
                 )?;
                 Ok(Completion {
                     stamp: ctx.now(),
@@ -928,7 +944,7 @@ impl RnicDataPath {
                     return Ok(Completion { stamp, value });
                 }
                 let qp = self.qp_to(*node, prio)?;
-                let value = self.fabric.nic(self.node).cmp_swap(
+                let value = self.fabric.nic(self.node).cmp_swap_tagged(
                     ctx,
                     &qp,
                     RemoteAddr {
@@ -937,6 +953,7 @@ impl RnicDataPath {
                     },
                     *expect,
                     *new,
+                    (self.node, aseq),
                 )?;
                 Ok(Completion {
                     stamp: ctx.now(),
@@ -1036,8 +1053,11 @@ impl DataPath for RnicDataPath {
             }
         };
         let trace = OpTrace { op_id, class, prio };
+        // One sequence per *logical* op, minted before the retry loop:
+        // every attempt below replays the same exactly-once token.
+        let aseq = self.atomic_seq.fetch_add(1, Ordering::Relaxed);
         match self.with_retry(ctx, peer, Some(trace), |dp, ctx| {
-            dp.post_once(ctx, prio, op)
+            dp.post_once(ctx, prio, op, aseq)
         }) {
             Ok(c) => {
                 record_cell(c.value, true, c.stamp);
@@ -1376,6 +1396,14 @@ impl DataPath for TcpDataPath {
                     .fabric
                     .mem(*node)
                     .fetch_add_u64_stamped(*addr, *delta, done)?;
+                // Response-leg injection point, mirroring the RNIC path:
+                // the apply above landed; a dropped ack surfaces as a
+                // timeout. The TCP path has no retry layer, so the op
+                // fails indeterminate — which is exactly how the history
+                // checker treats it (pending, explored both ways).
+                if self.fabric.fault_check_ack(self.node, *node) == FaultAction::Drop {
+                    return Err(LiteError::Timeout);
+                }
                 ctx.wait_until(stamp); // atomics are blocking, like their verbs
                 Ok(Completion { stamp, value })
             }
@@ -1400,6 +1428,9 @@ impl DataPath for TcpDataPath {
                     .fabric
                     .mem(*node)
                     .cas_u64_stamped(*addr, *expect, *new, done)?;
+                if self.fabric.fault_check_ack(self.node, *node) == FaultAction::Drop {
+                    return Err(LiteError::Timeout);
+                }
                 ctx.wait_until(stamp);
                 Ok(Completion { stamp, value })
             }

@@ -81,5 +81,6 @@ pub use qos::{Priority, QosConfig, QosMode, QosState};
 pub use shard::ShardedMap;
 pub use verify::{
     explore, fingerprint, proc_id, run_mixed, CheckOutcome, ExploreReport, HistOp, History,
-    HistoryLog, Key, MixedWorkload, OpKind, SeedReport, Violation,
+    HistoryLog, Key, MixedWorkload, OpKind, SeedReport, TxnCheckOutcome, TxnHistory, TxnLog, TxnOp,
+    TxnOutcome, Violation,
 };

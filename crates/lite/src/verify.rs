@@ -33,6 +33,18 @@
 //!    under a seeded [`FaultPlan`] — and feeds every history through the
 //!    checker, keeping the failing histories for replay.
 //!
+//! 4. **Transaction-level serializability.** The `lite-txn` OCC layer
+//!    records whole transactions — version-checked read set, staged
+//!    write set, outcome — into a [`TxnLog`], and
+//!    [`TxnHistory::check`] runs the same interval-respecting
+//!    Wing–Gong search at transaction granularity against a multi-key
+//!    map spec. Committed transactions must take effect atomically at
+//!    one point inside their interval; cleanly aborted ones must have
+//!    no effect; [`TxnOutcome::Indeterminate`] ones (committer crashed
+//!    before learning the decision) are explored as pending. This is
+//!    the oracle that catches write skew, lost updates, and dirty
+//!    reads that per-key linearizability cannot see.
+//!
 //! Soundness of the intervals rests on a substrate guarantee added with
 //! this module: conflicting atomics on one node produce completion
 //! stamps that are monotone in actual apply order (see
@@ -624,6 +636,290 @@ fn search(
 }
 
 // ---------------------------------------------------------------------
+// Transaction-level serializability
+// ---------------------------------------------------------------------
+
+/// Outcome of one transaction attempt, as known to its issuer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnOutcome {
+    /// `commit()` returned success: the write set is durable and was
+    /// applied atomically.
+    Committed,
+    /// The transaction aborted cleanly (lock conflict, validation
+    /// failure, or explicit abort): no write may be visible, and the
+    /// read set carries no constraint (validation rejected it).
+    Aborted,
+    /// The issuer never learned the decision — committer crash or lost
+    /// completion mid-protocol. The checker explores both "committed at
+    /// some point after invocation" and "never happened".
+    Indeterminate,
+}
+
+/// One recorded transaction: the version-checked read set and staged
+/// write set, with the `[invoke, response]` interval spanning the whole
+/// attempt (first buffered read to the commit/abort return).
+#[derive(Debug, Clone)]
+pub struct TxnOp {
+    /// The issuing process (see [`proc_id`]).
+    pub proc: u64,
+    /// `(record key, observed value)` pairs the commit validated.
+    pub reads: Vec<(u64, u64)>,
+    /// `(record key, new value)` pairs the commit applied.
+    pub writes: Vec<(u64, u64)>,
+    /// How the attempt ended.
+    pub outcome: TxnOutcome,
+    /// Virtual-time invocation stamp.
+    pub invoke: Nanos,
+    /// Virtual-time response stamp.
+    pub response: Nanos,
+}
+
+/// Shared, append-only log of transactions (armed by the `lite-txn`
+/// layer; one [`TxnOp`] per `commit()`/`abort()` return).
+#[derive(Default)]
+pub struct TxnLog {
+    txns: Mutex<Vec<TxnOp>>,
+}
+
+impl TxnLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one finished transaction.
+    pub fn record(&self, txn: TxnOp) {
+        self.txns.lock().push(txn);
+    }
+
+    /// Number of transactions recorded so far.
+    pub fn len(&self) -> usize {
+        self.txns.lock().len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.txns.lock().is_empty()
+    }
+
+    /// Drains the log into a [`TxnHistory`].
+    pub fn take(&self) -> TxnHistory {
+        TxnHistory {
+            txns: std::mem::take(&mut *self.txns.lock()),
+        }
+    }
+}
+
+/// Result of checking one transaction history.
+#[derive(Debug, Clone, Default)]
+pub struct TxnCheckOutcome {
+    /// Transactions in the history.
+    pub total: usize,
+    /// Committed transactions.
+    pub committed: usize,
+    /// Cleanly aborted transactions (excluded from the search).
+    pub aborted: usize,
+    /// Indeterminate transactions (explored as pending).
+    pub indeterminate: usize,
+    /// Why the history is not serializable (`None` = serializable).
+    pub violation: Option<String>,
+    /// The search budget ran out before a verdict; `violation` is
+    /// `None` but the history is *not* certified.
+    pub inconclusive: bool,
+}
+
+impl TxnCheckOutcome {
+    /// Whether a serial witness order was found (or the history is
+    /// trivially empty). `false` when violated *or* inconclusive.
+    pub fn is_serializable(&self) -> bool {
+        self.violation.is_none() && !self.inconclusive
+    }
+}
+
+/// A complete transaction history, ready for checking.
+#[derive(Debug, Clone, Default)]
+pub struct TxnHistory {
+    /// The recorded transactions, in recording order.
+    pub txns: Vec<TxnOp>,
+}
+
+impl TxnHistory {
+    /// Strict-serializability check: searches for a serial order of the
+    /// committed (and optionally the indeterminate) transactions that
+    /// respects real-time — a transaction whose response precedes
+    /// another's invocation must serialize first — and in which every
+    /// committed read set matches the map state at the transaction's
+    /// serialization point. Keys absent from the map read as 0 (records
+    /// start zero-filled).
+    pub fn check(&self) -> TxnCheckOutcome {
+        let mut out = TxnCheckOutcome {
+            total: self.txns.len(),
+            ..Default::default()
+        };
+        for t in &self.txns {
+            match t.outcome {
+                TxnOutcome::Committed => out.committed += 1,
+                TxnOutcome::Aborted => out.aborted += 1,
+                TxnOutcome::Indeterminate => out.indeterminate += 1,
+            }
+        }
+        let mut txns: Vec<TxnOp> = self
+            .txns
+            .iter()
+            .filter(|t| t.outcome != TxnOutcome::Aborted)
+            .cloned()
+            .collect();
+        txns.sort_by_key(|a| (a.invoke, a.response, a.proc));
+        let n = txns.len();
+        if n == 0 {
+            return out;
+        }
+        let eff_resp: Vec<Nanos> = txns
+            .iter()
+            .map(|t| match t.outcome {
+                TxnOutcome::Committed => t.response,
+                _ => Nanos::MAX,
+            })
+            .collect();
+        let mut remaining: Bits = vec![u64::MAX; n.div_ceil(64)].into_boxed_slice();
+        for i in n..remaining.len() * 64 {
+            bit_clear(&mut remaining, i);
+        }
+        let mut memo: HashSet<(Bits, Vec<(u64, u64)>)> = HashSet::new();
+        let mut budget = SEARCH_BUDGET;
+        match txn_search(
+            &txns,
+            &eff_resp,
+            &mut remaining,
+            Vec::new(),
+            &mut memo,
+            &mut budget,
+        ) {
+            Some(true) => {}
+            Some(false) => {
+                out.violation = Some(format!(
+                    "no serial order explains {} committed + {} indeterminate txns",
+                    out.committed, out.indeterminate
+                ));
+            }
+            None => out.inconclusive = true,
+        }
+        out
+    }
+
+    /// Hand-rolled JSON dump (CI artifacts, bench reports).
+    pub fn to_json(&self) -> String {
+        let pairs = |set: &[(u64, u64)]| {
+            let body: Vec<String> = set.iter().map(|(k, v)| format!("[{k},{v}]")).collect();
+            format!("[{}]", body.join(","))
+        };
+        let mut s = String::with_capacity(64 + self.txns.len() * 128);
+        s.push_str("{\"txns\":[");
+        for (i, t) in self.txns.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"proc\":{},\"reads\":{},\"writes\":{},\"outcome\":\"{:?}\",\"invoke\":{},\"response\":{}}}",
+                t.proc,
+                pairs(&t.reads),
+                pairs(&t.writes),
+                t.outcome,
+                t.invoke,
+                t.response
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// Map-state lookup: absent keys read as 0.
+fn txn_state_get(state: &[(u64, u64)], key: u64) -> u64 {
+    state
+        .binary_search_by_key(&key, |e| e.0)
+        .map(|i| state[i].1)
+        .unwrap_or(0)
+}
+
+/// Applies one transaction to the sorted map state: every read must
+/// observe the current value, then the writes land atomically. Zero
+/// values are normalized to absence so memoization cannot split states
+/// that are observationally identical.
+fn txn_apply(state: &[(u64, u64)], t: &TxnOp) -> Option<Vec<(u64, u64)>> {
+    for &(k, v) in &t.reads {
+        if txn_state_get(state, k) != v {
+            return None;
+        }
+    }
+    let mut next = state.to_vec();
+    for &(k, v) in &t.writes {
+        match next.binary_search_by_key(&k, |e| e.0) {
+            Ok(i) => next[i].1 = v,
+            Err(i) => next.insert(i, (k, v)),
+        }
+    }
+    next.retain(|e| e.1 != 0);
+    Some(next)
+}
+
+/// The txn-level Wing–Gong step, structurally identical to [`search`]
+/// with the multi-key map spec: committed txns must take effect,
+/// indeterminate ones may also be dropped.
+fn txn_search(
+    txns: &[TxnOp],
+    eff_resp: &[Nanos],
+    remaining: &mut Bits,
+    state: Vec<(u64, u64)>,
+    memo: &mut HashSet<(Bits, Vec<(u64, u64)>)>,
+    budget: &mut usize,
+) -> Option<bool> {
+    if remaining.iter().all(|&w| w == 0) {
+        return Some(true);
+    }
+    if !memo.insert((remaining.clone(), state.clone())) {
+        return Some(false);
+    }
+    let min_resp = (0..txns.len())
+        .filter(|&i| bit_get(remaining, i))
+        .map(|i| eff_resp[i])
+        .min()
+        .unwrap_or(Nanos::MAX);
+    for i in 0..txns.len() {
+        if !bit_get(remaining, i) || txns[i].invoke > min_resp {
+            continue;
+        }
+        if *budget == 0 {
+            return None;
+        }
+        *budget -= 1;
+        // Branch 1: the transaction serializes here.
+        if let Some(next) = txn_apply(&state, &txns[i]) {
+            bit_clear(remaining, i);
+            let r = txn_search(txns, eff_resp, remaining, next, memo, budget);
+            bit_set(remaining, i);
+            match r {
+                Some(true) => return Some(true),
+                Some(false) => {}
+                None => return None,
+            }
+        }
+        // Branch 2: an indeterminate commit may never have happened.
+        if txns[i].outcome == TxnOutcome::Indeterminate {
+            bit_clear(remaining, i);
+            let r = txn_search(txns, eff_resp, remaining, state.clone(), memo, budget);
+            bit_set(remaining, i);
+            match r {
+                Some(true) => return Some(true),
+                Some(false) => {}
+                None => return None,
+            }
+        }
+    }
+    Some(false)
+}
+
+// ---------------------------------------------------------------------
 // Seeded schedule exploration
 // ---------------------------------------------------------------------
 
@@ -1151,6 +1447,154 @@ mod tests {
         assert!(j.starts_with("{\"ops\":["));
         assert!(j.contains("\"key\":\"lock:0:0x40\""));
         assert!(j.contains("\"ok\":true"));
+    }
+
+    fn txn(
+        proc: u64,
+        reads: &[(u64, u64)],
+        writes: &[(u64, u64)],
+        outcome: TxnOutcome,
+        invoke: Nanos,
+        response: Nanos,
+    ) -> TxnOp {
+        TxnOp {
+            proc,
+            reads: reads.to_vec(),
+            writes: writes.to_vec(),
+            outcome,
+            invoke,
+            response,
+        }
+    }
+
+    fn txn_check(txns: Vec<TxnOp>) -> TxnCheckOutcome {
+        TxnHistory { txns }.check()
+    }
+
+    use TxnOutcome::{Aborted, Committed, Indeterminate};
+
+    #[test]
+    fn sequential_txns_serialize() {
+        let out = txn_check(vec![
+            txn(1, &[(1, 0)], &[(1, 5)], Committed, 0, 10),
+            txn(2, &[(1, 5)], &[(1, 6), (2, 1)], Committed, 20, 30),
+            txn(1, &[(1, 6), (2, 1)], &[], Committed, 40, 50),
+        ]);
+        assert!(out.is_serializable(), "{:?}", out.violation);
+        assert_eq!(out.committed, 3);
+    }
+
+    #[test]
+    fn write_skew_rejected() {
+        // Classic write skew: T1 and T2 each read {x=1, y=1} and
+        // concurrently zero the *other* key. Any serial order makes the
+        // second transaction's read set stale, so full-read-set
+        // validation must have aborted one of them — a history where
+        // both committed is non-serializable.
+        let out = txn_check(vec![
+            txn(1, &[], &[(1, 1), (2, 1)], Committed, 0, 10),
+            txn(2, &[(1, 1), (2, 1)], &[(2, 0)], Committed, 20, 60),
+            txn(3, &[(1, 1), (2, 1)], &[(1, 0)], Committed, 25, 55),
+        ]);
+        assert!(!out.is_serializable());
+        assert!(out.violation.is_some());
+    }
+
+    #[test]
+    fn lost_update_rejected() {
+        // Both transactions claim to have read 0 and written back 1:
+        // one increment was lost. Neither order explains both reads.
+        let out = txn_check(vec![
+            txn(1, &[(7, 0)], &[(7, 1)], Committed, 0, 30),
+            txn(2, &[(7, 0)], &[(7, 1)], Committed, 10, 40),
+        ]);
+        assert!(!out.is_serializable());
+    }
+
+    #[test]
+    fn dirty_read_rejected() {
+        // T2 observed a value only ever staged by the *aborted* T1.
+        // Aborted transactions must leave no trace, so there is no
+        // serial source for T2's read.
+        let out = txn_check(vec![
+            txn(1, &[], &[(3, 7)], Aborted, 0, 100),
+            txn(2, &[(3, 7)], &[], Committed, 10, 20),
+        ]);
+        assert!(!out.is_serializable());
+        assert_eq!(out.aborted, 1);
+    }
+
+    #[test]
+    fn clean_abort_leaves_no_trace() {
+        // Same shape, but T2 reads the *pre-abort* value: serializable.
+        let out = txn_check(vec![
+            txn(1, &[], &[(3, 7)], Aborted, 0, 100),
+            txn(2, &[(3, 0)], &[], Committed, 10, 20),
+        ]);
+        assert!(out.is_serializable(), "{:?}", out.violation);
+    }
+
+    #[test]
+    fn indeterminate_commit_explored_both_ways() {
+        // A committer that crashed mid-protocol may or may not have
+        // decided commit; later reads seeing either world are fine.
+        let applied = txn_check(vec![
+            txn(1, &[], &[(5, 9)], Indeterminate, 0, 50),
+            txn(2, &[(5, 9)], &[], Committed, 60, 70),
+        ]);
+        assert!(applied.is_serializable(), "{:?}", applied.violation);
+        let dropped = txn_check(vec![
+            txn(1, &[], &[(5, 9)], Indeterminate, 0, 50),
+            txn(2, &[(5, 0)], &[], Committed, 60, 70),
+        ]);
+        assert!(dropped.is_serializable(), "{:?}", dropped.violation);
+        // But it cannot do both at once for the same key.
+        let both = txn_check(vec![
+            txn(1, &[], &[(5, 9)], Indeterminate, 0, 50),
+            txn(2, &[(5, 9)], &[], Committed, 60, 70),
+            txn(3, &[(5, 0)], &[], Committed, 80, 90),
+        ]);
+        assert!(!both.is_serializable());
+    }
+
+    #[test]
+    fn txn_real_time_order_is_enforced() {
+        // Strictness: T2 starts after T1's commit completed, so it must
+        // observe T1's write even though value order alone would allow
+        // serializing T2 first.
+        let out = txn_check(vec![
+            txn(1, &[], &[(9, 1)], Committed, 0, 10),
+            txn(2, &[(9, 0)], &[], Committed, 20, 30),
+        ]);
+        assert!(!out.is_serializable());
+    }
+
+    #[test]
+    fn prefix_atomic_double_apply_history_rejected() {
+        // The pre-fix blind-retry bug, replayed against the existing
+        // cell spec: a fetch-add whose ack was lost applied once, the
+        // retry applied it again, so the old-value stream has a gap —
+        // values 1 and 2 were returned but nobody ever saw 0. No
+        // linearization of two increments from a zero cell explains it.
+        let out = check(vec![
+            op(1, C, OpKind::FetchAdd { delta: 1 }, 1, true, 0, 30),
+            op(2, C, OpKind::FetchAdd { delta: 1 }, 2, true, 10, 40),
+        ]);
+        assert!(
+            !out.is_linearizable(),
+            "the checker must reject the double-apply old-value gap"
+        );
+    }
+
+    #[test]
+    fn txn_json_shape() {
+        let h = TxnHistory {
+            txns: vec![txn(1, &[(1, 0)], &[(1, 5)], Committed, 0, 10)],
+        };
+        let j = h.to_json();
+        assert!(j.starts_with("{\"txns\":["));
+        assert!(j.contains("\"reads\":[[1,0]]"));
+        assert!(j.contains("\"outcome\":\"Committed\""));
     }
 
     #[test]

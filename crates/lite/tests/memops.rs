@@ -1,0 +1,109 @@
+//! Regression tests for `lt_memmove` overlap semantics (and the
+//! segment-ordered `lt_memcpy` rewrite behind it). The pre-fix
+//! `lt_memmove` was a blind alias of `lt_memcpy`: with an overlapping
+//! range split across several chunk segments, an ascending copy
+//! overwrites source bytes a later segment still has to read.
+
+use lite::{LiteCluster, LiteConfig, Perm};
+use rnic::IbConfig;
+use simnet::Ctx;
+
+const CHUNK: u64 = 4096;
+
+fn small_chunk_cluster() -> std::sync::Arc<LiteCluster> {
+    let config = LiteConfig {
+        max_lmr_chunk: CHUNK,
+        ..LiteConfig::default()
+    };
+    LiteCluster::start_with(IbConfig::with_nodes(2), config, lite::QosConfig::default()).unwrap()
+}
+
+fn pattern(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i % 251) as u8).collect()
+}
+
+/// Runs one memmove against the byte oracle (`copy_within`).
+fn check_move(home: rnic::NodeId, src_off: u64, dst_off: u64, len: usize) {
+    let cluster = small_chunk_cluster();
+    let mut h = cluster.attach(0).unwrap();
+    let mut ctx = Ctx::new();
+    let total = 4 * CHUNK as usize;
+    let lh = h
+        .lt_malloc(&mut ctx, home, total as u64, "memmove.arena", Perm::RW)
+        .unwrap();
+    let init = pattern(total);
+    h.lt_write(&mut ctx, lh, 0, &init).unwrap();
+
+    h.lt_memmove(&mut ctx, lh, src_off, lh, dst_off, len)
+        .unwrap();
+
+    let mut oracle = init;
+    oracle.copy_within(src_off as usize..src_off as usize + len, dst_off as usize);
+    let mut got = vec![0u8; total];
+    h.lt_read(&mut ctx, lh, 0, &mut got).unwrap();
+    assert_eq!(
+        got, oracle,
+        "memmove src_off={src_off} dst_off={dst_off} len={len} home={home} diverged from oracle"
+    );
+}
+
+/// Forward overlap (dst above src) across chunk boundaries — the case
+/// the pre-fix ascending copy corrupted: by the time the second segment
+/// is copied, its source bytes were already overwritten by the first.
+#[test]
+fn memmove_forward_overlap_multi_chunk() {
+    check_move(0, 0, CHUNK / 2, 2 * CHUNK as usize);
+}
+
+/// Same forward overlap on a remote LMR (pieces pushed by the peer).
+#[test]
+fn memmove_forward_overlap_remote() {
+    check_move(1, 512, 512 + CHUNK / 2, 2 * CHUNK as usize);
+}
+
+/// Backward overlap (dst below src): ascending order is the safe one.
+#[test]
+fn memmove_backward_overlap_multi_chunk() {
+    check_move(0, CHUNK / 2, 0, 2 * CHUNK as usize);
+    check_move(1, CHUNK, 128, 3 * CHUNK as usize - 256);
+}
+
+/// Overlap confined to a single chunk: one FN_MEMCPY call, whose handler
+/// buffers the whole subrange — both directions must hold.
+#[test]
+fn memmove_overlap_single_chunk() {
+    check_move(0, 100, 300, 1024);
+    check_move(0, 300, 100, 1024);
+}
+
+/// Degenerate and disjoint cases keep plain-memcpy behavior.
+#[test]
+fn memmove_disjoint_and_identity() {
+    // Disjoint ranges in the same LMR.
+    check_move(0, 0, 3 * CHUNK, 1024);
+    // Exactly adjacent (no overlap).
+    check_move(0, 0, CHUNK, CHUNK as usize);
+    // Self-copy onto itself.
+    check_move(0, CHUNK, CHUNK, 512);
+}
+
+/// Cross-LMR memmove degrades to memcpy (handles never alias).
+#[test]
+fn memmove_across_lmrs_is_memcpy() {
+    let cluster = small_chunk_cluster();
+    let mut h = cluster.attach(0).unwrap();
+    let mut ctx = Ctx::new();
+    let len = 2 * CHUNK as usize;
+    let a = h
+        .lt_malloc(&mut ctx, 0, len as u64, "memmove.a", Perm::RW)
+        .unwrap();
+    let b = h
+        .lt_malloc(&mut ctx, 1, len as u64, "memmove.b", Perm::RW)
+        .unwrap();
+    let data = pattern(len);
+    h.lt_write(&mut ctx, a, 0, &data).unwrap();
+    h.lt_memmove(&mut ctx, a, 0, b, 0, len).unwrap();
+    let mut got = vec![0u8; len];
+    h.lt_read(&mut ctx, b, 0, &mut got).unwrap();
+    assert_eq!(got, data);
+}

@@ -191,6 +191,23 @@ impl IbFabric {
         action
     }
 
+    /// The *ack-leg* injection point: atomics call this once per work
+    /// request after the remote apply has landed. Only
+    /// [`FaultRule::DropAtomicAck`](crate::FaultRule::DropAtomicAck)
+    /// rules participate and the fabric-wide operation counter is left
+    /// untouched, so installing ack rules never shifts an existing
+    /// op-scheduled crash/break schedule.
+    pub fn fault_check_ack(&self, src: NodeId, dst: NodeId) -> FaultAction {
+        if !self.fault_active.load(Ordering::Acquire) {
+            return FaultAction::None;
+        }
+        let mut guard = self.fault.lock();
+        let Some(state) = guard.as_mut() else {
+            return FaultAction::None;
+        };
+        state.check_ack(src, dst)
+    }
+
     /// Moves a QP and its connected peer into the error state; further
     /// posts on either end fail with
     /// [`VerbsError::QpBroken`](crate::VerbsError::QpBroken) until the

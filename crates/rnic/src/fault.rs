@@ -70,6 +70,26 @@ pub enum FaultRule {
         /// Operation count that arms the rule.
         at_op: u64,
     },
+    /// Drop the *response* leg of a matching atomic (fetch-add /
+    /// cmp-swap) — the remote side has already applied the op when this
+    /// fires, but the requester sees
+    /// [`VerbsError::Timeout`](crate::VerbsError::Timeout), exactly the
+    /// lost-ACK window that makes blind retry of a non-idempotent verb
+    /// double-apply. Evaluated only at the dedicated ack injection point
+    /// ([`IbFabric::fault_check_ack`](crate::IbFabric::fault_check_ack)),
+    /// which deliberately does **not** advance the fabric-wide operation
+    /// counter — op-scheduled `BreakQp`/`CrashNode` rules keep firing at
+    /// the same request-leg ops whether or not ack rules are installed.
+    DropAtomicAck {
+        /// Only atomics posted by this node match (any if `None`).
+        src: Option<NodeId>,
+        /// Only atomics towards this node match (any if `None`).
+        dst: Option<NodeId>,
+        /// Per-ack drop probability in `[0, 1]`.
+        prob: f64,
+        /// Upper bound on fired drops (`u64::MAX` for unlimited).
+        max_drops: u64,
+    },
     /// Crash `node` (mark it down) at fabric-wide operation `at_op`,
     /// restarting it `restart_after_ops` operations later
     /// (`u64::MAX` = never). Memory contents survive the outage, as on
@@ -131,6 +151,8 @@ pub struct FaultStats {
     pub drops: u64,
     /// WRs delayed.
     pub delays: u64,
+    /// Atomic response legs dropped (op already applied remotely).
+    pub ack_drops: u64,
     /// QPs broken.
     pub qp_breaks: u64,
     /// Node crashes fired.
@@ -143,6 +165,7 @@ pub struct FaultStats {
 #[derive(Debug, Clone, Copy)]
 enum RuleState {
     Drop { fired: u64 },
+    AckDrop { fired: u64 },
     Delay,
     Break { fired: bool },
     Crash { crashed: bool, restarted: bool },
@@ -171,6 +194,7 @@ impl FaultState {
             .iter()
             .map(|r| match r {
                 FaultRule::DropWr { .. } => RuleState::Drop { fired: 0 },
+                FaultRule::DropAtomicAck { .. } => RuleState::AckDrop { fired: 0 },
                 FaultRule::DelayWr { .. } => RuleState::Delay,
                 FaultRule::BreakQp { .. } => RuleState::Break { fired: false },
                 FaultRule::CrashNode { .. } => RuleState::Crash {
@@ -291,10 +315,46 @@ impl FaultState {
                         action = FaultAction::Delay(*delay_ns);
                     }
                 }
+                // Ack rules are evaluated only at the ack injection
+                // point (`check_ack`) — the request leg ignores them.
+                (FaultRule::DropAtomicAck { .. }, RuleState::AckDrop { .. }) => {}
                 _ => unreachable!("rule/state vectors built together"),
             }
         }
         (action, power)
+    }
+
+    /// Evaluates the *response leg* of one atomic `src → dst` whose
+    /// remote apply already happened. Only [`FaultRule::DropAtomicAck`]
+    /// rules participate, and the fabric-wide operation counter is not
+    /// advanced — existing op-scheduled fault schedules stay byte-for-
+    /// byte identical when ack rules are added to a plan.
+    pub(crate) fn check_ack(&mut self, src: NodeId, dst: NodeId) -> FaultAction {
+        let mut action = FaultAction::None;
+        for (rule, state) in self.rules.iter().zip(self.states.iter_mut()) {
+            if let (
+                FaultRule::DropAtomicAck {
+                    src: rs,
+                    dst: rd,
+                    prob,
+                    max_drops,
+                },
+                RuleState::AckDrop { fired },
+            ) = (rule, state)
+            {
+                if action == FaultAction::None
+                    && rs.is_none_or(|n| n == src)
+                    && rd.is_none_or(|n| n == dst)
+                    && *fired < *max_drops
+                    && self.rng.gen_bool(*prob)
+                {
+                    *fired += 1;
+                    self.stats.ack_drops += 1;
+                    action = FaultAction::Drop;
+                }
+            }
+        }
+        action
     }
 }
 
@@ -357,6 +417,37 @@ mod tests {
         assert_eq!(check(&mut st, &ctr, 0, 1, Some(9)), FaultAction::BreakQp); // op 3
         assert_eq!(check(&mut st, &ctr, 0, 1, Some(9)), FaultAction::None); // fired once
         assert_eq!(st.stats().qp_breaks, 1);
+    }
+
+    #[test]
+    fn ack_drop_rule_fires_only_on_ack_leg_and_keeps_op_counter() {
+        let plan = FaultPlan::seeded(11)
+            .with(FaultRule::DropAtomicAck {
+                src: Some(0),
+                dst: Some(1),
+                prob: 1.0,
+                max_drops: 2,
+            })
+            .with(FaultRule::BreakQp {
+                src: 0,
+                dst: 1,
+                at_op: 2,
+            });
+        let mut st = FaultState::new(plan);
+        let ctr = AtomicU64::new(0);
+        // Request legs ignore the ack rule entirely.
+        assert_eq!(check(&mut st, &ctr, 0, 1, None), FaultAction::None); // op 0
+        assert_eq!(check(&mut st, &ctr, 0, 1, None), FaultAction::None); // op 1
+                                                                         // Ack legs do not advance the counter...
+        assert_eq!(st.check_ack(0, 1), FaultAction::Drop);
+        assert_eq!(st.check_ack(1, 0), FaultAction::None); // wrong direction
+        assert_eq!(ctr.load(Ordering::Relaxed), 2);
+        // ...so the op-scheduled BreakQp still fires exactly at op 2.
+        assert_eq!(check(&mut st, &ctr, 0, 1, Some(9)), FaultAction::BreakQp);
+        // Bounded by max_drops.
+        assert_eq!(st.check_ack(0, 1), FaultAction::Drop);
+        assert_eq!(st.check_ack(0, 1), FaultAction::None);
+        assert_eq!(st.stats().ack_drops, 2);
     }
 
     #[test]

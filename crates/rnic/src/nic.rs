@@ -1,7 +1,7 @@
 //! The per-node RNIC: MR registry, QP registry, SRAM caches, request
 //! engine, and the implementation of every verb.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
@@ -140,7 +140,21 @@ pub struct Nic {
     send_ops: AtomicU64,
     bytes_tx: AtomicU64,
     page_faults: AtomicU64,
+    /// Responder-side exactly-once filter for *tagged* atomics: per
+    /// requester node, a sliding window of (sequence → old value). A
+    /// retried atomic whose first attempt already applied (its ack leg
+    /// was lost) hits the memo and gets its original old value back
+    /// instead of applying twice. Keyed by the requester's per-logical-
+    /// op sequence, which the layer above must keep stable across retry
+    /// attempts of the same logical op.
+    atomic_dedup: Mutex<HashMap<NodeId, BTreeMap<u64, u64>>>,
 }
+
+/// Per-source window of remembered atomic sequences. Sequences are
+/// monotone per source, so the oldest entry is the smallest key; the
+/// window only needs to out-last the deepest retry pipeline (one
+/// in-flight logical atomic per requester context).
+const ATOMIC_MEMO_WINDOW: usize = 1024;
 
 /// Local buffer resolved to physical fragments.
 struct Resolved {
@@ -202,6 +216,7 @@ impl Nic {
             send_ops: AtomicU64::new(0),
             bytes_tx: AtomicU64::new(0),
             page_faults: AtomicU64::new(0),
+            atomic_dedup: Mutex::new(HashMap::new()),
         }
     }
 
@@ -994,7 +1009,7 @@ impl Nic {
         remote: RemoteAddr,
         delta: u64,
     ) -> VerbsResult<u64> {
-        self.atomic_op(ctx, qp, remote, AtomicKind::FetchAdd(delta))
+        self.atomic_op(ctx, qp, remote, AtomicKind::FetchAdd(delta), None)
     }
 
     /// One-sided atomic compare-and-swap; returns the old value.
@@ -1006,7 +1021,57 @@ impl Nic {
         expect: u64,
         new: u64,
     ) -> VerbsResult<u64> {
-        self.atomic_op(ctx, qp, remote, AtomicKind::CmpSwap(expect, new))
+        self.atomic_op(ctx, qp, remote, AtomicKind::CmpSwap(expect, new), None)
+    }
+
+    /// [`Self::fetch_add`] tagged with an exactly-once token
+    /// `(requester node, per-logical-op sequence)`. The sequence must be
+    /// allocated once per *logical* op and reused verbatim on every
+    /// retry attempt: the responder memoizes the old value under it, so
+    /// a retry after a lost ack returns the original result instead of
+    /// applying the delta a second time.
+    pub fn fetch_add_tagged(
+        &self,
+        ctx: &mut Ctx,
+        qp: &Qp,
+        remote: RemoteAddr,
+        delta: u64,
+        token: (NodeId, u64),
+    ) -> VerbsResult<u64> {
+        self.atomic_op(ctx, qp, remote, AtomicKind::FetchAdd(delta), Some(token))
+    }
+
+    /// [`Self::cmp_swap`] tagged with an exactly-once token; see
+    /// [`Self::fetch_add_tagged`].
+    pub fn cmp_swap_tagged(
+        &self,
+        ctx: &mut Ctx,
+        qp: &Qp,
+        remote: RemoteAddr,
+        expect: u64,
+        new: u64,
+        token: (NodeId, u64),
+    ) -> VerbsResult<u64> {
+        self.atomic_op(
+            ctx,
+            qp,
+            remote,
+            AtomicKind::CmpSwap(expect, new),
+            Some(token),
+        )
+    }
+
+    fn atomic_memo_get(&self, src: NodeId, seq: u64) -> Option<u64> {
+        self.atomic_dedup.lock().get(&src)?.get(&seq).copied()
+    }
+
+    fn atomic_memo_put(&self, src: NodeId, seq: u64, old: u64) {
+        let mut table = self.atomic_dedup.lock();
+        let memo = table.entry(src).or_default();
+        memo.insert(seq, old);
+        while memo.len() > ATOMIC_MEMO_WINDOW {
+            memo.pop_first();
+        }
     }
 
     fn atomic_op(
@@ -1015,6 +1080,7 @@ impl Nic {
         qp: &Qp,
         remote: RemoteAddr,
         kind: AtomicKind,
+        token: Option<(NodeId, u64)>,
     ) -> VerbsResult<u64> {
         if !qp.supports_read_atomic() {
             return Err(VerbsError::BadOpForQpType);
@@ -1043,10 +1109,33 @@ impl Nic {
         // system actually applied them — even when host-thread
         // scheduling reorders the appliers relative to virtual time.
         let comp = g3.finish + self.cost.propagation_ns + self.cost.ack_ns;
+        // Exactly-once filter for tagged ops: a retry whose first attempt
+        // already applied (its ack leg was lost) short-circuits to the
+        // memoized old value — the word is never touched twice.
+        if let Some((src, seq)) = token {
+            if let Some(old) = rnic.atomic_memo_get(src, seq) {
+                ctx.wait_until(comp);
+                ctx.work(self.cost.cq_poll_ns);
+                self.one_sided_ops.fetch_add(1, Ordering::Relaxed);
+                return Ok(old);
+            }
+        }
         let (old, stamp) = match kind {
             AtomicKind::FetchAdd(d) => mem.fetch_add_u64_stamped(target, d, comp)?,
             AtomicKind::CmpSwap(e, n) => mem.cas_u64_stamped(target, e, n, comp)?,
         };
+        // The memo is recorded before the ack-leg gate below: if the ack
+        // is dropped, the retry must find the apply it is retrying.
+        if let Some((src, seq)) = token {
+            rnic.atomic_memo_put(src, seq, old);
+        }
+        // Response-leg injection point — the apply above is durable, so a
+        // Drop here is the lost-ACK window that makes blind retry of a
+        // non-idempotent verb double-apply (the request-leg gate cannot
+        // model it: it fires before side effects).
+        if fabric.fault_check_ack(self.node, peer_node) == FaultAction::Drop {
+            return Err(VerbsError::Timeout);
+        }
         ctx.wait_until(stamp);
         ctx.work(self.cost.cq_poll_ns);
         self.one_sided_ops.fetch_add(1, Ordering::Relaxed);
