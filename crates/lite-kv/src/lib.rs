@@ -1,0 +1,72 @@
+//! `lite-kv`: a replicated KV/event-log service over LITE RPC.
+//!
+//! The paper validates LITE with a ten-machine memcached-style store
+//! (§5.2); this crate builds the production-shaped version of that
+//! experiment on top of everything the repo has grown since: writes flow
+//! through a single leader that assigns a total order by committing each
+//! update to a [`lite_log::LiteLog`], the leader streams committed
+//! updates to follower replicas with `lt_multicast_rpc`, and reads are
+//! served locally by any replica. The log is the source of truth — a
+//! follower that misses replication frames (slow, paused, or crashed)
+//! catches up by reading the log directly with one-sided `LT_read`s, the
+//! same way the paper's applications sidestep their servers' CPUs.
+//!
+//! Consistency is per-session: [`SessionMode::ReadYourWrites`] threads
+//! the client's last-written sequence number through its reads and falls
+//! back to the leader when a replica has not applied that far yet;
+//! [`SessionMode::Eventual`] takes whatever the chosen replica has.
+//! Values live in a per-replica LMR arena, so capacity overflow rides on
+//! `lite::mm` tiering — hot keys stay resident, cold values spill to
+//! swap nodes and fault back on access.
+//!
+//! The [`workload`] module is the load side of the story: an open-loop
+//! (coordinated-omission-free) arrival schedule over millions of
+//! simulated users with zipfian popularity, a configurable read/write
+//! mix, and bursty on/off arrival — precomputed from a seed so the
+//! schedule is independent of service time by construction. The
+//! `kvbench` bin in `crates/bench` drives it and emits an SLO report.
+//!
+//! See DESIGN.md §15 for the replication protocol and its guarantees.
+
+mod service;
+pub mod workload;
+
+pub use service::{KvClient, KvEvent, KvService, KvSpec, SessionMode};
+
+use lite::LiteError;
+
+/// Errors surfaced by the KV service and client.
+#[derive(Debug)]
+pub enum KvError {
+    /// A LITE-layer failure (transport, timeout, permissions, ...).
+    Lite(LiteError),
+    /// The replica value arenas are full; the write was refused before
+    /// entering the log, so no replica state changed.
+    StoreFull,
+    /// The ordering log is full (cleaner pinned by a lagging follower).
+    LogFull,
+    /// A reply that does not parse — protocol corruption.
+    BadReply,
+}
+
+impl From<LiteError> for KvError {
+    fn from(e: LiteError) -> Self {
+        KvError::Lite(e)
+    }
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvError::Lite(e) => write!(f, "lite error: {e:?}"),
+            KvError::StoreFull => write!(f, "value arena full"),
+            KvError::LogFull => write!(f, "ordering log full"),
+            KvError::BadReply => write!(f, "malformed reply"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+/// Result alias for this crate.
+pub type KvResult<T> = Result<T, KvError>;

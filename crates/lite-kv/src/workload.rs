@@ -1,0 +1,144 @@
+//! Open-loop workload generation for the KV service.
+//!
+//! The harness simulates millions of users hitting the store with
+//! zipfian popularity and bursty arrival. Two properties matter more
+//! than raw scale:
+//!
+//! - **Open loop / no coordinated omission.** The arrival schedule is
+//!   precomputed from the spec's seed before any request is sent, so a
+//!   slow server cannot push arrivals into the future and hide its own
+//!   tail: an op's latency is measured from its *scheduled* arrival
+//!   time, and a backlog shows up as queueing delay instead of
+//!   silently thinning the load.
+//! - **Determinism.** The schedule is a pure function of the
+//!   [`WorkloadSpec`]; the same seed replays the same users, mix, and
+//!   arrival times, which is what makes A/B runs across QoS modes
+//!   comparable.
+//!
+//! Bursts use an on/off model: arrivals are drawn as a Poisson process
+//! on a compressed "on-time" axis and then mapped onto wall time so
+//! that every arrival lands inside an ON window and OFF windows carry
+//! nothing. Mean offered load over a full cycle is `rate · on/(on+off)`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use simnet::{Nanos, Zipf};
+
+/// Parameters of one workload run.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Simulated user population; user ids double as key ranks, with
+    /// rank 0 the most popular.
+    pub users: usize,
+    /// Zipf exponent of key popularity (0.99 = YCSB default).
+    pub theta: f64,
+    /// Percentage of operations that are reads (0..=100).
+    pub read_pct: u8,
+    /// Offered arrival rate while a burst is ON, in ops per second.
+    pub rate_ops_per_sec: f64,
+    /// Total operations in the schedule.
+    pub ops: usize,
+    /// Burst ON window length in ns (0 disables bursting: always on).
+    pub burst_on_ns: u64,
+    /// Gap between bursts in ns.
+    pub burst_off_ns: u64,
+    /// Seed; the schedule is a pure function of this spec.
+    pub seed: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            users: 1_000_000,
+            theta: 0.99,
+            read_pct: 90,
+            rate_ops_per_sec: 50_000.0,
+            ops: 10_000,
+            burst_on_ns: 0,
+            burst_off_ns: 0,
+            seed: 1,
+        }
+    }
+}
+
+/// One scheduled operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpSpec {
+    /// Scheduled (virtual) arrival time.
+    pub at: Nanos,
+    /// The user issuing it — also the key rank.
+    pub user: usize,
+    /// Read or write.
+    pub is_read: bool,
+}
+
+impl WorkloadSpec {
+    /// The key a user's data lives under.
+    pub fn key_of(user: usize) -> Vec<u8> {
+        format!("user:{user:08}").into_bytes()
+    }
+
+    /// Precomputes the full arrival schedule. Deterministic in the
+    /// spec, and independent of anything the service later does.
+    pub fn schedule(&self) -> Vec<OpSpec> {
+        assert!(self.users > 0 && self.rate_ops_per_sec > 0.0);
+        assert!(self.read_pct <= 100);
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let zipf = Zipf::new(self.users, self.theta);
+        let mean_gap_ns = 1e9 / self.rate_ops_per_sec;
+        let mut t_on = 0f64; // time on the compressed ON axis
+        let mut out = Vec::with_capacity(self.ops);
+        for _ in 0..self.ops {
+            // Exponential inter-arrival (Poisson process) on the ON axis.
+            let u: f64 = rng.gen();
+            t_on += -(1.0 - u).ln() * mean_gap_ns;
+            let user = zipf.sample(&mut rng);
+            let is_read = rng.gen_range(0..100u32) < self.read_pct as u32;
+            out.push(OpSpec {
+                at: self.wall_of(t_on as Nanos),
+                user,
+                is_read,
+            });
+        }
+        out
+    }
+
+    /// Maps a point on the ON axis onto wall time, skipping OFF gaps.
+    fn wall_of(&self, t_on: Nanos) -> Nanos {
+        if self.burst_on_ns == 0 || self.burst_off_ns == 0 {
+            return t_on;
+        }
+        let cycle = self.burst_on_ns + self.burst_off_ns;
+        (t_on / self.burst_on_ns) * cycle + (t_on % self.burst_on_ns)
+    }
+
+    /// Whether wall-time `t` falls inside an ON window.
+    pub fn is_on(&self, t: Nanos) -> bool {
+        if self.burst_on_ns == 0 || self.burst_off_ns == 0 {
+            return true;
+        }
+        t % (self.burst_on_ns + self.burst_off_ns) < self.burst_on_ns
+    }
+
+    /// Analytic zipf probability of `rank` under this spec — the
+    /// ground truth the generator is property-tested against.
+    pub fn zipf_probability(&self, rank: usize) -> f64 {
+        let h: f64 = (1..=self.users)
+            .map(|k| 1.0 / (k as f64).powf(self.theta))
+            .sum();
+        (1.0 / ((rank + 1) as f64).powf(self.theta)) / h
+    }
+}
+
+/// Exact percentile over raw latency samples (the harness-side
+/// complement of the kernel's log-bucketed histograms). Sorts a copy;
+/// fine for bench-sized sample sets.
+pub fn exact_percentile(samples: &[Nanos], pct: f64) -> Nanos {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut v = samples.to_vec();
+    v.sort_unstable();
+    let idx = ((pct / 100.0) * (v.len() - 1) as f64).round() as usize;
+    v[idx.min(v.len() - 1)]
+}

@@ -1,0 +1,151 @@
+//! Property tests of the open-loop workload generator: the empirical
+//! key-frequency distribution matches the configured zipf theta, the
+//! arrival schedule is deterministic in the spec and independent of
+//! service time (no coordinated omission), bursts really gate
+//! arrivals, and the offered rate comes out as configured.
+
+use lite_kv::workload::{exact_percentile, OpSpec, WorkloadSpec};
+use proptest::prelude::*;
+
+fn spec(users: usize, theta: f64, seed: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        users,
+        theta,
+        read_pct: 90,
+        rate_ops_per_sec: 100_000.0,
+        ops: 20_000,
+        burst_on_ns: 0,
+        burst_off_ns: 0,
+        seed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The most popular key's empirical frequency matches the analytic
+    /// zipf mass for the configured theta, and popularity decays
+    /// monotonically across rank bands — i.e. theta actually shapes
+    /// the traffic, it is not a decorative knob.
+    #[test]
+    fn key_frequencies_match_theta(
+        theta in 0.6f64..1.2,
+        users in 200usize..2000,
+        seed in any::<u64>(),
+    ) {
+        let s = spec(users, theta, seed);
+        let sched = s.schedule();
+        let mut counts = vec![0u64; users];
+        for op in &sched {
+            counts[op.user] += 1;
+        }
+        let p0 = counts[0] as f64 / sched.len() as f64;
+        let expect = s.zipf_probability(0);
+        // 20k samples: allow generous sampling noise but reject a
+        // wrong distribution (uniform would give p0 = 1/users).
+        prop_assert!(
+            (p0 - expect).abs() < 0.25 * expect + 0.005,
+            "rank-0 mass {p0} vs analytic {expect} (theta {theta})"
+        );
+        // Mass per rank band decays with rank.
+        let band = users / 4;
+        let mass: Vec<u64> = (0..4)
+            .map(|b| counts[b * band..(b + 1) * band].iter().sum())
+            .collect();
+        prop_assert!(
+            mass[0] > mass[1] && mass[1] > mass[2] && mass[2] > mass[3],
+            "band masses must decay: {mass:?}"
+        );
+    }
+
+    /// The schedule is a pure function of the spec: same seed, same
+    /// schedule; different seed, different schedule.
+    #[test]
+    fn schedule_is_deterministic(seed in any::<u64>()) {
+        let s = spec(500, 0.99, seed);
+        prop_assert_eq!(s.schedule(), s.schedule());
+        let other = spec(500, 0.99, seed.wrapping_add(1));
+        prop_assert!(s.schedule() != other.schedule(), "seeds must differentiate schedules");
+    }
+
+    /// Every scheduled arrival lands inside an ON window of the burst
+    /// cycle — OFF windows carry no load.
+    #[test]
+    fn bursty_arrivals_land_in_on_windows(
+        on_us in 50u64..500,
+        off_us in 50u64..500,
+        seed in any::<u64>(),
+    ) {
+        let mut s = spec(100, 0.99, seed);
+        s.ops = 2_000;
+        s.burst_on_ns = on_us * 1_000;
+        s.burst_off_ns = off_us * 1_000;
+        for op in s.schedule() {
+            prop_assert!(s.is_on(op.at), "arrival at {} in an OFF window", op.at);
+        }
+    }
+
+    /// Without bursts the mean inter-arrival gap matches the configured
+    /// rate (the schedule really offers the load it claims).
+    #[test]
+    fn mean_gap_matches_rate(seed in any::<u64>()) {
+        let s = spec(100, 0.99, seed);
+        let sched = s.schedule();
+        let span = sched.last().unwrap().at as f64;
+        let mean_gap = span / (sched.len() - 1) as f64;
+        let expect = 1e9 / s.rate_ops_per_sec;
+        prop_assert!(
+            (mean_gap - expect).abs() < 0.05 * expect,
+            "mean gap {mean_gap} vs {expect}"
+        );
+    }
+}
+
+/// Simulates a single-server FCFS queue over a schedule: each op starts
+/// at `max(arrival, previous completion)` and takes `service_ns`.
+/// Latency is measured from the *scheduled* arrival, open-loop style.
+fn queue_latencies(sched: &[OpSpec], service_ns: u64) -> Vec<u64> {
+    let mut free_at = 0u64;
+    sched
+        .iter()
+        .map(|op| {
+            let start = op.at.max(free_at);
+            free_at = start + service_ns;
+            free_at - op.at
+        })
+        .collect()
+}
+
+/// The no-coordinated-omission property, demonstrated end to end: the
+/// arrival schedule is fixed before the run, so a server slower than
+/// the offered rate shows up as unbounded queueing delay in the tail —
+/// instead of silently stretching the arrivals and hiding it (what a
+/// closed-loop harness would do).
+#[test]
+fn open_loop_exposes_slow_service_as_queueing_delay() {
+    let s = spec(100, 0.99, 7);
+    let sched = s.schedule();
+    let mean_gap = 1e9 / s.rate_ops_per_sec; // 10 µs
+
+    // Fast server (half the mean gap): tail latency stays near the
+    // service time itself.
+    let fast = queue_latencies(&sched, (mean_gap * 0.5) as u64);
+    let fast_p99 = exact_percentile(&fast, 99.0);
+    // Slow server (1.5× the mean gap): the backlog compounds, and the
+    // p99 dwarfs the service time many times over.
+    let slow_service = (mean_gap * 1.5) as u64;
+    let slow = queue_latencies(&sched, slow_service);
+    let slow_p99 = exact_percentile(&slow, 99.0);
+
+    assert!(
+        fast_p99 < 20 * (mean_gap as u64),
+        "fast server tail should be modest: {fast_p99}"
+    );
+    assert!(
+        slow_p99 > 100 * slow_service,
+        "open-loop must surface the backlog: p99 {slow_p99} vs service {slow_service}"
+    );
+    // And the arrivals were identical in both runs — the service time
+    // never fed back into the schedule.
+    assert_eq!(sched, s.schedule());
+}

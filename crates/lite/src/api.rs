@@ -88,6 +88,12 @@ pub struct LiteHandle {
     prio: Priority,
     staging: Scratch,
     reply: Scratch,
+    /// Reply cells for multicast calls, one `max_reply`-sized cell per
+    /// destination, allocated lazily on the first multicast. Persistent
+    /// like [`LiteHandle::reply`] (never freed while the handle lives):
+    /// a straggler reply landing after a slot timeout scribbles scratch
+    /// this handle owns, never allocator memory someone else reused.
+    mcast_reply: Option<Scratch>,
 }
 
 const INIT_SCRATCH: usize = 64 * 1024;
@@ -110,6 +116,7 @@ impl LiteHandle {
             prio: Priority::High,
             staging,
             reply,
+            mcast_reply: None,
         })
     }
 
@@ -1365,6 +1372,12 @@ impl LiteHandle {
 
     /// Multicast RPC (§8.4): issues the same call to several servers
     /// concurrently and gathers every reply.
+    ///
+    /// All-or-nothing view of [`LiteHandle::lt_multicast_rpc_partial`]:
+    /// if any destination fails, the first error is returned and the
+    /// successful replies are discarded. Replication layers that must
+    /// stay available when one destination is down want the partial
+    /// variant instead.
     pub fn lt_multicast_rpc(
         &mut self,
         ctx: &mut Ctx,
@@ -1373,21 +1386,84 @@ impl LiteHandle {
         input: &[u8],
         max_reply: usize,
     ) -> LiteResult<Vec<Vec<u8>>> {
+        let results = self.lt_multicast_rpc_partial(ctx, servers, func, input, max_reply)?;
+        let mut outs = Vec::with_capacity(results.len());
+        let mut first_err = None;
+        for r in results {
+            match r {
+                Ok(reply) => outs.push(reply),
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(outs),
+        }
+    }
+
+    /// Multicast RPC with per-destination outcomes, in `servers` order.
+    ///
+    /// The outer `Err` covers only call-wide preconditions (reserved
+    /// func, staging/reply-scratch growth); everything per-destination —
+    /// ring reservation, posting, the reply wait — lands in that
+    /// destination's slot of the returned vector, and a failure towards
+    /// one server never blocks the posts to (or discards the replies
+    /// from) the others. Every transient resource (completion slots,
+    /// header staging cells) is released on every path; a mid-fan-out
+    /// error must not leak the resources of the destinations already
+    /// posted. Reply cells come from a persistent per-handle scratch
+    /// region, so a straggler reply arriving after a slot timeout can
+    /// never land in allocator memory that was reused by someone else.
+    pub fn lt_multicast_rpc_partial(
+        &mut self,
+        ctx: &mut Ctx,
+        servers: &[NodeId],
+        func: u8,
+        input: &[u8],
+        max_reply: usize,
+    ) -> LiteResult<Vec<LiteResult<Vec<u8>>>> {
         if func < USER_FUNC_MIN {
             return Err(LiteError::ReservedFunc { func });
         }
         self.enter(ctx);
         let cfg = self.kernel.config.clone();
         ctx.work(cfg.rpc_meta_ns);
-        // Stage input once; give each destination its own reply buffer.
-        let staged = self.stage(input)?;
-        let mut pending = Vec::new();
-        let mut reply_bufs = Vec::new();
-        for &server in servers {
-            let raddr = self.kernel.alloc.lock().alloc(max_reply.max(1) as u64)?;
-            reply_bufs.push(raddr);
-            let total = HEADER_BYTES as u64 + input.len() as u64;
-            let r = self.kernel.reserve_ring(ctx, server, total)?;
+        // Stage input once; carve one reply cell per destination out of
+        // the persistent multicast scratch.
+        let cell = max_reply.max(1);
+        let prep = (|| {
+            let staged = self.stage(input)?;
+            if self.mcast_reply.is_none() {
+                self.mcast_reply = Some(Scratch {
+                    addr: self.kernel.alloc.lock().alloc(INIT_SCRATCH as u64)?,
+                    cap: INIT_SCRATCH,
+                });
+            }
+            let scratch = self.mcast_reply.as_mut().expect("just initialized");
+            Self::ensure(&self.kernel, scratch, cell.saturating_mul(servers.len()))?;
+            Ok((staged, scratch.addr))
+        })();
+        let (staged, reply_base) = match prep {
+            Ok(v) => v,
+            Err(e) => {
+                self.exit(ctx);
+                return Err(e);
+            }
+        };
+        let total = HEADER_BYTES as u64 + input.len() as u64;
+        // Fan-out: per destination, a posted completion slot or the
+        // error that stopped it. Failed destinations keep their entry so
+        // the gather below stays index-aligned with `servers`.
+        let mut pending = Vec::with_capacity(servers.len());
+        for (i, &server) in servers.iter().enumerate() {
+            let raddr = reply_base + (i * cell) as u64;
+            let r = match self.kernel.reserve_ring(ctx, server, total) {
+                Ok(r) => r,
+                Err(e) => {
+                    pending.push(Err(e));
+                    continue;
+                }
+            };
             let (slot_id, slot) = self.kernel.alloc_slot();
             let hdr = MsgHeader {
                 func,
@@ -1401,63 +1477,80 @@ impl LiteHandle {
             };
             // Header goes through a tiny transient staging cell so the
             // shared input staging stays untouched.
-            let mut msg = Vec::with_capacity(total as usize);
-            msg.extend_from_slice(&hdr.encode());
-            let hdr_addr = self.kernel.alloc.lock().alloc(HEADER_BYTES as u64)?;
-            self.kernel
+            let hdr_addr = match self.kernel.alloc.lock().alloc(HEADER_BYTES as u64) {
+                Ok(a) => a,
+                Err(e) => {
+                    self.kernel.free_slot(slot_id);
+                    pending.push(Err(LiteError::from(e)));
+                    continue;
+                }
+            };
+            let post = self
+                .kernel
                 .fabric()
                 .mem(self.kernel.node())
-                .write(hdr_addr, &msg)?;
-            let chunks = vec![
-                Chunk {
-                    addr: hdr_addr,
-                    len: HEADER_BYTES as u64,
-                },
-                Chunk {
-                    addr: staged,
-                    len: input.len() as u64,
-                },
-            ];
-            let dst = self.kernel.ring_remote_addr(server, r.offset)?;
-            let imm = Imm::Request {
-                granule: (r.offset / crate::wire::RING_GRANULE) as u32,
-            };
-            let res = self.kernel.post_write_imm(
-                ctx,
-                self.prio,
-                server,
-                dst,
-                &chunks,
-                total as usize,
-                imm,
-            );
-            self.kernel.alloc.lock().free(hdr_addr)?;
-            pending.push((slot_id, slot, res));
-        }
-        // Gather replies.
-        let mut outs = Vec::with_capacity(servers.len());
-        let mut first_err = None;
-        for (i, (slot_id, slot, post)) in pending.into_iter().enumerate() {
-            let result = post.and_then(|_| slot.wait(ctx, &cfg, cfg.op_timeout));
-            self.kernel.free_slot(slot_id);
-            match result {
-                Ok(r) if r.ok => {
-                    let mut buf = vec![0u8; r.len as usize];
-                    self.unstage(reply_bufs[i], &mut buf)?;
-                    outs.push(buf);
+                .write(hdr_addr, &hdr.encode())
+                .map_err(LiteError::from)
+                .and_then(|()| {
+                    let chunks = [
+                        Chunk {
+                            addr: hdr_addr,
+                            len: HEADER_BYTES as u64,
+                        },
+                        Chunk {
+                            addr: staged,
+                            len: input.len() as u64,
+                        },
+                    ];
+                    let dst = self.kernel.ring_remote_addr(server, r.offset)?;
+                    let imm = Imm::Request {
+                        granule: (r.offset / crate::wire::RING_GRANULE) as u32,
+                    };
+                    self.kernel.post_write_imm(
+                        ctx,
+                        self.prio,
+                        server,
+                        dst,
+                        &chunks,
+                        total as usize,
+                        imm,
+                    )
+                });
+            if self.kernel.alloc.lock().free(hdr_addr).is_err() {
+                self.kernel.note_cleanup_failure(server, ctx.now());
+            }
+            match post {
+                Ok(_) => pending.push(Ok((slot_id, slot))),
+                Err(e) => {
+                    self.kernel.free_slot(slot_id);
+                    pending.push(Err(e));
                 }
-                Ok(_) => first_err = first_err.or(Some(LiteError::UnknownRpc { func })),
-                Err(e) => first_err = first_err.or(Some(e)),
             }
         }
-        for addr in reply_bufs {
-            self.kernel.alloc.lock().free(addr)?;
+        // Gather replies; every posted slot is waited on and freed
+        // whatever its outcome.
+        let mut results = Vec::with_capacity(pending.len());
+        for (i, posted) in pending.into_iter().enumerate() {
+            let result = match posted {
+                Ok((slot_id, slot)) => {
+                    let waited = slot.wait(ctx, &cfg, cfg.op_timeout);
+                    self.kernel.free_slot(slot_id);
+                    match waited {
+                        Ok(r) if r.ok => {
+                            let mut buf = vec![0u8; (r.len as usize).min(cell)];
+                            self.unstage(reply_base + (i * cell) as u64, &mut buf)
+                                .map(|()| buf)
+                        }
+                        Ok(_) => Err(LiteError::UnknownRpc { func }),
+                        Err(e) => Err(e),
+                    }
+                }
+                Err(e) => Err(e),
+            };
+            results.push(result);
         }
         self.exit(ctx);
-        match first_err {
-            Some(e) => Err(e),
-            None => Ok(outs),
-        }
+        Ok(results)
     }
 
     // ------------------------------------------------------------------
@@ -1843,7 +1936,11 @@ impl Drop for LiteHandle {
         let mut failures = 0;
         {
             let mut a = self.kernel.alloc.lock();
-            for addr in [self.staging.addr, self.reply.addr] {
+            let mcast = self.mcast_reply.as_ref().map(|s| s.addr);
+            for addr in [self.staging.addr, self.reply.addr]
+                .into_iter()
+                .chain(mcast)
+            {
                 if a.free(addr).is_err() {
                     failures += 1;
                 }

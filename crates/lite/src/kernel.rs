@@ -352,6 +352,35 @@ impl LiteKernel {
         self.counters.count_txn_abort(validation_fail);
     }
 
+    /// Counts a KV write applied by a `lite-kv` replica on this node.
+    /// Public for the same reason as [`LiteKernel::note_txn_commit`]:
+    /// the service layer lives outside the kernel, entirely on the
+    /// `lt_*` API, and reports through these gauges so its traffic shows
+    /// up in [`LiteKernel::lt_stats`] next to the datapath counters.
+    pub fn note_kv_put(&self) {
+        self.counters.count_kv_put();
+    }
+
+    /// Counts a KV read served by a `lite-kv` replica on this node.
+    pub fn note_kv_get(&self) {
+        self.counters.count_kv_get();
+    }
+
+    /// Publishes the `lite-kv` leader's current replication lag
+    /// (committed writes minus the slowest follower's acknowledged seq).
+    /// A gauge — each call overwrites the previous value.
+    pub fn set_kv_replication_lag(&self, lag: u64) {
+        self.counters.set_kv_replication_lag(lag);
+    }
+
+    /// Free bytes in this node's kernel scratch allocator (staging
+    /// cells, reply buffers, ring space). A leak detector for tests:
+    /// any `lt_*` call that returns — successfully or not — must leave
+    /// this balance where it found it.
+    pub fn scratch_free_bytes(&self) -> u64 {
+        self.alloc.lock().free_bytes()
+    }
+
     /// Counts a synchronization-state leak: a lock fault path that could
     /// not restore consistency (abort unreachable, unwind failed, or a
     /// release grant undeliverable). Also traced as Mgmt/Failed.

@@ -648,6 +648,9 @@ pub struct LatencySummary {
     pub p90: u64,
     /// 99th percentile.
     pub p99: u64,
+    /// 99.9th percentile — the SLO tail (ROADMAP asks for p50/p99/p999).
+    /// Same log-bucket resolution as the other interior percentiles.
+    pub p999: u64,
     /// Exact maximum (p100).
     pub p100: u64,
 }
@@ -662,14 +665,15 @@ impl LatencySummary {
             p50: h.percentile(50.0),
             p90: h.percentile(90.0),
             p99: h.percentile(99.0),
+            p999: h.percentile(99.9),
             p100: h.percentile(100.0),
         }
     }
 
     fn json(&self) -> String {
         format!(
-            "{{\"count\":{},\"mean_ns\":{:.1},\"p0\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"p100\":{}}}",
-            self.count, self.mean_ns, self.p0, self.p50, self.p90, self.p99, self.p100
+            "{{\"count\":{},\"mean_ns\":{:.1},\"p0\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{},\"p100\":{}}}",
+            self.count, self.mean_ns, self.p0, self.p50, self.p90, self.p99, self.p999, self.p100
         )
     }
 }
@@ -782,6 +786,7 @@ impl StatsReport {
             p50: cells.iter().map(|c| c.p50).max().unwrap_or(0),
             p90: cells.iter().map(|c| c.p90).max().unwrap_or(0),
             p99: cells.iter().map(|c| c.p99).max().unwrap_or(0),
+            p999: cells.iter().map(|c| c.p999).max().unwrap_or(0),
             p100: cells.iter().map(|c| c.p100).max().unwrap_or(0),
         })
     }
@@ -801,11 +806,12 @@ impl StatsReport {
         ));
         let k = &self.kernel;
         s.push_str(&format!(
-            "\"rpc_dispatched\":{},\"lt_writes\":{},\"lt_reads\":{},\"lt_bytes\":{},\"qps\":{},\"retries\":{},\"qp_reconnects\":{},\"peers_marked_dead\":{},\"ops_failed\":{},\"cleanup_failures\":{},\"lock_unwinds\":{},\"sync_leaks\":{},\"txn_commits\":{},\"txn_aborts\":{},\"txn_validation_fails\":{},\"boot_ns\":{},\"mesh_ns\":{},\"lazy_connects\":{}}}",
+            "\"rpc_dispatched\":{},\"lt_writes\":{},\"lt_reads\":{},\"lt_bytes\":{},\"qps\":{},\"retries\":{},\"qp_reconnects\":{},\"peers_marked_dead\":{},\"ops_failed\":{},\"cleanup_failures\":{},\"lock_unwinds\":{},\"sync_leaks\":{},\"txn_commits\":{},\"txn_aborts\":{},\"txn_validation_fails\":{},\"kv_puts\":{},\"kv_gets\":{},\"kv_replication_lag\":{},\"boot_ns\":{},\"mesh_ns\":{},\"lazy_connects\":{}}}",
             k.rpc_dispatched, k.lt_writes, k.lt_reads, k.lt_bytes, k.qps, k.retries,
             k.qp_reconnects, k.peers_marked_dead, k.ops_failed, k.cleanup_failures,
             k.lock_unwinds, k.sync_leaks, k.txn_commits, k.txn_aborts,
-            k.txn_validation_fails, k.boot_ns, k.mesh_ns, k.lazy_connects
+            k.txn_validation_fails, k.kv_puts, k.kv_gets, k.kv_replication_lag,
+            k.boot_ns, k.mesh_ns, k.lazy_connects
         ));
         s.push_str(",\"classes\":{");
         for (i, c) in self.classes.iter().enumerate() {
@@ -1019,9 +1025,12 @@ mod tests {
         assert_eq!(report.peers[0].failures, 1);
         assert_eq!(report.trace_count(EventKind::Posted), 50);
         assert_eq!(report.trace_count(EventKind::Completed), 50);
+        assert!(lat.p999 >= lat.p99 && lat.p999 <= lat.p100);
         let json = report.to_json();
         assert!(json.contains("\"read.high\""));
         assert!(json.contains("\"p50\""));
+        assert!(json.contains("\"p999\""));
+        assert!(json.contains("\"kv_puts\""));
         assert!(json.contains("\"peer\":2"));
         assert!(json.starts_with('{') && json.ends_with('}'));
     }

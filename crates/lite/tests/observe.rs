@@ -199,6 +199,10 @@ fn stats_report_exports_json() {
         "\"sample_rate\":1",
         "\"kernel\":{",
         "\"lt_writes\":",
+        "\"kv_puts\":",
+        "\"kv_gets\":",
+        "\"kv_replication_lag\":",
+        "\"p999\":",
         "\"classes\":{",
         "\"write.high\":",
         "\"peers\":[",

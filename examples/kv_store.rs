@@ -1,125 +1,56 @@
-//! A distributed key-value store in ~100 lines of LITE — the class of
-//! application (Pilaf, HERD, FaRM's hash table) that motivated the paper.
+//! A replicated key-value store on `lite-kv` — the class of application
+//! (Pilaf, HERD, FaRM's hash table) that motivated the paper, upgraded
+//! from the single-node arena of earlier revisions to the full service:
+//! a leader orders writes through a `lite-log` commit, followers apply
+//! a replicated stream, and any replica serves reads locally.
 //!
-//! Design: values live in per-node LMR arenas; a `PUT` RPC installs the
-//! value at the arena node and returns its (node, offset, len) locator;
-//! `GET`s go through a locator cache and fetch the value with a
-//! *one-sided* `LT_read` — the serving node's CPU is never involved.
+//! What the example shows:
+//! - writes go through the leader and come back with a dense sequence,
+//! - a read-your-writes session reads correctly from any replica,
+//! - an eventual session pinned to a follower serves from *its* copy,
+//! - the write order is an event log any node can scan one-sidedly.
 //!
 //! ```text
 //! cargo run --example kv_store
 //! ```
+//!
+//! (`kv_store_tight.rs` keeps the original hand-rolled arena+locator
+//! variant for comparison with the raw API.)
 
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use lite::{LiteCluster, LiteHandle, Perm, USER_FUNC_MIN};
+use lite::LiteCluster;
+use lite_kv::{KvClient, KvService, KvSpec, SessionMode};
 use simnet::Ctx;
 
-const PUT: u8 = USER_FUNC_MIN;
-const LOOKUP: u8 = USER_FUNC_MIN + 1;
-
-/// Runs the arena/directory server on `node`.
-fn server(cluster: Arc<LiteCluster>, node: usize, puts_expected: usize) {
-    let mut h = cluster.attach(node).expect("attach");
-    let mut ctx = Ctx::new();
-    // The value arena: one big LMR other nodes read one-sidedly.
-    let arena = h
-        .lt_malloc(
-            &mut ctx,
-            node,
-            1 << 20,
-            &format!("kv.arena.{node}"),
-            Perm::RO,
-        )
-        .expect("arena");
-    let mut next = 0u64;
-    let mut directory: HashMap<Vec<u8>, (u64, u32)> = HashMap::new();
-    let mut served = 0;
-    // puts + gets + one final negative lookup.
-    while served < puts_expected * 2 + 1 {
-        let call = h.lt_recv_rpc(&mut ctx, PUT).expect("recv");
-        served += 1;
-        match call.input[0] {
-            0 => {
-                // PUT: [0, klen u16, key, value...]
-                let klen = u16::from_le_bytes([call.input[1], call.input[2]]) as usize;
-                let key = call.input[3..3 + klen].to_vec();
-                let value = &call.input[3 + klen..];
-                h.lt_write(&mut ctx, arena, next, value).expect("install");
-                directory.insert(key, (next, value.len() as u32));
-                let mut out = next.to_le_bytes().to_vec();
-                out.extend_from_slice(&(value.len() as u32).to_le_bytes());
-                next += value.len().max(64) as u64;
-                h.lt_reply_rpc(&mut ctx, &call, &out).expect("reply");
-            }
-            _ => {
-                // LOOKUP: [1, key...] -> (offset, len) or len = 0.
-                let key = &call.input[1..];
-                let (off, len) = directory.get(key).copied().unwrap_or((0, 0));
-                let mut out = off.to_le_bytes().to_vec();
-                out.extend_from_slice(&len.to_le_bytes());
-                h.lt_reply_rpc(&mut ctx, &call, &out).expect("reply");
-            }
-        }
-    }
-}
-
-fn put(h: &mut LiteHandle, ctx: &mut Ctx, node: usize, key: &[u8], value: &[u8]) {
-    let mut msg = vec![0u8];
-    msg.extend_from_slice(&(key.len() as u16).to_le_bytes());
-    msg.extend_from_slice(key);
-    msg.extend_from_slice(value);
-    h.lt_rpc(ctx, node, PUT, &msg, 64).expect("put");
-}
-
-fn get(
-    h: &mut LiteHandle,
-    ctx: &mut Ctx,
-    node: usize,
-    arena_lh: u64,
-    key: &[u8],
-) -> Option<Vec<u8>> {
-    let mut msg = vec![1u8];
-    msg.extend_from_slice(key);
-    let loc = h.lt_rpc(ctx, node, PUT, &msg, 64).expect("lookup");
-    let off = u64::from_le_bytes(loc[0..8].try_into().unwrap());
-    let len = u32::from_le_bytes(loc[8..12].try_into().unwrap()) as usize;
-    if len == 0 {
-        return None;
-    }
-    // The data path: one-sided read, no server CPU.
-    let mut buf = vec![0u8; len];
-    h.lt_read(ctx, arena_lh, off, &mut buf).expect("read");
-    Some(buf)
-}
-
 fn main() {
-    let _ = LOOKUP;
-    let cluster = LiteCluster::start(3).expect("cluster");
-    cluster.attach(1).unwrap().register_rpc(PUT).unwrap();
-    let n_keys = 50usize;
-    let srv = {
-        let cluster = Arc::clone(&cluster);
-        std::thread::spawn(move || server(cluster, 1, n_keys))
-    };
+    // Node 0 is the client; 1 leads; 2 and 3 follow.
+    let cluster = LiteCluster::start(4).expect("cluster");
+    let spec = KvSpec::new("kv", 1, &[2, 3]);
+    let svc = KvService::spawn(&cluster, spec.clone());
 
-    let mut h = cluster.attach(0).expect("attach");
     let mut ctx = Ctx::new();
+    let mut c =
+        KvClient::connect(&cluster, 0, &spec, SessionMode::ReadYourWrites).expect("connect");
+
+    let n_keys = 50usize;
     for i in 0..n_keys {
         let key = format!("user:{i}");
         let value = format!("{{\"id\":{i},\"name\":\"user {i}\"}}");
-        put(&mut h, &mut ctx, 1, key.as_bytes(), value.as_bytes());
+        let seq = c
+            .put(&mut ctx, key.as_bytes(), value.as_bytes())
+            .expect("put");
+        assert_eq!(seq, (i + 1) as u64, "the leader assigns a dense order");
     }
-    println!("installed {n_keys} keys on node 1");
+    println!("installed {n_keys} keys through the leader");
 
-    // Map the arena once; GETs after the first are one-sided reads.
-    let arena_lh = h.lt_map(&mut ctx, "kv.arena.1").expect("map arena");
+    // Read-your-writes: correct answers immediately, whichever replica
+    // the session happens to hit.
     let t0 = ctx.now();
     let mut hits = 0;
     for i in 0..n_keys {
         let key = format!("user:{i}");
-        if let Some(v) = get(&mut h, &mut ctx, 1, arena_lh, key.as_bytes()) {
+        if let Some(v) = c.get(&mut ctx, key.as_bytes()).expect("get") {
             assert!(std::str::from_utf8(&v)
                 .unwrap()
                 .contains(&format!("\"id\":{i}")));
@@ -128,11 +59,44 @@ fn main() {
     }
     let per_get = (ctx.now() - t0) / n_keys as u64;
     println!(
-        "{hits}/{n_keys} GETs, {:.2} us each (lookup RPC + one-sided read)",
+        "{hits}/{n_keys} GETs, {:.2} us each (read-your-writes session)",
         per_get as f64 / 1000.0
     );
     assert_eq!(hits, n_keys);
-    assert!(get(&mut h, &mut ctx, 1, arena_lh, b"missing").is_none());
-    srv.join().unwrap();
+    assert!(c.get(&mut ctx, b"missing").expect("get").is_none());
+
+    // Wait for replication, then read one key from each follower's own
+    // copy under eventual consistency.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while svc.applied_seq(3) < svc.committed_seq() && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    for follower in [2usize, 3] {
+        let mut e = KvClient::connect(&cluster, 0, &spec, SessionMode::Eventual).expect("connect");
+        e.prefer_replica(follower);
+        let v = e
+            .get(&mut ctx, b"user:7")
+            .expect("get")
+            .expect("replicated");
+        println!(
+            "follower {follower} serves user:7 locally: {}",
+            String::from_utf8_lossy(&v)
+        );
+    }
+
+    // The write order doubles as an event log; scan it one-sidedly.
+    let events = c.events(&mut ctx, 0, 10).expect("events");
+    println!("first {} events of the write order:", events.len());
+    for ev in events.iter().take(3) {
+        println!(
+            "  @{}: {} = {}",
+            ev.offset,
+            String::from_utf8_lossy(&ev.key),
+            String::from_utf8_lossy(&ev.value)
+        );
+    }
+    assert_eq!(events[0].key, b"user:0");
+
+    svc.stop();
     println!("done");
 }
